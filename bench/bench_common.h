@@ -1,0 +1,89 @@
+// Shared plumbing for the figure-reproduction harnesses: converged-option
+// helpers, simple aligned table printing, and the update-application
+// protocol (time a capped prefix of a snapshot delta, extrapolate to the
+// full delta — per-update costs are stationary, so the extrapolation is
+// the per-update mean times |ΔE|; both numbers are printed).
+#ifndef INCSR_BENCH_BENCH_COMMON_H_
+#define INCSR_BENCH_BENCH_COMMON_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "incsr/incsr.h"
+
+namespace incsr::bench {
+
+/// Options whose truncation bound C^(K+1) is below 1e-13.
+inline simrank::SimRankOptions ConvergedOptions(double damping) {
+  simrank::SimRankOptions options;
+  options.damping = damping;
+  options.iterations =
+      static_cast<int>(std::log(1e-13) / std::log(damping)) + 2;
+  return options;
+}
+
+/// Line-buffers stdout so progress is visible when output is redirected.
+inline void InitBench() { std::setvbuf(stdout, nullptr, _IOLBF, 0); }
+
+/// Prints "name = value"-style run configuration lines.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/// Result of timing an incremental engine over a (possibly capped) prefix
+/// of a snapshot delta.
+struct TimedUpdates {
+  std::size_t applied = 0;        // unit updates actually timed
+  std::size_t total = 0;          // |ΔE| of the full delta
+  double seconds = 0.0;           // measured wall time for `applied`
+  /// Extrapolated wall time for the full delta (== seconds when uncapped).
+  double ExtrapolatedSeconds() const {
+    if (applied == 0) return 0.0;
+    return seconds * static_cast<double>(total) /
+           static_cast<double>(applied);
+  }
+};
+
+/// Applies up to `cap` unit updates from `delta` through `apply` (a
+/// callable Status(const graph::EdgeUpdate&)), timing them.
+template <typename ApplyFn>
+TimedUpdates TimeUpdates(const std::vector<graph::EdgeUpdate>& delta,
+                         std::size_t cap, ApplyFn&& apply) {
+  TimedUpdates result;
+  result.total = delta.size();
+  const std::size_t count = std::min(cap, delta.size());
+  WallTimer timer;
+  for (std::size_t k = 0; k < count; ++k) {
+    Status s = apply(delta[k]);
+    INCSR_CHECK(s.ok(), "bench update failed: %s", s.ToString().c_str());
+  }
+  result.seconds = timer.ElapsedSeconds();
+  result.applied = count;
+  return result;
+}
+
+/// Fraction of entries that differ between two equally sized matrices —
+/// the "affected pairs" measure of Fig. 2d/2e (a changed entry is one the
+/// incremental update actually touched with a nonzero delta).
+inline double ChangedFraction(const la::DenseMatrix& before,
+                              const la::DenseMatrix& after) {
+  INCSR_CHECK(before.rows() == after.rows() && before.cols() == after.cols(),
+              "ChangedFraction shape mismatch");
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < before.rows(); ++i) {
+    const double* b = before.RowPtr(i);
+    const double* a = after.RowPtr(i);
+    for (std::size_t j = 0; j < before.cols(); ++j) {
+      if (a[j] != b[j]) ++changed;
+    }
+  }
+  return static_cast<double>(changed) /
+         (static_cast<double>(before.rows()) *
+          static_cast<double>(before.cols()));
+}
+
+}  // namespace incsr::bench
+
+#endif  // INCSR_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,82 @@
+// Reproduces Fig. 2d: the effect of the Theorem 4 pruning — Inc-SR vs
+// Inc-uSR wall time on each dataset, annotated with the percentage of
+// node-pairs the pruning skipped (the paper reports 76.3% on DBLP, 82.1%
+// on CITH, 79.4% on YOUTU, and a ~0.5 order-of-magnitude speedup).
+//
+// Pruned % is measured as the paper defines it: the fraction of node
+// pairs whose similarity the snapshot delta leaves untouched (their ΔS
+// entries are a-priori zero, so Inc-SR never visits them).
+//
+// Usage: fig2d_pruning [scale_multiplier] [update_cap]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "incsr/incsr.h"
+
+namespace {
+
+using namespace incsr;
+
+struct DatasetConfig {
+  datasets::DatasetKind kind;
+  double scale;
+  int iterations;
+};
+
+void RunDataset(const DatasetConfig& config, double scale_mult,
+                std::size_t cap) {
+  datasets::DatasetOptions data_options;
+  data_options.scale = config.scale * scale_mult;
+  auto series = datasets::MakeDataset(config.kind, data_options);
+  INCSR_CHECK(series.ok(), "dataset");
+
+  simrank::SimRankOptions options;
+  options.damping = 0.6;
+  options.iterations = config.iterations;
+
+  graph::DynamicDiGraph g_prev = series->GraphAt(0);
+  auto delta = series->DeltaBetween(0, 1);
+  la::DenseMatrix s_init = simrank::BatchMatrix(g_prev, options);
+
+  // Inc-SR, with before/after change accounting.
+  auto inc_sr = core::DynamicSimRank::FromState(
+      g_prev, s_init, options, core::UpdateAlgorithm::kIncSR);
+  INCSR_CHECK(inc_sr.ok(), "inc_sr");
+  bench::TimedUpdates t_sr = bench::TimeUpdates(
+      delta, cap,
+      [&](const graph::EdgeUpdate& u) { return inc_sr->ApplyUpdate(u); });
+  const double changed = bench::ChangedFraction(s_init, inc_sr->scores());
+
+  auto inc_usr = core::DynamicSimRank::FromState(
+      g_prev, s_init, options, core::UpdateAlgorithm::kIncUSR);
+  INCSR_CHECK(inc_usr.ok(), "inc_usr");
+  bench::TimedUpdates t_usr = bench::TimeUpdates(
+      delta, cap,
+      [&](const graph::EdgeUpdate& u) { return inc_usr->ApplyUpdate(u); });
+
+  std::printf(
+      "%-6s  n=%6zu  |dE|=%5zu(timed %4zu)  Inc-uSR %8.3f s   Inc-SR %8.3f "
+      "s   speedup %4.1fx   pruned pairs %5.1f%%\n",
+      datasets::DatasetName(config.kind).c_str(), series->num_nodes(),
+      delta.size(), t_sr.applied, t_usr.ExtrapolatedSeconds(),
+      t_sr.ExtrapolatedSeconds(),
+      t_usr.seconds / (t_sr.seconds > 0 ? t_sr.seconds : 1e-12),
+      100.0 * (1.0 - changed));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale_mult = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const std::size_t cap =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 200;
+  bench::PrintHeader("Fig. 2d — effect of pruning (Inc-SR vs Inc-uSR)");
+  RunDataset({datasets::DatasetKind::kDblp, 0.08, 15}, scale_mult, cap);
+  RunDataset({datasets::DatasetKind::kCitH, 0.05, 15}, scale_mult, cap);
+  RunDataset({datasets::DatasetKind::kYouTu, 0.03, 5}, scale_mult, cap);
+  std::puts(
+      "\nShape check vs the paper's Fig. 2d: a large majority of node-pairs "
+      "is pruned on\nevery dataset and Inc-SR beats Inc-uSR by a multiple.");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Reproduces Fig. 3: intermediate memory of Inc-SR, Inc-uSR, and
+// Inc-SVD(r = 5 / 15 / 25) per dataset. As in the paper, "memory" means
+// the INTERMEDIATE working set — the n² similarity output itself is
+// excluded. All incsr containers allocate through a tracked allocator, so
+// the numbers are measured peaks, not estimates:
+//   - Inc-SR: the pruned engine's sparse workspace (+ seed scratch);
+//   - Inc-uSR: the dense M / ΔS intermediates (Θ(n²));
+//   - Inc-SVD: factor matrices (n·r) plus the materialized Kronecker
+//     system and its inverse (Θ(r⁴)) in the faithful tensor-order scoring.
+//
+// Usage: fig3_memory [scale_multiplier]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "incsr/incsr.h"
+
+namespace {
+
+using namespace incsr;
+
+struct DatasetConfig {
+  datasets::DatasetKind kind;
+  double scale;
+  int iterations;
+};
+
+void RunDataset(const DatasetConfig& config, double scale_mult) {
+  datasets::DatasetOptions data_options;
+  data_options.scale = config.scale * scale_mult;
+  auto series = datasets::MakeDataset(config.kind, data_options);
+  INCSR_CHECK(series.ok(), "dataset");
+
+  simrank::SimRankOptions options;
+  options.damping = 0.6;
+  options.iterations = config.iterations;
+
+  graph::DynamicDiGraph g_prev = series->GraphAt(0);
+  auto delta = series->DeltaBetween(0, 1);
+  if (delta.size() > 50) delta.resize(50);  // a steady-state sample
+  la::DenseMatrix s_init = simrank::BatchMatrix(g_prev, options);
+
+  std::printf("%-6s (n = %zu)\n", datasets::DatasetName(config.kind).c_str(),
+              series->num_nodes());
+
+  // Inc-SR: everything the engine allocates while absorbing updates.
+  {
+    graph::DynamicDiGraph g = g_prev;
+    la::DynamicRowMatrix q = graph::BuildTransition(g);
+    la::DenseMatrix s = s_init;
+    core::IncSrEngine engine(options);
+    MemoryScope scope;
+    for (const auto& update : delta) {
+      INCSR_CHECK(engine.ApplyUpdate(update, &g, &q, &s).ok(), "inc_sr");
+    }
+    std::printf("  Inc-SR                : %10s\n",
+                HumanBytes(scope.PeakDeltaBytes()).c_str());
+  }
+
+  // Inc-uSR: the dense M and ΔS intermediates dominate.
+  {
+    graph::DynamicDiGraph g = g_prev;
+    la::DynamicRowMatrix q = graph::BuildTransition(g);
+    la::DenseMatrix s = s_init;
+    MemoryScope scope;
+    for (const auto& update : delta) {
+      INCSR_CHECK(core::IncUsrApplyUpdate(update, options, &g, &q, &s).ok(),
+                  "inc_usr");
+    }
+    std::printf("  Inc-uSR               : %10s\n",
+                HumanBytes(scope.PeakDeltaBytes()).c_str());
+  }
+
+  // Inc-SVD at increasing target rank; the r⁴ Kronecker system and the
+  // factor matrices are the intermediates (scores output excluded by
+  // subtracting its n² allocation). The default Kronecker solver
+  // materializes the same r⁴ system as the faithful tensor-order path
+  // without its Θ(r⁴·n²) runtime, so the MEMORY measurement is identical
+  // and the bench stays fast.
+  for (std::size_t rank : {std::size_t{5}, std::size_t{15}, std::size_t{25}}) {
+    incsvd::IncSvdOptions svd_options;
+    svd_options.simrank = options;
+    svd_options.target_rank = rank;
+    MemoryScope scope;
+    auto baseline = incsvd::IncSvd::Create(g_prev, svd_options);
+    INCSR_CHECK(baseline.ok(), "incsvd");
+    INCSR_CHECK(baseline->ApplyBatch(delta).ok(), "incsvd apply");
+    auto scores = baseline->ComputeScores();
+    INCSR_CHECK(scores.ok(), "incsvd scores");
+    const std::int64_t output_bytes =
+        static_cast<std::int64_t>(scores->rows()) * scores->cols() * 8;
+    std::printf("  Inc-SVD (r = %2zu)      : %10s\n", rank,
+                HumanBytes(scope.PeakDeltaBytes() - output_bytes).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale_mult = argc > 1 ? std::atof(argv[1]) : 1.0;
+  bench::PrintHeader("Fig. 3 — intermediate memory (output S excluded)");
+  RunDataset({datasets::DatasetKind::kDblp, 0.08, 15}, scale_mult);
+  RunDataset({datasets::DatasetKind::kCitH, 0.05, 15}, scale_mult);
+  RunDataset({datasets::DatasetKind::kYouTu, 0.04, 5}, scale_mult);
+  std::puts(
+      "\nShape check vs the paper's Fig. 3: Inc-SR uses the least memory "
+      "(sparse\nworkspace), Inc-uSR pays dense Θ(n²) intermediates, and "
+      "Inc-SVD grows steeply\nwith r.");
+  return 0;
+}

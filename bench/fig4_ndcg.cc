@@ -1,0 +1,102 @@
+// Reproduces Fig. 4: NDCG@30 exactness of Inc-SR / Inc-uSR (K = 5, 15)
+// and Inc-SVD (r = 5, 15) against the Batch K = 35 baseline, per dataset.
+// The paper's findings: Inc-SR and Inc-uSR are identical at every K
+// (pruning is lossless) and reach NDCG ≈ 1; Inc-SVD stays well below 1
+// because its factor update loses eigen-information.
+//
+// Usage: fig4_ndcg [scale_multiplier]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "incsr/incsr.h"
+
+namespace {
+
+using namespace incsr;
+
+struct DatasetConfig {
+  datasets::DatasetKind kind;
+  double scale;
+};
+
+double NdcgOf(const la::DenseMatrix& candidate, const la::DenseMatrix& exact) {
+  auto ndcg = eval::NdcgAtK(candidate, exact, 30);
+  INCSR_CHECK(ndcg.ok(), "ndcg: %s", ndcg.status().ToString().c_str());
+  return ndcg.value();
+}
+
+void RunDataset(const DatasetConfig& config, double scale_mult) {
+  datasets::DatasetOptions data_options;
+  data_options.scale = config.scale * scale_mult;
+  auto series = datasets::MakeDataset(config.kind, data_options);
+  INCSR_CHECK(series.ok(), "dataset");
+
+  graph::DynamicDiGraph g_old = series->GraphAt(0);
+  auto delta = series->DeltaBetween(0, 1);
+
+  // Exact baseline: Batch at K = 35 on the new graph (the paper's choice;
+  // enough iterations to cover all path-pairs on these diameters).
+  simrank::SimRankOptions exact_options;
+  exact_options.damping = 0.6;
+  exact_options.iterations = 35;
+  graph::DynamicDiGraph g_new = g_old;
+  INCSR_CHECK(graph::ApplyUpdates(delta, &g_new).ok(), "delta");
+  la::DenseMatrix exact = simrank::BatchMatrix(g_new, exact_options);
+
+  std::printf("%-6s (n = %zu, |dE| = %zu)\n",
+              datasets::DatasetName(config.kind).c_str(), series->num_nodes(),
+              delta.size());
+
+  // Inc-SR / Inc-uSR at K = 5 and 15, starting from a converged old S.
+  la::DenseMatrix s_old =
+      simrank::BatchMatrix(g_old, bench::ConvergedOptions(0.6));
+  for (int k : {5, 15}) {
+    simrank::SimRankOptions options;
+    options.damping = 0.6;
+    options.iterations = k;
+    auto inc_sr = core::DynamicSimRank::FromState(
+        g_old, s_old, options, core::UpdateAlgorithm::kIncSR);
+    INCSR_CHECK(inc_sr.ok(), "inc_sr");
+    INCSR_CHECK(inc_sr->ApplyBatch(delta).ok(), "inc_sr batch");
+
+    auto inc_usr = core::DynamicSimRank::FromState(
+        g_old, s_old, options, core::UpdateAlgorithm::kIncUSR);
+    INCSR_CHECK(inc_usr.ok(), "inc_usr");
+    INCSR_CHECK(inc_usr->ApplyBatch(delta).ok(), "inc_usr batch");
+
+    std::printf("  Inc-SR  (K = %2d): NDCG30 = %.3f\n", k,
+                NdcgOf(inc_sr->scores(), exact));
+    std::printf("  Inc-uSR (K = %2d): NDCG30 = %.3f\n", k,
+                NdcgOf(inc_usr->scores(), exact));
+  }
+
+  // Inc-SVD at r = 5 and 15.
+  for (std::size_t r : {std::size_t{5}, std::size_t{15}}) {
+    incsvd::IncSvdOptions svd_options;
+    svd_options.simrank = exact_options;
+    svd_options.target_rank = r;
+    auto baseline = incsvd::IncSvd::Create(g_old, svd_options);
+    INCSR_CHECK(baseline.ok(), "incsvd");
+    INCSR_CHECK(baseline->ApplyBatch(delta).ok(), "incsvd apply");
+    auto scores = baseline->ComputeScores();
+    INCSR_CHECK(scores.ok(), "incsvd scores");
+    std::printf("  Inc-SVD (r = %2zu): NDCG30 = %.3f\n", r,
+                NdcgOf(scores.value(), exact));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale_mult = argc > 1 ? std::atof(argv[1]) : 1.0;
+  bench::PrintHeader("Fig. 4 — NDCG30 exactness vs Batch (K = 35)");
+  RunDataset({datasets::DatasetKind::kDblp, 0.05}, scale_mult);
+  RunDataset({datasets::DatasetKind::kCitH, 0.04}, scale_mult);
+  RunDataset({datasets::DatasetKind::kYouTu, 0.015}, scale_mult);
+  std::puts(
+      "\nShape check vs the paper's Fig. 4: Inc-SR == Inc-uSR at every K "
+      "(lossless\npruning), both ~1.0 by K = 15, while Inc-SVD stays "
+      "distinctly below 1.");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Citation analysis on an evolving DBLP-like corpus: replay yearly
+// snapshots, keep all-pairs SimRank exact with Inc-SR while each year's
+// citations arrive, and compare against recomputing from scratch — the
+// exact scenario that motivates the paper ("5-10% of links change per
+// week; recomputing all similarities from scratch is wasteful").
+//
+//   $ ./build/examples/citation_analysis [scale]       (default 0.02)
+#include <cstdio>
+#include <cstdlib>
+
+#include "incsr/incsr.h"
+
+int main(int argc, char** argv) {
+  using namespace incsr;
+
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.02;
+  datasets::DatasetOptions data_options;
+  data_options.scale = scale;
+  auto series = datasets::MakeDataset(datasets::DatasetKind::kDblp,
+                                      data_options);
+  if (!series.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", series.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("DBLP-like corpus: %zu papers, %zu citations over %zu snapshots\n",
+              series->num_nodes(), series->stream_size(),
+              series->num_snapshots());
+
+  simrank::SimRankOptions options;
+  options.damping = 0.6;
+  options.iterations = 15;
+
+  // Index the oldest snapshot once (the expensive step)...
+  WallTimer init_timer;
+  auto index = core::DynamicSimRank::Create(series->GraphAt(0), options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "init: %s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("initial batch solve (%zu edges): %.2f s\n\n",
+              series->EdgesAt(0), init_timer.ElapsedSeconds());
+
+  // ...then absorb each "year" incrementally.
+  for (std::size_t year = 1; year < series->num_snapshots(); ++year) {
+    auto delta = series->DeltaBetween(year - 1, year);
+
+    WallTimer inc_timer;
+    Status s = index->ApplyBatch(delta);
+    if (!s.ok()) {
+      std::fprintf(stderr, "update: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    double inc_seconds = inc_timer.ElapsedSeconds();
+
+    WallTimer batch_timer;
+    la::DenseMatrix from_scratch =
+        simrank::BatchMatrix(series->GraphAt(year), options);
+    double batch_seconds = batch_timer.ElapsedSeconds();
+
+    std::printf(
+        "year %zu: +%5zu citations | incremental %.3f s | from-scratch %.3f s "
+        "| speedup %.1fx\n",
+        year, delta.size(), inc_seconds, batch_seconds,
+        batch_seconds / (inc_seconds > 0 ? inc_seconds : 1e-9));
+  }
+
+  // The similarity index is now current; use it for co-citation analysis.
+  std::puts("\nmost similar paper pairs in the final corpus:");
+  for (const auto& pair : index->TopKPairs(8)) {
+    std::printf("  papers %4d and %4d: s = %.4f\n", pair.a, pair.b,
+                pair.score);
+  }
+  return 0;
+}

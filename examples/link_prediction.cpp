@@ -1,0 +1,110 @@
+// Link prediction on an evolving related-item graph — one of the
+// applications the paper's introduction motivates. Train on the graph at
+// time t, score candidate pairs by SimRank, and check how often the
+// top-scored candidates are the links that actually appear by time t+1.
+// The incremental index makes the "retrain" between snapshots a stream of
+// cheap unit updates instead of a recomputation.
+//
+// (A citation graph would be the wrong testbed here: its future edges
+// originate at papers that do not exist at training time, whose SimRank
+// is necessarily zero. Related-item graphs grow links between existing
+// nodes, which is the regime where similarity-based prediction applies.)
+//
+//   $ ./build/examples/link_prediction [scale]          (default 0.004)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "incsr/incsr.h"
+
+int main(int argc, char** argv) {
+  using namespace incsr;
+
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.004;
+  datasets::DatasetOptions data_options;
+  data_options.scale = scale;
+  data_options.base_fraction = 0.8;
+  auto series =
+      datasets::MakeDataset(datasets::DatasetKind::kYouTu, data_options);
+  if (!series.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", series.status().ToString().c_str());
+    return 1;
+  }
+  const std::size_t last = series->num_snapshots() - 1;
+  graph::DynamicDiGraph past = series->GraphAt(0);
+  graph::DynamicDiGraph future = series->GraphAt(last);
+
+  // Candidates: held-out future links whose endpoints are both already
+  // active at training time (prediction is only meaningful for them).
+  auto active = [&](graph::NodeId v) {
+    return past.InDegree(v) + past.OutDegree(v) > 0;
+  };
+  std::vector<graph::EdgeUpdate> positives;
+  for (const auto& u : series->DeltaBetween(0, last)) {
+    if (active(u.src) && active(u.dst)) positives.push_back(u);
+  }
+  std::printf("train graph: %zu nodes / %zu edges; %zu predictable future links\n",
+              past.num_nodes(), past.num_edges(), positives.size());
+
+  simrank::SimRankOptions options;
+  options.damping = 0.6;
+  options.iterations = 10;
+  auto index = core::DynamicSimRank::Create(past, options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "init: %s\n", index.status().ToString().c_str());
+    return 1;
+  }
+
+  // Equal number of negatives: non-edges (now and in the future) between
+  // active nodes.
+  Rng rng(7);
+  std::vector<graph::EdgeUpdate> negatives;
+  while (negatives.size() < positives.size()) {
+    auto sample = graph::SampleInsertions(future, 1, &rng);
+    if (!sample.ok()) break;
+    const auto& u = sample.value()[0];
+    if (active(u.src) && active(u.dst)) negatives.push_back(u);
+  }
+
+  struct Candidate {
+    double score;
+    bool is_real;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(positives.size() + negatives.size());
+  for (const auto& u : positives) {
+    candidates.push_back({index->Score(u.src, u.dst), true});
+  }
+  for (const auto& u : negatives) {
+    candidates.push_back({index->Score(u.src, u.dst), false});
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.score > b.score;
+                   });
+  const std::size_t k = positives.size();
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < k && i < candidates.size(); ++i) {
+    hits += candidates[i].is_real ? 1 : 0;
+  }
+  std::printf(
+      "precision@%zu of SimRank link prediction: %.3f (random guess: 0.500)\n",
+      k, static_cast<double>(hits) / static_cast<double>(k));
+
+  // Roll the index forward to the future snapshot incrementally; the next
+  // prediction cycle starts from exact, current scores.
+  WallTimer timer;
+  Status s = index->ApplyBatch(series->DeltaBetween(0, last));
+  if (!s.ok()) {
+    std::fprintf(stderr, "roll-forward: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("rolled the index forward by %zu updates in %.2f s\n",
+              series->DeltaBetween(0, last).size(), timer.ElapsedSeconds());
+  std::puts("top pairs after roll-forward:");
+  for (const auto& pair : index->TopKPairs(3)) {
+    std::printf("  (%d, %d) = %.4f\n", pair.a, pair.b, pair.score);
+  }
+  return 0;
+}

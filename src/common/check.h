@@ -1,0 +1,40 @@
+// Assertion macros for internal invariants. INCSR_CHECK is always on;
+// INCSR_DCHECK compiles out in NDEBUG builds. Both print a printf-style
+// message and abort — they guard programmer errors, not runtime input
+// (input validation uses Status).
+#ifndef INCSR_COMMON_CHECK_H_
+#define INCSR_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace incsr::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace incsr::internal
+
+#define INCSR_CHECK(cond, ...)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                    \
+      std::fprintf(stderr, "  " __VA_ARGS__);                           \
+      std::fprintf(stderr, "\n");                                       \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (false)
+
+#ifdef NDEBUG
+#define INCSR_DCHECK(cond, ...) \
+  do {                          \
+  } while (false)
+#else
+#define INCSR_DCHECK(cond, ...) INCSR_CHECK(cond, __VA_ARGS__)
+#endif
+
+#endif  // INCSR_COMMON_CHECK_H_

@@ -1,0 +1,61 @@
+#include "common/memory.h"
+
+#include <cstdio>
+
+namespace incsr {
+
+MemoryCounter& MemoryCounter::Global() {
+  static MemoryCounter counter;
+  return counter;
+}
+
+void MemoryCounter::Add(std::size_t bytes) {
+  std::int64_t now =
+      current_.fetch_add(static_cast<std::int64_t>(bytes),
+                         std::memory_order_relaxed) +
+      static_cast<std::int64_t>(bytes);
+  std::int64_t prev_peak = peak_.load(std::memory_order_relaxed);
+  while (now > prev_peak &&
+         !peak_.compare_exchange_weak(prev_peak, now,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryCounter::Sub(std::size_t bytes) {
+  current_.fetch_sub(static_cast<std::int64_t>(bytes),
+                     std::memory_order_relaxed);
+}
+
+void MemoryCounter::ResetPeak() {
+  peak_.store(current_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+}
+
+MemoryScope::MemoryScope() {
+  MemoryCounter::Global().ResetPeak();
+  baseline_ = MemoryCounter::Global().current_bytes();
+}
+
+std::int64_t MemoryScope::PeakDeltaBytes() const {
+  std::int64_t delta = MemoryCounter::Global().peak_bytes() - baseline_;
+  return delta > 0 ? delta : 0;
+}
+
+std::string HumanBytes(std::int64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, units[unit]);
+  }
+  return buf;
+}
+
+}  // namespace incsr

@@ -1,0 +1,101 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace incsr {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+  // Avoid the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::NextU64() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  INCSR_CHECK(bound > 0, "NextBounded requires bound > 0");
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  std::uint64_t threshold = (-bound) % bound;
+  for (;;) {
+    std::uint64_t r = NextU64();
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(r) * static_cast<unsigned __int128>(bound);
+    if (static_cast<std::uint64_t>(m) >= threshold) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+std::int64_t Rng::NextInt(std::int64_t lo, std::int64_t hi) {
+  INCSR_CHECK(lo <= hi, "NextInt requires lo <= hi");
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+std::uint64_t Rng::NextPoisson(double lambda) {
+  if (lambda <= 0.0) return 0;
+  const double limit = std::exp(-lambda);
+  std::uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= NextDouble();
+  } while (p > limit);
+  return k - 1;
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_gaussian_ = radius * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(theta);
+}
+
+}  // namespace incsr

@@ -1,0 +1,152 @@
+// Status and Result<T>: exception-free error propagation for fallible
+// operations, in the style of RocksDB's rocksdb::Status. Core numeric
+// kernels never throw; constructors that can fail are replaced by static
+// factory functions returning Result<T>.
+#ifndef INCSR_COMMON_STATUS_H_
+#define INCSR_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace incsr {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kIoError,
+  kNotSupported,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: either OK or a code plus message.
+///
+/// Usage:
+///   Status s = graph.RemoveEdge(u, v);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Never holds both.
+///
+/// Usage:
+///   Result<DynamicDiGraph> g = ReadEdgeList(path);
+///   if (!g.ok()) return g.status();
+///   Use(g.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status (failure). Aborts on an OK status,
+  /// which would make the Result hold neither value nor error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    INCSR_CHECK(!std::get<Status>(repr_).ok(),
+                "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; OK if the Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// The contained value. Must hold a value (check ok() first).
+  const T& value() const& {
+    INCSR_CHECK(ok(), "Result::value() called on error: %s",
+                std::get<Status>(repr_).ToString().c_str());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    INCSR_CHECK(ok(), "Result::value() called on error: %s",
+                std::get<Status>(repr_).ToString().c_str());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    INCSR_CHECK(ok(), "Result::value() called on error: %s",
+                std::get<Status>(repr_).ToString().c_str());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define INCSR_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::incsr::Status _incsr_status = (expr);          \
+    if (!_incsr_status.ok()) return _incsr_status;   \
+  } while (false)
+
+}  // namespace incsr
+
+#endif  // INCSR_COMMON_STATUS_H_

@@ -1,0 +1,32 @@
+// Monotonic wall-clock timing for the benchmark harnesses.
+#ifndef INCSR_COMMON_TIMER_H_
+#define INCSR_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace incsr {
+
+/// Stopwatch over std::chrono::steady_clock. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace incsr
+
+#endif  // INCSR_COMMON_TIMER_H_

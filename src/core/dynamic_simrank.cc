@@ -1,0 +1,170 @@
+#include "core/dynamic_simrank.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/coalesced_update.h"
+#include "core/inc_usr.h"
+#include "graph/transition.h"
+#include "simrank/batch_matrix.h"
+
+namespace incsr::core {
+
+namespace {
+
+// Iterations for the initial batch solve so that S is the fixed point of
+// Eq. (2) to ~1e-12 — the exactness the incremental theorems assume.
+int DefaultBatchIterations(double damping) {
+  // damping^(K+1) <= 1e-13  =>  K >= log(1e-13)/log(damping) - 1.
+  double k = std::log(1e-13) / std::log(damping) - 1.0;
+  return std::max(20, static_cast<int>(std::ceil(k)));
+}
+
+}  // namespace
+
+DynamicSimRank::DynamicSimRank(graph::DynamicDiGraph graph, la::DenseMatrix s,
+                               const simrank::SimRankOptions& options,
+                               UpdateAlgorithm algorithm)
+    : graph_(std::move(graph)),
+      q_(graph::BuildTransition(graph_)),
+      s_(std::move(s)),
+      options_(options),
+      algorithm_(algorithm),
+      engine_(options) {}
+
+Result<DynamicSimRank> DynamicSimRank::Create(
+    graph::DynamicDiGraph graph, const simrank::SimRankOptions& options,
+    UpdateAlgorithm algorithm, int batch_iterations) {
+  if (options.damping <= 0.0 || options.damping >= 1.0) {
+    return Status::InvalidArgument("damping must be in (0, 1)");
+  }
+  if (options.iterations < 1) {
+    return Status::InvalidArgument("iterations must be >= 1");
+  }
+  simrank::SimRankOptions batch = options;
+  batch.iterations = batch_iterations > 0
+                         ? batch_iterations
+                         : DefaultBatchIterations(options.damping);
+  la::DenseMatrix s = simrank::BatchMatrix(graph, batch);
+  return DynamicSimRank(std::move(graph), std::move(s), options, algorithm);
+}
+
+Result<DynamicSimRank> DynamicSimRank::FromState(
+    graph::DynamicDiGraph graph, la::DenseMatrix s,
+    const simrank::SimRankOptions& options, UpdateAlgorithm algorithm) {
+  if (options.damping <= 0.0 || options.damping >= 1.0) {
+    return Status::InvalidArgument("damping must be in (0, 1)");
+  }
+  if (s.rows() != graph.num_nodes() || s.cols() != graph.num_nodes()) {
+    return Status::InvalidArgument("FromState: S shape does not match graph");
+  }
+  return DynamicSimRank(std::move(graph), std::move(s), options, algorithm);
+}
+
+double DynamicSimRank::Score(graph::NodeId a, graph::NodeId b) const {
+  INCSR_CHECK(graph_.HasNode(a) && graph_.HasNode(b),
+              "Score: node out of range");
+  return s_(static_cast<std::size_t>(a), static_cast<std::size_t>(b));
+}
+
+Status DynamicSimRank::InsertEdge(graph::NodeId src, graph::NodeId dst) {
+  return ApplyUpdate({graph::UpdateKind::kInsert, src, dst});
+}
+
+Status DynamicSimRank::DeleteEdge(graph::NodeId src, graph::NodeId dst) {
+  return ApplyUpdate({graph::UpdateKind::kDelete, src, dst});
+}
+
+Status DynamicSimRank::ApplyUpdate(const graph::EdgeUpdate& update) {
+  if (algorithm_ == UpdateAlgorithm::kIncSR) {
+    return engine_.ApplyUpdate(update, &graph_, &q_, &s_);
+  }
+  return IncUsrApplyUpdate(update, options_, &graph_, &q_, &s_);
+}
+
+Status DynamicSimRank::ApplyBatch(
+    const std::vector<graph::EdgeUpdate>& updates) {
+  for (const graph::EdgeUpdate& update : updates) {
+    INCSR_RETURN_IF_ERROR(ApplyUpdate(update));
+  }
+  return Status::OK();
+}
+
+Status DynamicSimRank::ApplyBatchCoalesced(
+    const std::vector<graph::EdgeUpdate>& updates) {
+  if (algorithm_ != UpdateAlgorithm::kIncSR) {
+    return Status::NotSupported(
+        "coalesced batches require the Inc-SR update algorithm");
+  }
+  for (const CoalescedGroup& group : CoalesceByTarget(updates)) {
+    INCSR_RETURN_IF_ERROR(engine_.ApplyRowUpdate(
+        group.target, std::span(group.changes.data(), group.changes.size()),
+        &graph_, &q_, &s_));
+  }
+  return Status::OK();
+}
+
+graph::NodeId DynamicSimRank::AddNode() {
+  graph::NodeId fresh = graph_.AddNodes(1);
+  const std::size_t n = graph_.num_nodes();
+  q_.Grow(n, n);
+  la::DenseMatrix grown(n, n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double* src = s_.RowPtr(i);
+    double* dst = grown.RowPtr(i);
+    std::copy(src, src + n - 1, dst);
+  }
+  grown(n - 1, n - 1) = 1.0 - options_.damping;
+  s_ = std::move(grown);
+  return fresh;
+}
+
+std::vector<ScoredPair> DynamicSimRank::TopKPairs(std::size_t k) const {
+  const std::size_t n = graph_.num_nodes();
+  std::vector<ScoredPair> heap;  // min-heap on score
+  auto cmp = [](const ScoredPair& x, const ScoredPair& y) {
+    if (x.score != y.score) return x.score > y.score;
+    return std::pair(x.a, x.b) < std::pair(y.a, y.b);
+  };
+  for (std::size_t a = 0; a < n; ++a) {
+    const double* row = s_.RowPtr(a);
+    for (std::size_t b = a + 1; b < n; ++b) {
+      ScoredPair cand{static_cast<graph::NodeId>(a),
+                      static_cast<graph::NodeId>(b), row[b]};
+      if (heap.size() < k) {
+        heap.push_back(cand);
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      } else if (!heap.empty() && cmp(cand, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), cmp);
+        heap.back() = cand;
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      }
+    }
+  }
+  // sort_heap yields ascending order w.r.t. cmp, i.e. best pair first.
+  std::sort_heap(heap.begin(), heap.end(), cmp);
+  return heap;
+}
+
+std::vector<ScoredPair> DynamicSimRank::TopKFor(graph::NodeId query,
+                                                std::size_t k) const {
+  INCSR_CHECK(graph_.HasNode(query), "TopKFor: node out of range");
+  const std::size_t n = graph_.num_nodes();
+  const std::size_t q = static_cast<std::size_t>(query);
+  std::vector<ScoredPair> scored;
+  scored.reserve(n > 0 ? n - 1 : 0);
+  for (std::size_t b = 0; b < n; ++b) {
+    if (b == q) continue;
+    scored.push_back(
+        {query, static_cast<graph::NodeId>(b), s_(q, b)});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredPair& x, const ScoredPair& y) {
+              if (x.score != y.score) return x.score > y.score;
+              return x.b < y.b;
+            });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+}  // namespace incsr::core

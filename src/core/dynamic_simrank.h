@@ -1,0 +1,122 @@
+// DynamicSimRank — the library's main entry point. It owns a mutually
+// consistent triple (graph G, transition matrix Q, similarity matrix S)
+// and keeps S exact under edge insertions/deletions using the paper's
+// incremental algorithms: Inc-SR (pruned, the default) or Inc-uSR
+// (unpruned, Algorithm 1). Batch updates are decomposed into unit updates,
+// exactly as Section V prescribes.
+//
+// Typical use:
+//   auto index = DynamicSimRank::Create(graph, {.damping = 0.6,
+//                                               .iterations = 15});
+//   index->InsertEdge(i, j);               // O(K(nd + |AFF|))
+//   double s = index->Score(a, b);
+//   auto top = index->TopKPairs(30);
+#ifndef INCSR_CORE_DYNAMIC_SIMRANK_H_
+#define INCSR_CORE_DYNAMIC_SIMRANK_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/affected_area.h"
+#include "core/inc_sr.h"
+#include "graph/digraph.h"
+#include "graph/update_stream.h"
+#include "la/dense_matrix.h"
+#include "la/sparse_matrix.h"
+#include "simrank/options.h"
+
+namespace incsr::core {
+
+/// Which incremental algorithm maintains S.
+enum class UpdateAlgorithm {
+  /// Algorithm 2: rank-one Sylvester + affected-area pruning (default).
+  kIncSR,
+  /// Algorithm 1: rank-one Sylvester, dense O(K·n²) per update.
+  kIncUSR,
+};
+
+/// A scored node pair.
+struct ScoredPair {
+  graph::NodeId a;
+  graph::NodeId b;
+  double score;
+
+  bool operator==(const ScoredPair&) const = default;
+};
+
+/// Incrementally maintained all-pairs SimRank index (matrix form, Eq. 2).
+class DynamicSimRank {
+ public:
+  /// Builds the index: computes the initial S with the matrix-form batch
+  /// algorithm run to `batch_iterations` (default: enough iterations for
+  /// the fixed point to be exact to ~1e-12, as the incremental theorems
+  /// assume), then stands ready for updates.
+  static Result<DynamicSimRank> Create(
+      graph::DynamicDiGraph graph, const simrank::SimRankOptions& options = {},
+      UpdateAlgorithm algorithm = UpdateAlgorithm::kIncSR,
+      int batch_iterations = 0);
+
+  /// Wraps an externally computed state; s must be the matrix-form
+  /// similarity matrix of `graph`.
+  static Result<DynamicSimRank> FromState(
+      graph::DynamicDiGraph graph, la::DenseMatrix s,
+      const simrank::SimRankOptions& options = {},
+      UpdateAlgorithm algorithm = UpdateAlgorithm::kIncSR);
+
+  const graph::DynamicDiGraph& graph() const { return graph_; }
+  const la::DenseMatrix& scores() const { return s_; }
+  const simrank::SimRankOptions& options() const { return options_; }
+  UpdateAlgorithm algorithm() const { return algorithm_; }
+
+  /// SimRank score of a node pair.
+  double Score(graph::NodeId a, graph::NodeId b) const;
+
+  /// Inserts edge (src → dst) and incrementally updates all scores.
+  Status InsertEdge(graph::NodeId src, graph::NodeId dst);
+  /// Deletes edge (src → dst) and incrementally updates all scores.
+  Status DeleteEdge(graph::NodeId src, graph::NodeId dst);
+  /// Applies a unit update.
+  Status ApplyUpdate(const graph::EdgeUpdate& update);
+  /// Applies a batch of updates as a sequence of unit updates. Stops at
+  /// the first failure (already-applied prefix stays applied).
+  Status ApplyBatch(const std::vector<graph::EdgeUpdate>& updates);
+
+  /// Applies a batch with one generalized rank-one solve per DISTINCT
+  /// target node (see core/coalesced_update.h) — exact like ApplyBatch,
+  /// but |ΔG|/T-times cheaper when updates cluster on few targets.
+  /// Only available in Inc-SR mode.
+  Status ApplyBatchCoalesced(const std::vector<graph::EdgeUpdate>& updates);
+
+  /// Extension beyond the paper: adds an isolated node. Its exact
+  /// matrix-form similarities are s(v, v) = 1 − C and 0 elsewhere, so the
+  /// index grows without recomputation.
+  graph::NodeId AddNode();
+
+  /// Top-k highest-scoring distinct pairs (a < b), ties broken by (a, b).
+  std::vector<ScoredPair> TopKPairs(std::size_t k) const;
+  /// Top-k most similar nodes to `query` (excluding itself).
+  std::vector<ScoredPair> TopKFor(graph::NodeId query, std::size_t k) const;
+
+  /// Affected-area statistics of the last Inc-SR update (empty for
+  /// Inc-uSR, which does not prune).
+  const AffectedAreaStats& last_update_stats() const {
+    return engine_.last_stats();
+  }
+
+ private:
+  DynamicSimRank(graph::DynamicDiGraph graph, la::DenseMatrix s,
+                 const simrank::SimRankOptions& options,
+                 UpdateAlgorithm algorithm);
+
+  graph::DynamicDiGraph graph_;
+  la::DynamicRowMatrix q_;
+  la::DenseMatrix s_;
+  simrank::SimRankOptions options_;
+  UpdateAlgorithm algorithm_;
+  IncSrEngine engine_;
+};
+
+}  // namespace incsr::core
+
+#endif  // INCSR_CORE_DYNAMIC_SIMRANK_H_

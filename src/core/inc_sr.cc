@@ -1,0 +1,347 @@
+#include "core/inc_sr.h"
+
+#include <algorithm>
+
+#include "graph/transition.h"
+
+namespace incsr::core {
+
+void IncSrEngine::Workspace::EnsureSize(std::size_t n) {
+  if (values.size() < n) {
+    values.Resize(n);
+    seen.resize(n, 0);
+  }
+}
+
+void IncSrEngine::Workspace::Clear() {
+  for (std::int32_t idx : indices) {
+    values[static_cast<std::size_t>(idx)] = 0.0;
+    seen[static_cast<std::size_t>(idx)] = 0;
+  }
+  indices.clear();
+}
+
+void IncSrEngine::Workspace::Accumulate(std::int32_t index, double delta) {
+  auto i = static_cast<std::size_t>(index);
+  if (!seen[i]) {
+    seen[i] = 1;
+    indices.push_back(index);
+  }
+  values[i] += delta;
+}
+
+void IncSrEngine::Workspace::SortIndices() {
+  std::sort(indices.begin(), indices.end());
+}
+
+Status IncSrEngine::ComputeSparseSeed(const graph::EdgeUpdate& update,
+                                      const graph::DynamicDiGraph& graph,
+                                      const la::DynamicRowMatrix& q,
+                                      const la::DenseMatrix& s,
+                                      RankOneUpdate* rank_one,
+                                      Workspace* theta) {
+  Result<RankOneUpdate> decomposition = ComputeRankOneUpdate(q, update);
+  if (!decomposition.ok()) return decomposition.status();
+  *rank_one = std::move(decomposition).value();
+
+  const std::size_t n = q.rows();
+  const std::size_t i = static_cast<std::size_t>(update.src);
+  const std::size_t j = static_cast<std::size_t>(update.dst);
+  const double c = options_.damping;
+  const std::size_t dj = rank_one->old_in_degree;
+  theta->EnsureSize(n);
+  theta->Clear();
+
+  // w = Q·[S]_{·,i} on its support: only rows a reachable by one OLD-graph
+  // hop from T = {y : [S]_{y,i} ≠ 0} can be nonzero (these out-neighbor
+  // hops are exactly the F₁ set of Eq. 38). Accumulate the raw in-sums and
+  // rescale by 1/|I(a)| afterwards.
+  for (std::size_t y = 0; y < n; ++y) {
+    const double s_yi = s(y, i);
+    if (s_yi == 0.0) continue;
+    for (graph::NodeId a : graph.OutNeighbors(static_cast<graph::NodeId>(y))) {
+      theta->Accumulate(a, s_yi);
+    }
+  }
+  for (std::int32_t a : theta->indices) {
+    const std::size_t deg = graph.InDegree(a);
+    INCSR_DCHECK(deg > 0, "node %d gained a w-entry without in-edges", a);
+    theta->values[static_cast<std::size_t>(a)] /= static_cast<double>(deg);
+  }
+  const double w_j = theta->seen[j] ? theta->values[j] : 0.0;
+
+  const bool trivial_degree =
+      (update.kind == graph::UpdateKind::kInsert && dj == 0) ||
+      (update.kind == graph::UpdateKind::kDelete && dj == 1);
+  const double gamma =
+      trivial_degree ? s(i, i)
+                     : s(i, i) + s(j, j) / c - 2.0 * w_j - 1.0 / c + 1.0;
+
+  // Assemble θ in place over w (Eqs. 27-28), touching only B₀ =
+  // supp(w) ∪ supp([S]_{·,j}) ∪ {j}.
+  if (update.kind == graph::UpdateKind::kInsert) {
+    if (dj == 0) {
+      theta->Accumulate(update.dst, 0.5 * s(i, i));
+    } else {
+      const double inv = 1.0 / static_cast<double>(dj + 1);
+      for (std::int32_t idx : theta->indices) {
+        theta->values[static_cast<std::size_t>(idx)] *= inv;
+      }
+      for (std::size_t y = 0; y < n; ++y) {
+        const double s_yj = s(y, j);
+        if (s_yj == 0.0) continue;
+        theta->Accumulate(static_cast<std::int32_t>(y), -inv / c * s_yj);
+      }
+      theta->Accumulate(update.dst,
+                        inv * (0.5 * gamma * inv + 1.0 / c - 1.0));
+    }
+  } else {
+    if (dj == 1) {
+      for (std::int32_t idx : theta->indices) {
+        theta->values[static_cast<std::size_t>(idx)] *= -1.0;
+      }
+      theta->Accumulate(update.dst, 0.5 * s(i, i));
+    } else {
+      const double inv = 1.0 / static_cast<double>(dj - 1);
+      for (std::int32_t idx : theta->indices) {
+        theta->values[static_cast<std::size_t>(idx)] *= -inv;
+      }
+      for (std::size_t y = 0; y < n; ++y) {
+        const double s_yj = s(y, j);
+        if (s_yj == 0.0) continue;
+        theta->Accumulate(static_cast<std::int32_t>(y), inv / c * s_yj);
+      }
+      theta->Accumulate(update.dst,
+                        inv * (0.5 * gamma * inv - 1.0 / c + 1.0));
+    }
+  }
+  theta->SortIndices();
+  return Status::OK();
+}
+
+void IncSrEngine::AdvanceSparse(const graph::DynamicDiGraph& new_graph,
+                                double scale, const Workspace& cur,
+                                Workspace* next) {
+  next->EnsureSize(cur.values.size());
+  next->Clear();
+  for (std::int32_t b : cur.indices) {
+    const double xb = cur.values[static_cast<std::size_t>(b)];
+    for (graph::NodeId a : new_graph.OutNeighbors(b)) {
+      next->Accumulate(a, xb);
+    }
+  }
+  for (std::int32_t a : next->indices) {
+    const std::size_t deg = new_graph.InDegree(a);
+    INCSR_DCHECK(deg > 0, "node %d reached without in-edges", a);
+    next->values[static_cast<std::size_t>(a)] *=
+        scale / static_cast<double>(deg);
+  }
+  next->SortIndices();
+}
+
+void IncSrEngine::ScatterOuter(const Workspace& xi, const Workspace& eta,
+                               la::DenseMatrix* s) {
+  // S += ξ·ηᵀ + η·ξᵀ in two row-major passes (one per term) so every
+  // write lands in the current row — a strided (b, a) write per element
+  // would dominate the scatter once the supports grow.
+  for (std::int32_t a : xi.indices) {
+    const double xa = xi.values[static_cast<std::size_t>(a)];
+    double* __restrict row = s->RowPtr(static_cast<std::size_t>(a));
+    for (std::int32_t b : eta.indices) {
+      row[static_cast<std::size_t>(b)] +=
+          xa * eta.values[static_cast<std::size_t>(b)];
+    }
+  }
+  for (std::int32_t b : eta.indices) {
+    const double eb = eta.values[static_cast<std::size_t>(b)];
+    double* __restrict row = s->RowPtr(static_cast<std::size_t>(b));
+    for (std::int32_t a : xi.indices) {
+      row[static_cast<std::size_t>(a)] +=
+          eb * xi.values[static_cast<std::size_t>(a)];
+    }
+  }
+}
+
+Status IncSrEngine::ApplyUpdate(const graph::EdgeUpdate& update,
+                                graph::DynamicDiGraph* graph,
+                                la::DynamicRowMatrix* q, la::DenseMatrix* s) {
+  INCSR_CHECK(graph != nullptr && q != nullptr && s != nullptr,
+              "IncSrEngine::ApplyUpdate: null output");
+  if (s->rows() != q->rows() || s->cols() != q->cols() ||
+      graph->num_nodes() != q->rows()) {
+    return Status::InvalidArgument("IncSrEngine: inconsistent G/Q/S shapes");
+  }
+  const std::size_t n = graph->num_nodes();
+
+  // Phase 1 (old state): Theorem 1 factors and the pruned seed θ on B₀.
+  RankOneUpdate rank_one;
+  INCSR_RETURN_IF_ERROR(
+      ComputeSparseSeed(update, *graph, *q, *s, &rank_one, &eta_));
+
+  // Phase 2: commit the edge change; Q̃ differs from Q in row j only.
+  Status applied = update.kind == graph::UpdateKind::kInsert
+                       ? graph->AddEdge(update.src, update.dst)
+                       : graph->RemoveEdge(update.src, update.dst);
+  if (!applied.ok()) return applied;
+  graph::RefreshTransitionRow(*graph, update.dst, q);
+
+  // Phase 3: pruned iterations (ξ₀ = C·e_j; η₀ = θ).
+  RunPrunedIterations(update.dst, *graph, s);
+  return Status::OK();
+}
+
+void IncSrEngine::RunPrunedIterations(graph::NodeId target,
+                                      const graph::DynamicDiGraph& new_graph,
+                                      la::DenseMatrix* s) {
+  // Per iteration the supports of ξ, η are the affected sets A_k, B_k of
+  // Theorem 4; everything outside them stays untouched in S.
+  const double c = options_.damping;
+  const std::size_t n = new_graph.num_nodes();
+  xi_.EnsureSize(n);
+  xi_.Clear();
+  xi_.Accumulate(target, c);
+
+  stats_ = AffectedAreaStats{};
+  stats_.num_nodes = n;
+  stats_.a_sizes.push_back(xi_.indices.size());
+  stats_.b_sizes.push_back(eta_.indices.size());
+  ScatterOuter(xi_, eta_, s);
+
+  for (int k = 0; k < options_.iterations; ++k) {
+    AdvanceSparse(new_graph, c, xi_, &xi_next_);
+    AdvanceSparse(new_graph, 1.0, eta_, &eta_next_);
+    std::swap(xi_, xi_next_);
+    std::swap(eta_, eta_next_);
+    stats_.a_sizes.push_back(xi_.indices.size());
+    stats_.b_sizes.push_back(eta_.indices.size());
+    ScatterOuter(xi_, eta_, s);
+  }
+}
+
+Status IncSrEngine::ApplyRowUpdate(graph::NodeId target,
+                                   std::span<const graph::EdgeUpdate> changes,
+                                   graph::DynamicDiGraph* graph,
+                                   la::DynamicRowMatrix* q,
+                                   la::DenseMatrix* s) {
+  INCSR_CHECK(graph != nullptr && q != nullptr && s != nullptr,
+              "ApplyRowUpdate: null output");
+  const std::size_t n = graph->num_nodes();
+  if (!graph->HasNode(target)) {
+    return Status::OutOfRange("ApplyRowUpdate: bad target node " +
+                              std::to_string(target));
+  }
+  if (s->rows() != n || q->rows() != n) {
+    return Status::InvalidArgument("ApplyRowUpdate: inconsistent shapes");
+  }
+  // Validate the whole group against a simulated in-neighbor set before
+  // mutating anything.
+  auto old_in = graph->InNeighbors(target);
+  std::vector<graph::NodeId> in_set(old_in.begin(), old_in.end());
+  for (const graph::EdgeUpdate& change : changes) {
+    if (change.dst != target) {
+      return Status::InvalidArgument(
+          "ApplyRowUpdate: change " + graph::ToString(change) +
+          " does not target node " + std::to_string(target));
+    }
+    if (!graph->HasNode(change.src)) {
+      return Status::OutOfRange("ApplyRowUpdate: bad source in " +
+                                graph::ToString(change));
+    }
+    auto it = std::lower_bound(in_set.begin(), in_set.end(), change.src);
+    const bool present = it != in_set.end() && *it == change.src;
+    if (change.kind == graph::UpdateKind::kInsert) {
+      if (present) {
+        return Status::AlreadyExists("ApplyRowUpdate: duplicate " +
+                                     graph::ToString(change));
+      }
+      in_set.insert(it, change.src);
+    } else {
+      if (!present) {
+        return Status::NotFound("ApplyRowUpdate: absent " +
+                                graph::ToString(change));
+      }
+      in_set.erase(it);
+    }
+  }
+
+  // v = (new row − old row)ᵀ of Q, supported on I_old(j) ∪ I_new(j).
+  const auto j = static_cast<std::size_t>(target);
+  la::SparseVector v(n);
+  {
+    auto old_row = q->RowEntries(j);
+    const double new_weight =
+        in_set.empty() ? 0.0 : 1.0 / static_cast<double>(in_set.size());
+    std::size_t a = 0;  // cursor over old_row
+    std::size_t b = 0;  // cursor over in_set (new neighbors, sorted)
+    while (a < old_row.size() || b < in_set.size()) {
+      if (b >= in_set.size() ||
+          (a < old_row.size() && old_row[a].col < in_set[b])) {
+        v.Append(old_row[a].col, -old_row[a].value);  // removed neighbor
+        ++a;
+      } else if (a >= old_row.size() || in_set[b] < old_row[a].col) {
+        v.Append(in_set[b], new_weight);  // added neighbor
+        ++b;
+      } else {
+        const double delta = new_weight - old_row[a].value;
+        if (delta != 0.0) v.Append(old_row[a].col, delta);
+        ++a;
+        ++b;
+      }
+    }
+  }
+
+  if (v.nnz() == 0) {
+    // Net-zero row change (e.g. insert+delete of the same edge within the
+    // group): just commit the graph mutations.
+    Status applied = graph::ApplyUpdates(
+        std::vector<graph::EdgeUpdate>(changes.begin(), changes.end()), graph);
+    if (!applied.ok()) return applied;
+    stats_ = AffectedAreaStats{};
+    stats_.num_nodes = n;
+    return Status::OK();
+  }
+
+  // Generalized Theorem 2 seed with u = e_target:
+  //   z = S·v, γ = vᵀ·z, y = Q_old·z, θ = w = y + (γ/2)·e_target.
+  // z via symmetric rows of S (contiguous reads): z = Σ coeff·S_{c,·}.
+  la::Vector z(n);
+  for (std::size_t k = 0; k < v.nnz(); ++k) {
+    const auto c = static_cast<std::size_t>(v.indices()[k]);
+    const double coeff = v.values()[k];
+    const double* row = s->RowPtr(c);
+    double* __restrict zp = z.data();
+    for (std::size_t y = 0; y < n; ++y) zp[y] += coeff * row[y];
+  }
+  const double gamma = v.DotDense(z);
+
+  // y = Q_old·z on its support: expand supp(z) through the out-neighbors.
+  // The graph still holds the OLD adjacency here, so the expansion and the
+  // in-degrees are the old ones, matching Q_old.
+  eta_.EnsureSize(n);
+  eta_.Clear();
+  for (std::size_t c = 0; c < n; ++c) {
+    if (z[c] == 0.0) continue;
+    for (graph::NodeId a :
+         graph->OutNeighbors(static_cast<graph::NodeId>(c))) {
+      eta_.Accumulate(a, z[c]);
+    }
+  }
+  for (std::int32_t a : eta_.indices) {
+    const std::size_t deg = graph->InDegree(a);
+    INCSR_DCHECK(deg > 0, "node %d reached without in-edges", a);
+    eta_.values[static_cast<std::size_t>(a)] /= static_cast<double>(deg);
+  }
+  eta_.Accumulate(target, 0.5 * gamma);
+  eta_.SortIndices();
+
+  // Commit: mutate the graph and refresh row j of Q.
+  Status applied = graph::ApplyUpdates(
+      std::vector<graph::EdgeUpdate>(changes.begin(), changes.end()), graph);
+  if (!applied.ok()) return applied;
+  graph::RefreshTransitionRow(*graph, target, q);
+
+  RunPrunedIterations(target, *graph, s);
+  return Status::OK();
+}
+
+}  // namespace incsr::core

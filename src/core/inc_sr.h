@@ -1,0 +1,110 @@
+// Inc-SR — Algorithm 2 of the paper: Inc-uSR plus the Theorem 4 pruning.
+// The auxiliary vectors ξ_k, η_k are propagated SPARSELY: their supports
+// are exactly the affected sets A_k, B_k (out-neighbor expansions in the
+// new graph of the previous supports, Eq. 40), so each iteration costs
+// O(d·(|A_k| + |B_k|)) for the propagation plus O(|A_k|·|B_k|) for the
+// scatter of ξ_k·η_kᵀ (+ its transpose) into S — never O(n²). Node-pairs
+// outside ∪_k A_k×B_k are untouched, which is the paper's lossless
+// pruning: their ΔS entries are a-priori zero.
+//
+// The seed θ is likewise computed on its support only (Algorithm 2 line 3:
+// B₀ = F₁ ∪ F₂ ∪ {j} of Eqs. 38-39), using the OLD graph's out-neighbors
+// of the nodes similar to i, at cost O(n + d·|B₀|) instead of O(m).
+#ifndef INCSR_CORE_INC_SR_H_
+#define INCSR_CORE_INC_SR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/affected_area.h"
+#include "core/rank_one_update.h"
+#include "graph/digraph.h"
+#include "graph/update_stream.h"
+#include "la/dense_matrix.h"
+#include "la/sparse_matrix.h"
+#include "simrank/options.h"
+
+namespace incsr::core {
+
+/// Reusable pruned-update engine. One engine per maintained similarity
+/// matrix; its scratch buffers are recycled across updates so steady-state
+/// unit updates allocate nothing of O(n).
+class IncSrEngine {
+ public:
+  explicit IncSrEngine(simrank::SimRankOptions options)
+      : options_(options) {}
+
+  const simrank::SimRankOptions& options() const { return options_; }
+
+  /// Applies one unit update. On entry *graph, *q, *s must be mutually
+  /// consistent OLD state; on success they hold the NEW state. On failure
+  /// nothing is modified.
+  Status ApplyUpdate(const graph::EdgeUpdate& update,
+                     graph::DynamicDiGraph* graph, la::DynamicRowMatrix* q,
+                     la::DenseMatrix* s);
+
+  /// Generalized (coalesced) rank-one update: absorbs EVERY change in
+  /// `changes` — all of which must target node `target` — with a single
+  /// rank-one Sylvester solve, using u = e_target and v = Δ(row). The
+  /// Theorem 2 seed is computed from the general formulas (z = S·v,
+  /// γ = vᵀz, w = Q·z + (γ/2)u) instead of the per-case Eqs. (27)-(28).
+  /// All changes are validated against the old state before anything is
+  /// mutated; on failure nothing is modified.
+  Status ApplyRowUpdate(graph::NodeId target,
+                        std::span<const graph::EdgeUpdate> changes,
+                        graph::DynamicDiGraph* graph, la::DynamicRowMatrix* q,
+                        la::DenseMatrix* s);
+
+  /// Affected-area measurements of the most recent successful update.
+  const AffectedAreaStats& last_stats() const { return stats_; }
+
+ private:
+  // Sparse workspace vector: sorted index list + dense value backing.
+  struct Workspace {
+    la::Vector values;                  // dense accumulator (n entries)
+    std::vector<std::int32_t> indices;  // touched indices
+    std::vector<std::uint8_t> seen;     // membership flags
+
+    void EnsureSize(std::size_t n);
+    void Clear();  // resets touched entries only — O(nnz)
+    void Accumulate(std::int32_t index, double delta);
+    void SortIndices();
+  };
+
+  // θ on its support B₀, computed from the OLD graph/Q/S.
+  Status ComputeSparseSeed(const graph::EdgeUpdate& update,
+                           const graph::DynamicDiGraph& graph,
+                           const la::DynamicRowMatrix& q,
+                           const la::DenseMatrix& s, RankOneUpdate* rank_one,
+                           Workspace* theta);
+
+  // next ← scale · Q̃ · cur, where Q̃ is read off the NEW graph
+  // (Q̃_{a,b} = 1/indeg(a) for b ∈ I(a)). Supports expand by out-neighbor
+  // sets — exactly Eq. (40).
+  void AdvanceSparse(const graph::DynamicDiGraph& new_graph, double scale,
+                     const Workspace& cur, Workspace* next);
+
+  // S += ξ·ηᵀ + η·ξᵀ restricted to the touched supports.
+  static void ScatterOuter(const Workspace& xi, const Workspace& eta,
+                           la::DenseMatrix* s);
+
+  // Shared tail of both update paths: seeds ξ₀ = C·e_target, η₀ = θ
+  // (already in eta_), runs the K pruned iterations against the NEW
+  // graph, scattering into S and recording stats.
+  void RunPrunedIterations(graph::NodeId target,
+                           const graph::DynamicDiGraph& new_graph,
+                           la::DenseMatrix* s);
+
+  simrank::SimRankOptions options_;
+  AffectedAreaStats stats_;
+  Workspace xi_;
+  Workspace eta_;
+  Workspace xi_next_;
+  Workspace eta_next_;
+};
+
+}  // namespace incsr::core
+
+#endif  // INCSR_CORE_INC_SR_H_

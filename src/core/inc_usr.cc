@@ -1,0 +1,90 @@
+#include "core/inc_usr.h"
+
+#include "graph/transition.h"
+
+namespace incsr::core {
+
+Result<la::DenseMatrix> IncUsrAuxiliaryM(
+    const la::DynamicRowMatrix& q, const la::DenseMatrix& s,
+    const graph::EdgeUpdate& update, const simrank::SimRankOptions& options) {
+  Result<UpdateSeed> seed = ComputeUpdateSeed(q, s, update, options);
+  if (!seed.ok()) return seed.status();
+
+  const std::size_t n = q.rows();
+  const std::size_t j = static_cast<std::size_t>(update.dst);
+  const double c = options.damping;
+  const la::SparseVector& u = seed->rank_one.u;
+  const la::SparseVector& v = seed->rank_one.v;
+
+  // ξ₀ = C·e_j, η₀ = θ, M₀ = ξ₀·η₀ᵀ (Algorithm 1, line 13).
+  la::Vector xi(n);
+  xi[j] = c;
+  la::Vector eta = seed->theta;
+  la::DenseMatrix m(n, n);
+  m.AddOuterProduct(1.0, xi, eta);
+
+  for (int k = 0; k < options.iterations; ++k) {
+    // ξ ← C·(Q·ξ + (vᵀξ)·u); η ← Q·η + (vᵀη)·u   (lines 15-16). The
+    // (vᵀ·)·u correction realizes Q̃ = Q + u·vᵀ without materializing Q̃.
+    double v_dot_xi = v.DotDense(xi);
+    la::Vector xi_next = q.Multiply(xi);
+    u.AxpyInto(v_dot_xi, &xi_next);
+    xi_next.Scale(c);
+
+    double v_dot_eta = v.DotDense(eta);
+    la::Vector eta_next = q.Multiply(eta);
+    u.AxpyInto(v_dot_eta, &eta_next);
+
+    m.AddOuterProduct(1.0, xi_next, eta_next);  // line 17
+    xi = std::move(xi_next);
+    eta = std::move(eta_next);
+  }
+  return m;
+}
+
+Result<la::DenseMatrix> IncUsrDelta(const la::DynamicRowMatrix& q,
+                                    const la::DenseMatrix& s,
+                                    const graph::EdgeUpdate& update,
+                                    const simrank::SimRankOptions& options) {
+  Result<la::DenseMatrix> m = IncUsrAuxiliaryM(q, s, update, options);
+  if (!m.ok()) return m.status();
+  // ΔS = M_K + M_Kᵀ (Theorem 2).
+  la::DenseMatrix delta = m->Transpose();
+  delta.AddScaled(1.0, m.value());
+  return delta;
+}
+
+Status IncUsrApplyUpdate(const graph::EdgeUpdate& update,
+                         const simrank::SimRankOptions& options,
+                         graph::DynamicDiGraph* graph,
+                         la::DynamicRowMatrix* q, la::DenseMatrix* s) {
+  INCSR_CHECK(graph != nullptr && q != nullptr && s != nullptr,
+              "IncUsrApplyUpdate: null output");
+  Result<la::DenseMatrix> m = IncUsrAuxiliaryM(*q, *s, update, options);
+  if (!m.ok()) return m.status();
+  // The seed validated the update against Q; mirror it on the graph.
+  Status applied = update.kind == graph::UpdateKind::kInsert
+                       ? graph->AddEdge(update.src, update.dst)
+                       : graph->RemoveEdge(update.src, update.dst);
+  if (!applied.ok()) return applied;
+  graph::RefreshTransitionRow(*graph, update.dst, q);
+  // S += M + Mᵀ without materializing the transpose: row pass for M, then
+  // a blocked pass for Mᵀ (cache-friendly tiles).
+  s->AddScaled(1.0, m.value());
+  const std::size_t n = s->rows();
+  constexpr std::size_t kBlock = 64;
+  for (std::size_t ib = 0; ib < n; ib += kBlock) {
+    const std::size_t imax = std::min(n, ib + kBlock);
+    for (std::size_t jb = 0; jb < n; jb += kBlock) {
+      const std::size_t jmax = std::min(n, jb + kBlock);
+      for (std::size_t i = ib; i < imax; ++i) {
+        for (std::size_t j = jb; j < jmax; ++j) {
+          (*s)(i, j) += (*m)(j, i);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace incsr::core

@@ -1,0 +1,67 @@
+#include "core/rank_one_update.h"
+
+namespace incsr::core {
+
+Result<RankOneUpdate> ComputeRankOneUpdate(const la::DynamicRowMatrix& q,
+                                           const graph::EdgeUpdate& update) {
+  const std::size_t n = q.rows();
+  const auto i = static_cast<std::size_t>(update.src);
+  const auto j = static_cast<std::size_t>(update.dst);
+  if (update.src < 0 || update.dst < 0 || i >= n || j >= n) {
+    return Status::OutOfRange("rank-one update: node out of range for " +
+                              graph::ToString(update));
+  }
+  auto row_j = q.RowEntries(j);
+  const std::size_t dj = row_j.size();
+  const bool edge_in_q = q.At(j, i) != 0.0;
+
+  RankOneUpdate result;
+  result.update = update;
+  result.old_in_degree = dj;
+  result.u = la::SparseVector(n);
+  result.v = la::SparseVector(n);
+
+  if (update.kind == graph::UpdateKind::kInsert) {
+    if (edge_in_q) {
+      return Status::AlreadyExists("rank-one update: edge exists, cannot " +
+                                   graph::ToString(update));
+    }
+    if (dj == 0) {
+      result.u.Append(update.dst, 1.0);
+      result.v.Append(update.src, 1.0);
+    } else {
+      result.u.Append(update.dst, 1.0 / static_cast<double>(dj + 1));
+      // v = e_i − [Q]ᵀ_{j,·}: merge the singleton e_i into the negated row,
+      // keeping indices sorted.
+      bool placed_i = false;
+      for (const la::SparseEntry& e : row_j) {
+        if (!placed_i && update.src < e.col) {
+          result.v.Append(update.src, 1.0);
+          placed_i = true;
+        }
+        result.v.Append(e.col, -e.value);
+      }
+      if (!placed_i) result.v.Append(update.src, 1.0);
+    }
+  } else {
+    if (!edge_in_q) {
+      return Status::NotFound("rank-one update: edge absent, cannot " +
+                              graph::ToString(update));
+    }
+    if (dj == 1) {
+      result.u.Append(update.dst, 1.0);
+      result.v.Append(update.src, -1.0);
+    } else {
+      result.u.Append(update.dst, 1.0 / static_cast<double>(dj - 1));
+      // v = [Q]ᵀ_{j,·} − e_i: subtract 1 from the i-slot of the row.
+      for (const la::SparseEntry& e : row_j) {
+        double value = e.value;
+        if (static_cast<std::size_t>(e.col) == i) value -= 1.0;
+        result.v.Append(e.col, value);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace incsr::core

@@ -1,0 +1,43 @@
+// Theorem 1 of the paper: for a unit edge update (i, j), the change to the
+// backward transition matrix is rank-one, ΔQ = u·vᵀ, with
+//
+//   insertion:  u = e_j            v = e_i               (d_j = 0)
+//               u = e_j/(d_j+1)    v = e_i − [Q]ᵀ_{j,·}   (d_j > 0)
+//   deletion:   u = e_j            v = −e_i              (d_j = 1)
+//               u = e_j/(d_j−1)    v = [Q]ᵀ_{j,·} − e_i   (d_j > 1)
+//
+// where d_j is the in-degree of j in the OLD graph and [Q]_{j,·} the OLD
+// row j. Everything downstream (Theorems 2-4, both incremental algorithms)
+// is built on this decomposition.
+#ifndef INCSR_CORE_RANK_ONE_UPDATE_H_
+#define INCSR_CORE_RANK_ONE_UPDATE_H_
+
+#include "common/status.h"
+#include "graph/update_stream.h"
+#include "la/sparse_matrix.h"
+#include "la/vector.h"
+
+namespace incsr::core {
+
+/// The rank-one decomposition ΔQ = u·vᵀ of a unit link update.
+struct RankOneUpdate {
+  /// The update this decomposition describes.
+  graph::EdgeUpdate update;
+  /// In-degree of the target node j in the old graph.
+  std::size_t old_in_degree = 0;
+  /// u: a (possibly scaled) unit vector supported on {j}.
+  la::SparseVector u;
+  /// v: supported on {i} ∪ I_old(j).
+  la::SparseVector v;
+};
+
+/// Computes Theorem 1's u, v from the OLD transition matrix. Fails when the
+/// endpoints are out of range, an inserted edge already exists, or a
+/// deleted edge is absent ([Q]_{j,i} is consulted, so q must reflect the
+/// old graph).
+Result<RankOneUpdate> ComputeRankOneUpdate(const la::DynamicRowMatrix& q,
+                                           const graph::EdgeUpdate& update);
+
+}  // namespace incsr::core
+
+#endif  // INCSR_CORE_RANK_ONE_UPDATE_H_

@@ -1,0 +1,102 @@
+#include "datasets/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace incsr::datasets {
+
+std::string DatasetName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kDblp:
+      return "DBLP";
+    case DatasetKind::kCitH:
+      return "CitH";
+    case DatasetKind::kYouTu:
+      return "YouTu";
+  }
+  return "Unknown";
+}
+
+std::size_t FullScaleNodes(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kDblp:
+      return 13634;
+    case DatasetKind::kCitH:
+      return 34546;
+    case DatasetKind::kYouTu:
+      return 178470;
+  }
+  return 0;
+}
+
+std::size_t FullScaleEdges(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kDblp:
+      return 93560;
+    case DatasetKind::kCitH:
+      return 421578;
+    case DatasetKind::kYouTu:
+      return 953534;
+  }
+  return 0;
+}
+
+Result<graph::SnapshotSeries> MakeDataset(DatasetKind kind,
+                                          const DatasetOptions& options) {
+  if (options.scale <= 0.0 || options.scale > 1.0) {
+    return Status::InvalidArgument("dataset scale must be in (0, 1]");
+  }
+  const auto nodes = static_cast<std::size_t>(std::llround(
+      static_cast<double>(FullScaleNodes(kind)) * options.scale));
+  const auto edges = static_cast<std::size_t>(std::llround(
+      static_cast<double>(FullScaleEdges(kind)) * options.scale));
+  const double mean_degree =
+      static_cast<double>(edges) / static_cast<double>(std::max<std::size_t>(nodes, 1));
+
+  Result<std::vector<graph::TimestampedEdge>> stream = [&] {
+    switch (kind) {
+      case DatasetKind::kDblp:
+        // Citation growth with moderate preferential attachment: papers
+        // cite earlier papers, well-cited papers attract more citations.
+        return graph::PreferentialCitation({.num_nodes = nodes,
+                                            .mean_out_degree = mean_degree,
+                                            .preferential_mix = 0.7,
+                                            .seed = options.seed});
+      case DatasetKind::kCitH:
+        // Denser physics-citation profile, stronger rich-get-richer.
+        return graph::PreferentialCitation({.num_nodes = nodes,
+                                            .mean_out_degree = mean_degree,
+                                            .preferential_mix = 0.8,
+                                            .seed = options.seed + 1});
+      case DatasetKind::kYouTu:
+        // Related-video graph: node arrivals mixed with ongoing edge churn
+        // between existing videos. Related-video lists are strongly
+        // clustered by topic, which is what keeps SimRank's affected areas
+        // small on the real data (the paper measures ~79% of pairs pruned
+        // / ~21% affected on YOUTU). A radius-K out-ball covers a much
+        // larger FRACTION of a scaled-down graph than of the 178k-node
+        // original, so the stand-in compensates with topic-pure
+        // communities of ~150 videos (bridged only through the arrival
+        // process), calibrated so the measured S-sparsity matches the
+        // paper's affected-area statistic (DESIGN.md §4).
+        return graph::EvolvingLinkage(
+            {.num_nodes = nodes,
+             .num_edges = edges,
+             .preferential_mix = 0.6,
+             .seed_nodes = std::max<std::size_t>(5, nodes / 200),
+             .num_communities = std::max<std::size_t>(1, nodes / 150),
+             .intra_community_prob = 1.0,
+             .seed = options.seed + 2});
+    }
+    return Result<std::vector<graph::TimestampedEdge>>(
+        Status::InvalidArgument("unknown dataset kind"));
+  }();
+  if (!stream.ok()) return stream.status();
+  return graph::SnapshotSeries::FromStream(nodes, std::move(stream).value(),
+                                           options.num_snapshots,
+                                           options.base_fraction);
+}
+
+}  // namespace incsr::datasets

@@ -1,0 +1,97 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace incsr::eval {
+
+double MaxAbsError(const la::DenseMatrix& approx,
+                   const la::DenseMatrix& exact) {
+  return la::MaxAbsDiff(approx, exact);
+}
+
+double MeanAbsError(const la::DenseMatrix& approx,
+                    const la::DenseMatrix& exact) {
+  INCSR_CHECK(approx.rows() == exact.rows() && approx.cols() == exact.cols(),
+              "MeanAbsError shape mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < approx.rows(); ++i) {
+    for (std::size_t j = 0; j < approx.cols(); ++j) {
+      total += std::fabs(approx(i, j) - exact(i, j));
+    }
+  }
+  return total / (static_cast<double>(approx.rows()) *
+                  static_cast<double>(approx.cols()));
+}
+
+std::vector<core::ScoredPair> TopKPairs(const la::DenseMatrix& scores,
+                                        std::size_t k) {
+  INCSR_CHECK(scores.rows() == scores.cols(), "TopKPairs: square matrix only");
+  const std::size_t n = scores.rows();
+  auto better = [](const core::ScoredPair& x, const core::ScoredPair& y) {
+    if (x.score != y.score) return x.score > y.score;
+    return std::pair(x.a, x.b) < std::pair(y.a, y.b);
+  };
+  std::vector<core::ScoredPair> heap;
+  for (std::size_t a = 0; a < n; ++a) {
+    const double* row = scores.RowPtr(a);
+    for (std::size_t b = a + 1; b < n; ++b) {
+      core::ScoredPair cand{static_cast<graph::NodeId>(a),
+                            static_cast<graph::NodeId>(b), row[b]};
+      if (heap.size() < k) {
+        heap.push_back(cand);
+        std::push_heap(heap.begin(), heap.end(), better);
+      } else if (!heap.empty() && better(cand, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), better);
+        heap.back() = cand;
+        std::push_heap(heap.begin(), heap.end(), better);
+      }
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), better);
+  return heap;
+}
+
+double TopKOverlap(const la::DenseMatrix& approx, const la::DenseMatrix& exact,
+                   std::size_t k) {
+  auto a = TopKPairs(approx, k);
+  auto b = TopKPairs(exact, k);
+  if (a.empty() || b.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const auto& pair : a) {
+    for (const auto& other : b) {
+      if (pair.a == other.a && pair.b == other.b) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(a.size());
+}
+
+Result<double> NdcgAtK(const la::DenseMatrix& approx,
+                       const la::DenseMatrix& exact, std::size_t k) {
+  if (approx.rows() != exact.rows() || approx.cols() != exact.cols()) {
+    return Status::InvalidArgument("NdcgAtK: shape mismatch");
+  }
+  if (k == 0) return Status::InvalidArgument("NdcgAtK: k must be positive");
+  auto gain = [](double rel) { return std::exp2(rel) - 1.0; };
+  auto discounted = [&](const std::vector<core::ScoredPair>& ranking) {
+    double dcg = 0.0;
+    for (std::size_t pos = 0; pos < ranking.size(); ++pos) {
+      double rel = exact(static_cast<std::size_t>(ranking[pos].a),
+                         static_cast<std::size_t>(ranking[pos].b));
+      dcg += gain(rel) / std::log2(static_cast<double>(pos) + 2.0);
+    }
+    return dcg;
+  };
+  double dcg = discounted(TopKPairs(approx, k));
+  double idcg = discounted(TopKPairs(exact, k));
+  if (idcg == 0.0) {
+    // No positive relevance anywhere: any ranking is trivially ideal.
+    return 1.0;
+  }
+  return dcg / idcg;
+}
+
+}  // namespace incsr::eval

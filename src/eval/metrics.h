@@ -1,0 +1,43 @@
+// Accuracy metrics comparing an approximate similarity matrix against an
+// exact baseline: absolute-error summaries, top-k pair extraction, top-k
+// overlap, and the NDCG@k measure the paper's Fig. 4 reports (following
+// the protocol of Li et al. [1]: rank the top-k node-pairs by the
+// candidate's scores, take their relevance from the exact scores, and
+// normalize by the ideal ranking).
+#ifndef INCSR_EVAL_METRICS_H_
+#define INCSR_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dynamic_simrank.h"
+#include "la/dense_matrix.h"
+
+namespace incsr::eval {
+
+/// Largest |approx − exact| entry.
+double MaxAbsError(const la::DenseMatrix& approx, const la::DenseMatrix& exact);
+
+/// Mean |approx − exact| over all entries.
+double MeanAbsError(const la::DenseMatrix& approx,
+                    const la::DenseMatrix& exact);
+
+/// Top-k distinct pairs (a < b) of a symmetric score matrix, best first;
+/// ties broken by (a, b) for determinism.
+std::vector<core::ScoredPair> TopKPairs(const la::DenseMatrix& scores,
+                                        std::size_t k);
+
+/// |top-k(approx) ∩ top-k(exact)| / k.
+double TopKOverlap(const la::DenseMatrix& approx, const la::DenseMatrix& exact,
+                   std::size_t k);
+
+/// NDCG@k of the candidate's top-k node-pairs, with graded relevance taken
+/// from the exact scores (gain 2^rel − 1, discount log2(position + 1)).
+/// Returns 1.0 when the candidate ranks the pairs ideally.
+Result<double> NdcgAtK(const la::DenseMatrix& approx,
+                       const la::DenseMatrix& exact, std::size_t k);
+
+}  // namespace incsr::eval
+
+#endif  // INCSR_EVAL_METRICS_H_

@@ -1,0 +1,97 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <string>
+
+namespace incsr::graph {
+
+namespace {
+
+// Inserts `value` into a sorted vector; returns false if already present.
+template <typename Vec>
+bool SortedInsert(Vec* vec, NodeId value) {
+  auto it = std::lower_bound(vec->begin(), vec->end(), value);
+  if (it != vec->end() && *it == value) return false;
+  vec->insert(it, value);
+  return true;
+}
+
+// Erases `value` from a sorted vector; returns false if absent.
+template <typename Vec>
+bool SortedErase(Vec* vec, NodeId value) {
+  auto it = std::lower_bound(vec->begin(), vec->end(), value);
+  if (it == vec->end() || *it != value) return false;
+  vec->erase(it);
+  return true;
+}
+
+std::string EdgeName(NodeId src, NodeId dst) {
+  return "(" + std::to_string(src) + ", " + std::to_string(dst) + ")";
+}
+
+}  // namespace
+
+NodeId DynamicDiGraph::AddNodes(std::size_t count) {
+  NodeId first = static_cast<NodeId>(out_.size());
+  out_.resize(out_.size() + count);
+  in_.resize(in_.size() + count);
+  return first;
+}
+
+Status DynamicDiGraph::AddEdge(NodeId src, NodeId dst) {
+  if (!HasNode(src) || !HasNode(dst)) {
+    return Status::OutOfRange("AddEdge: node id out of range for edge " +
+                              EdgeName(src, dst));
+  }
+  if (!SortedInsert(&out_[static_cast<std::size_t>(src)], dst)) {
+    return Status::AlreadyExists("AddEdge: duplicate edge " +
+                                 EdgeName(src, dst));
+  }
+  SortedInsert(&in_[static_cast<std::size_t>(dst)], src);
+  ++num_edges_;
+  return Status::OK();
+}
+
+Status DynamicDiGraph::RemoveEdge(NodeId src, NodeId dst) {
+  if (!HasNode(src) || !HasNode(dst)) {
+    return Status::OutOfRange("RemoveEdge: node id out of range for edge " +
+                              EdgeName(src, dst));
+  }
+  if (!SortedErase(&out_[static_cast<std::size_t>(src)], dst)) {
+    return Status::NotFound("RemoveEdge: no edge " + EdgeName(src, dst));
+  }
+  SortedErase(&in_[static_cast<std::size_t>(dst)], src);
+  --num_edges_;
+  return Status::OK();
+}
+
+bool DynamicDiGraph::HasEdge(NodeId src, NodeId dst) const {
+  if (!HasNode(src) || !HasNode(dst)) return false;
+  const auto& adj = out_[static_cast<std::size_t>(src)];
+  return std::binary_search(adj.begin(), adj.end(), dst);
+}
+
+std::span<const NodeId> DynamicDiGraph::OutNeighbors(NodeId node) const {
+  INCSR_CHECK(HasNode(node), "OutNeighbors: bad node %d", node);
+  const auto& adj = out_[static_cast<std::size_t>(node)];
+  return {adj.data(), adj.size()};
+}
+
+std::span<const NodeId> DynamicDiGraph::InNeighbors(NodeId node) const {
+  INCSR_CHECK(HasNode(node), "InNeighbors: bad node %d", node);
+  const auto& adj = in_[static_cast<std::size_t>(node)];
+  return {adj.data(), adj.size()};
+}
+
+std::vector<Edge> DynamicDiGraph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges_);
+  for (std::size_t u = 0; u < out_.size(); ++u) {
+    for (NodeId v : out_[u]) {
+      edges.push_back({static_cast<NodeId>(u), v});
+    }
+  }
+  return edges;
+}
+
+}  // namespace incsr::graph

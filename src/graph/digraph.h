@@ -1,0 +1,93 @@
+// Dynamic directed graph with sorted in/out adjacency. This is the
+// link-evolving substrate of the paper: a unit update inserts or deletes a
+// single edge (i, j) in O(log d + d) while keeping both adjacency
+// directions queryable — the incremental algorithms need in-neighbors for
+// the transition matrix Q and out-neighbors for Theorem 4's affected-area
+// expansion.
+#ifndef INCSR_GRAPH_DIGRAPH_H_
+#define INCSR_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/memory.h"
+#include "common/status.h"
+
+namespace incsr::graph {
+
+/// Node identifier (dense, 0-based).
+using NodeId = std::int32_t;
+
+/// A directed edge src → dst.
+struct Edge {
+  NodeId src;
+  NodeId dst;
+
+  bool operator==(const Edge&) const = default;
+  auto operator<=>(const Edge&) const = default;
+};
+
+/// Mutable directed graph over a dense node-id space [0, num_nodes).
+/// Parallel edges are rejected; self-loops are allowed (SimRank is defined
+/// for them) but none of the shipped generators produce them.
+class DynamicDiGraph {
+ public:
+  DynamicDiGraph() = default;
+  /// Graph with `num_nodes` isolated nodes.
+  explicit DynamicDiGraph(std::size_t num_nodes)
+      : out_(num_nodes), in_(num_nodes) {}
+
+  std::size_t num_nodes() const { return out_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Appends `count` isolated nodes; returns the first new id.
+  NodeId AddNodes(std::size_t count = 1);
+
+  /// True when `node` is a valid id.
+  bool HasNode(NodeId node) const {
+    return node >= 0 && static_cast<std::size_t>(node) < out_.size();
+  }
+
+  /// Inserts edge src → dst. Fails with OutOfRange on bad ids and
+  /// AlreadyExists on duplicates.
+  Status AddEdge(NodeId src, NodeId dst);
+  /// Removes edge src → dst. Fails with OutOfRange / NotFound.
+  Status RemoveEdge(NodeId src, NodeId dst);
+  /// O(log out-degree) membership test (false on bad ids).
+  bool HasEdge(NodeId src, NodeId dst) const;
+
+  /// Successors of `node`, sorted ascending.
+  std::span<const NodeId> OutNeighbors(NodeId node) const;
+  /// Predecessors of `node`, sorted ascending.
+  std::span<const NodeId> InNeighbors(NodeId node) const;
+
+  std::size_t OutDegree(NodeId node) const { return OutNeighbors(node).size(); }
+  std::size_t InDegree(NodeId node) const { return InNeighbors(node).size(); }
+
+  /// Average in-degree (= |E| / |V|); the d in the paper's
+  /// O(K(n·d + |AFF|)) bound.
+  double AverageInDegree() const {
+    return num_nodes() == 0
+               ? 0.0
+               : static_cast<double>(num_edges_) / static_cast<double>(num_nodes());
+  }
+
+  /// All edges in (src, dst) lexicographic order.
+  std::vector<Edge> Edges() const;
+
+  bool operator==(const DynamicDiGraph& other) const {
+    return out_ == other.out_ && in_ == other.in_;
+  }
+
+ private:
+  using AdjList = std::vector<NodeId, TrackedAllocator<NodeId>>;
+
+  std::vector<AdjList, TrackedAllocator<AdjList>> out_;
+  std::vector<AdjList, TrackedAllocator<AdjList>> in_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace incsr::graph
+
+#endif  // INCSR_GRAPH_DIGRAPH_H_

@@ -1,0 +1,132 @@
+#include "graph/edge_list_io.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace incsr::graph {
+
+namespace {
+
+struct RawEdge {
+  std::int64_t src;
+  std::int64_t dst;
+};
+
+Result<std::vector<RawEdge>> TokenizeEdges(const std::string& text) {
+  std::vector<RawEdge> edges;
+  std::size_t line_no = 0;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    // Strip comments and whitespace-only lines.
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r\n") == std::string::npos) continue;
+    std::istringstream fields(line);
+    std::int64_t src = 0;
+    std::int64_t dst = 0;
+    if (!(fields >> src)) {
+      return Status::IoError("edge list line " + std::to_string(line_no) +
+                             ": expected integer node id in '" + line + "'");
+    }
+    if (!(fields >> dst)) {
+      return Status::IoError("edge list line " + std::to_string(line_no) +
+                             ": expected 'src dst', got '" + line + "'");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      return Status::IoError("edge list line " + std::to_string(line_no) +
+                             ": trailing token '" + extra + "'");
+    }
+    if (src < 0 || dst < 0) {
+      return Status::IoError("edge list line " + std::to_string(line_no) +
+                             ": negative node id");
+    }
+    edges.push_back({src, dst});
+  }
+  return edges;
+}
+
+}  // namespace
+
+Result<EdgeListData> ParseEdgeList(const std::string& text,
+                                   const EdgeListOptions& options) {
+  Result<std::vector<RawEdge>> raw = TokenizeEdges(text);
+  if (!raw.ok()) return raw.status();
+
+  EdgeListData data;
+  if (options.remap_ids) {
+    for (const RawEdge& e : raw.value()) {
+      for (std::int64_t id : {e.src, e.dst}) {
+        if (!data.id_map.contains(id)) {
+          data.id_map.emplace(id, static_cast<NodeId>(data.id_map.size()));
+        }
+      }
+    }
+    data.graph = DynamicDiGraph(data.id_map.size());
+  } else {
+    std::int64_t max_id = -1;
+    for (const RawEdge& e : raw.value()) {
+      max_id = std::max({max_id, e.src, e.dst});
+    }
+    data.graph = DynamicDiGraph(static_cast<std::size_t>(max_id + 1));
+  }
+
+  for (const RawEdge& e : raw.value()) {
+    NodeId src = options.remap_ids ? data.id_map.at(e.src)
+                                   : static_cast<NodeId>(e.src);
+    NodeId dst = options.remap_ids ? data.id_map.at(e.dst)
+                                   : static_cast<NodeId>(e.dst);
+    if (src == dst && options.skip_self_loops) {
+      ++data.duplicates_skipped;
+      continue;
+    }
+    Status s = data.graph.AddEdge(src, dst);
+    if (!s.ok()) {
+      if (s.code() == StatusCode::kAlreadyExists && options.skip_duplicates) {
+        ++data.duplicates_skipped;
+        continue;
+      }
+      return s;
+    }
+  }
+  return data;
+}
+
+Result<EdgeListData> ReadEdgeListFile(const std::string& path,
+                                      const EdgeListOptions& options) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IoError("cannot open '" + path + "': " +
+                           std::strerror(errno));
+  }
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return ParseEdgeList(contents.str(), options);
+}
+
+Status WriteEdgeListFile(const DynamicDiGraph& graph,
+                         const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IoError("cannot open '" + path + "' for writing: " +
+                           std::strerror(errno));
+  }
+  file << "# incsr edge list: " << graph.num_nodes() << " nodes, "
+       << graph.num_edges() << " edges\n";
+  for (const Edge& e : graph.Edges()) {
+    file << e.src << '\t' << e.dst << '\n';
+  }
+  if (!file.good()) {
+    return Status::IoError("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace incsr::graph

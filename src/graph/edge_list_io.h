@@ -1,0 +1,52 @@
+// SNAP-style edge-list input/output. The paper evaluates on SNAP datasets
+// (cit-HepPh et al.) distributed as whitespace-separated "src dst" lines
+// with '#' comments; this reader accepts that format, optionally remapping
+// arbitrary node ids to the dense [0, n) space the library uses.
+#ifndef INCSR_GRAPH_EDGE_LIST_IO_H_
+#define INCSR_GRAPH_EDGE_LIST_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/digraph.h"
+
+namespace incsr::graph {
+
+/// Result of parsing an edge list.
+struct EdgeListData {
+  DynamicDiGraph graph;
+  /// original id → dense id (only populated when remapping occurred).
+  std::unordered_map<std::int64_t, NodeId> id_map;
+  /// Number of duplicate edges skipped during the load.
+  std::size_t duplicates_skipped = 0;
+};
+
+/// Parsing options.
+struct EdgeListOptions {
+  /// Remap arbitrary node ids to dense [0, n). When false, ids must already
+  /// be dense non-negative ints and the graph is sized by the max id.
+  bool remap_ids = true;
+  /// Skip (rather than fail on) duplicate edges.
+  bool skip_duplicates = true;
+  /// Skip (rather than fail on) self-loops.
+  bool skip_self_loops = false;
+};
+
+/// Parses a SNAP-format edge list from a string (one "src dst" pair per
+/// line; '#' starts a comment line; blank lines ignored).
+Result<EdgeListData> ParseEdgeList(const std::string& text,
+                                   const EdgeListOptions& options = {});
+
+/// Reads an edge list from a file.
+Result<EdgeListData> ReadEdgeListFile(const std::string& path,
+                                      const EdgeListOptions& options = {});
+
+/// Writes a graph as a SNAP-format edge list (with a header comment).
+Status WriteEdgeListFile(const DynamicDiGraph& graph, const std::string& path);
+
+}  // namespace incsr::graph
+
+#endif  // INCSR_GRAPH_EDGE_LIST_IO_H_

@@ -1,0 +1,104 @@
+// Synthetic graph generators. The paper uses GraphGen-built synthetic
+// graphs following the "linkage generation model" of Garg et al. (IMC'09)
+// plus three SNAP/real datasets; offline, this module provides equivalent
+// generative stand-ins (documented in DESIGN.md §4):
+//   - ErdosRenyiGnm     — uniform G(n, m), baseline for tests,
+//   - PreferentialCitation — time-ordered citation-style growth with
+//     preferential attachment (heavy-tailed in-degrees, like DBLP/cit-HepPh),
+//   - Rmat              — Kronecker-style skewed degree graphs,
+//   - EvolvingLinkage   — node arrivals interleaved with preferential edge
+//     arrivals between existing nodes (YouTube-like related-item graphs,
+//     and the synthetic update streams of Fig. 2c).
+// Every generator is deterministic in its seed and emits edges in
+// timestamp order so SnapshotSeries can cut real "evolution" prefixes.
+#ifndef INCSR_GRAPH_GENERATORS_H_
+#define INCSR_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/digraph.h"
+
+namespace incsr::graph {
+
+/// An edge tagged with its arrival time (generation step).
+struct TimestampedEdge {
+  Edge edge;
+  std::int64_t timestamp;
+
+  bool operator==(const TimestampedEdge&) const = default;
+};
+
+/// Uniform directed G(n, m) without self-loops or duplicates; edges are
+/// emitted in sample order. Fails when m exceeds n·(n−1).
+Result<std::vector<TimestampedEdge>> ErdosRenyiGnm(std::size_t num_nodes,
+                                                   std::size_t num_edges,
+                                                   std::uint64_t seed);
+
+/// Parameters for the citation-style growth model.
+struct CitationModelParams {
+  std::size_t num_nodes = 1000;
+  /// Mean out-degree (citations made) of each arriving node.
+  double mean_out_degree = 7.0;
+  /// Probability a citation target is chosen preferentially by in-degree
+  /// (the remainder is uniform over existing nodes).
+  double preferential_mix = 0.75;
+  std::uint64_t seed = 1;
+};
+
+/// Citation-style growth: node t arrives at time t and cites a random
+/// number (1 + Poisson-ish) of earlier nodes, preferentially the already
+/// well-cited ones. Produces heavy-tailed in-degree like DBLP/cit-HepPh.
+Result<std::vector<TimestampedEdge>> PreferentialCitation(
+    const CitationModelParams& params);
+
+/// Parameters for R-MAT (recursive matrix) generation.
+struct RmatParams {
+  /// Number of nodes is 2^scale.
+  int scale = 10;
+  std::size_t num_edges = 8000;
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  // d = 1 - a - b - c
+  std::uint64_t seed = 1;
+};
+
+/// R-MAT generator (self-loops and duplicates rejected and resampled).
+Result<std::vector<TimestampedEdge>> Rmat(const RmatParams& params);
+
+/// Parameters for the evolving linkage model.
+struct EvolvingLinkageParams {
+  std::size_t num_nodes = 1000;
+  std::size_t num_edges = 6000;
+  /// Fraction of edge endpoints chosen preferentially by degree.
+  double preferential_mix = 0.6;
+  /// Number of fully connected seed nodes the process starts from.
+  std::size_t seed_nodes = 5;
+  /// Number of communities (node id mod num_communities). Real
+  /// related-item graphs are strongly clustered, which is what keeps
+  /// SimRank's affected areas small under link updates; 1 disables
+  /// clustering.
+  std::size_t num_communities = 1;
+  /// Probability that both endpoints of an edge come from one community.
+  double intra_community_prob = 0.9;
+  std::uint64_t seed = 1;
+};
+
+/// Linkage-model stand-in (Garg et al. IMC'09 role): nodes arrive over
+/// time; each step adds either a new node with an edge or an edge between
+/// existing nodes with preferentially chosen endpoints.
+Result<std::vector<TimestampedEdge>> EvolvingLinkage(
+    const EvolvingLinkageParams& params);
+
+/// Materializes a graph over `num_nodes` nodes from the first `prefix`
+/// timestamped edges (the whole stream when prefix == npos). Duplicate
+/// edges in the stream are ignored.
+DynamicDiGraph MaterializeGraph(std::size_t num_nodes,
+                                const std::vector<TimestampedEdge>& edges,
+                                std::size_t prefix = static_cast<std::size_t>(-1));
+
+}  // namespace incsr::graph
+
+#endif  // INCSR_GRAPH_GENERATORS_H_

@@ -1,0 +1,66 @@
+#include "graph/snapshots.h"
+
+#include <algorithm>
+
+namespace incsr::graph {
+
+Result<SnapshotSeries> SnapshotSeries::FromStream(
+    std::size_t num_nodes, std::vector<TimestampedEdge> stream,
+    std::size_t num_snapshots, double base_fraction) {
+  if (num_snapshots == 0) {
+    return Status::InvalidArgument("SnapshotSeries: need >= 1 snapshot");
+  }
+  if (base_fraction <= 0.0 || base_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "SnapshotSeries: base_fraction must be in (0, 1]");
+  }
+  if (!std::is_sorted(stream.begin(), stream.end(),
+                      [](const TimestampedEdge& a, const TimestampedEdge& b) {
+                        return a.timestamp < b.timestamp;
+                      })) {
+    return Status::InvalidArgument(
+        "SnapshotSeries: stream must be timestamp-ordered");
+  }
+  SnapshotSeries series;
+  series.num_nodes_ = num_nodes;
+  series.stream_ = std::move(stream);
+  const std::size_t total = series.stream_.size();
+  const std::size_t base =
+      std::min(total, static_cast<std::size_t>(
+                          base_fraction * static_cast<double>(total)));
+  series.cut_points_.reserve(num_snapshots);
+  if (num_snapshots == 1) {
+    series.cut_points_.push_back(total);
+  } else {
+    const std::size_t span = total - base;
+    for (std::size_t k = 0; k < num_snapshots; ++k) {
+      series.cut_points_.push_back(base + span * k / (num_snapshots - 1));
+    }
+  }
+  return series;
+}
+
+std::size_t SnapshotSeries::EdgesAt(std::size_t k) const {
+  INCSR_CHECK(k < cut_points_.size(), "snapshot %zu out of %zu", k,
+              cut_points_.size());
+  return cut_points_[k];
+}
+
+DynamicDiGraph SnapshotSeries::GraphAt(std::size_t k) const {
+  return MaterializeGraph(num_nodes_, stream_, EdgesAt(k));
+}
+
+std::vector<EdgeUpdate> SnapshotSeries::DeltaBetween(std::size_t from,
+                                                     std::size_t to) const {
+  INCSR_CHECK(from <= to && to < cut_points_.size(),
+              "DeltaBetween: bad snapshot range %zu..%zu", from, to);
+  std::vector<EdgeUpdate> updates;
+  updates.reserve(cut_points_[to] - cut_points_[from]);
+  for (std::size_t k = cut_points_[from]; k < cut_points_[to]; ++k) {
+    updates.push_back(
+        {UpdateKind::kInsert, stream_[k].edge.src, stream_[k].edge.dst});
+  }
+  return updates;
+}
+
+}  // namespace incsr::graph

@@ -1,0 +1,50 @@
+// Snapshot series over a timestamp-ordered edge stream. This reproduces
+// how the paper builds its workloads: "we extract dense snapshots" of DBLP
+// by publication year / of YouTube by video age, and the edge updates ΔE
+// between consecutive snapshots are the incremental workload.
+#ifndef INCSR_GRAPH_SNAPSHOTS_H_
+#define INCSR_GRAPH_SNAPSHOTS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/digraph.h"
+#include "graph/generators.h"
+#include "graph/update_stream.h"
+
+namespace incsr::graph {
+
+/// A timestamp-ordered edge stream with named cut points ("years").
+class SnapshotSeries {
+ public:
+  /// Builds a series over `num_nodes` nodes whose cut points split the
+  /// stream into `num_snapshots` prefixes: snapshot k holds the first
+  /// base + k·step edges, where the base prefix is `base_fraction` of the
+  /// stream and the remainder is split evenly.
+  static Result<SnapshotSeries> FromStream(
+      std::size_t num_nodes, std::vector<TimestampedEdge> stream,
+      std::size_t num_snapshots, double base_fraction = 0.8);
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t num_snapshots() const { return cut_points_.size(); }
+  /// Edge count of snapshot k.
+  std::size_t EdgesAt(std::size_t k) const;
+  /// Total stream length.
+  std::size_t stream_size() const { return stream_.size(); }
+
+  /// Materializes snapshot k (all nodes present; first EdgesAt(k) edges).
+  DynamicDiGraph GraphAt(std::size_t k) const;
+
+  /// Insertions turning snapshot `from` into snapshot `to` (from <= to).
+  std::vector<EdgeUpdate> DeltaBetween(std::size_t from, std::size_t to) const;
+
+ private:
+  std::size_t num_nodes_ = 0;
+  std::vector<TimestampedEdge> stream_;
+  std::vector<std::size_t> cut_points_;
+};
+
+}  // namespace incsr::graph
+
+#endif  // INCSR_GRAPH_SNAPSHOTS_H_

@@ -1,0 +1,58 @@
+#include "graph/transition.h"
+
+#include <tuple>
+#include <vector>
+
+namespace incsr::graph {
+
+la::DynamicRowMatrix BuildTransition(const DynamicDiGraph& graph) {
+  const std::size_t n = graph.num_nodes();
+  la::DynamicRowMatrix q(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    RefreshTransitionRow(graph, static_cast<NodeId>(i), &q);
+  }
+  return q;
+}
+
+la::CsrMatrix BuildTransitionCsr(const DynamicDiGraph& graph) {
+  const std::size_t n = graph.num_nodes();
+  std::vector<std::tuple<std::int32_t, std::int32_t, double>> triplets;
+  triplets.reserve(graph.num_edges());
+  for (std::size_t i = 0; i < n; ++i) {
+    auto in = graph.InNeighbors(static_cast<NodeId>(i));
+    if (in.empty()) continue;
+    const double w = 1.0 / static_cast<double>(in.size());
+    for (NodeId j : in) {
+      triplets.emplace_back(static_cast<std::int32_t>(i), j, w);
+    }
+  }
+  return la::CsrMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+la::CsrMatrix BuildAdjacencyCsr(const DynamicDiGraph& graph) {
+  const std::size_t n = graph.num_nodes();
+  std::vector<std::tuple<std::int32_t, std::int32_t, double>> triplets;
+  triplets.reserve(graph.num_edges());
+  for (std::size_t u = 0; u < n; ++u) {
+    for (NodeId v : graph.OutNeighbors(static_cast<NodeId>(u))) {
+      triplets.emplace_back(static_cast<std::int32_t>(u), v, 1.0);
+    }
+  }
+  return la::CsrMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+void RefreshTransitionRow(const DynamicDiGraph& graph, NodeId node,
+                          la::DynamicRowMatrix* q) {
+  INCSR_CHECK(q != nullptr && graph.HasNode(node),
+              "RefreshTransitionRow: bad arguments");
+  auto in = graph.InNeighbors(node);
+  la::TrackedEntries entries;
+  entries.reserve(in.size());
+  if (!in.empty()) {
+    const double w = 1.0 / static_cast<double>(in.size());
+    for (NodeId j : in) entries.push_back({j, w});
+  }
+  q->SetRow(static_cast<std::size_t>(node), std::move(entries));
+}
+
+}  // namespace incsr::graph

@@ -1,0 +1,33 @@
+// Builders for the matrices SimRank is defined over:
+//   - the backward transition matrix Q — row i of Q is uniform over the
+//     in-neighbors of node i ([Q]_{i,j} = 1/|I(i)| iff edge j → i); this is
+//     the row-normalized transpose of the adjacency matrix, and
+//   - the 0/1 adjacency matrix A ([A]_{i,j} = 1 iff edge i → j), used by
+//     the Lemma 1 path-counting interpretation and its tests.
+#ifndef INCSR_GRAPH_TRANSITION_H_
+#define INCSR_GRAPH_TRANSITION_H_
+
+#include "graph/digraph.h"
+#include "la/sparse_matrix.h"
+
+namespace incsr::graph {
+
+/// Backward transition matrix Q as a mutable row matrix (the incremental
+/// engine rewrites exactly one row per unit edge update).
+la::DynamicRowMatrix BuildTransition(const DynamicDiGraph& graph);
+
+/// Backward transition matrix Q as an immutable CSR snapshot (batch
+/// algorithms).
+la::CsrMatrix BuildTransitionCsr(const DynamicDiGraph& graph);
+
+/// Adjacency matrix A as CSR.
+la::CsrMatrix BuildAdjacencyCsr(const DynamicDiGraph& graph);
+
+/// Recomputes row `node` of Q from the graph's current in-neighbors —
+/// the only part of Q a unit update on target `node` touches.
+void RefreshTransitionRow(const DynamicDiGraph& graph, NodeId node,
+                          la::DynamicRowMatrix* q);
+
+}  // namespace incsr::graph
+
+#endif  // INCSR_GRAPH_TRANSITION_H_

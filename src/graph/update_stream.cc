@@ -1,0 +1,142 @@
+#include "graph/update_stream.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace incsr::graph {
+
+std::string ToString(const EdgeUpdate& update) {
+  std::string verb = update.kind == UpdateKind::kInsert ? "insert" : "delete";
+  return verb + "(" + std::to_string(update.src) + "->" +
+         std::to_string(update.dst) + ")";
+}
+
+Result<std::vector<EdgeUpdate>> ParseUpdateStream(const std::string& text) {
+  std::vector<EdgeUpdate> updates;
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r\n") == std::string::npos) continue;
+    std::istringstream fields(line);
+    std::string op;
+    long long src = 0;
+    long long dst = 0;
+    if (!(fields >> op >> src >> dst) || (op != "+" && op != "-")) {
+      return Status::IoError("update stream line " + std::to_string(line_no) +
+                             ": expected '+|- src dst', got '" + line + "'");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      return Status::IoError("update stream line " + std::to_string(line_no) +
+                             ": trailing token '" + extra + "'");
+    }
+    if (src < 0 || dst < 0) {
+      return Status::IoError("update stream line " + std::to_string(line_no) +
+                             ": negative node id");
+    }
+    updates.push_back({op == "+" ? UpdateKind::kInsert : UpdateKind::kDelete,
+                       static_cast<NodeId>(src), static_cast<NodeId>(dst)});
+  }
+  return updates;
+}
+
+std::string FormatUpdateStream(const std::vector<EdgeUpdate>& updates) {
+  std::string out;
+  for (const EdgeUpdate& u : updates) {
+    out += u.kind == UpdateKind::kInsert ? '+' : '-';
+    out += ' ';
+    out += std::to_string(u.src);
+    out += ' ';
+    out += std::to_string(u.dst);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::vector<EdgeUpdate>> SampleInsertions(const DynamicDiGraph& graph,
+                                                 std::size_t count, Rng* rng) {
+  INCSR_CHECK(rng != nullptr, "SampleInsertions: rng must not be null");
+  const std::size_t n = graph.num_nodes();
+  if (n < 2) {
+    return Status::InvalidArgument("SampleInsertions: need >= 2 nodes");
+  }
+  const std::uint64_t capacity =
+      static_cast<std::uint64_t>(n) * (n - 1) - graph.num_edges();
+  if (count > capacity) {
+    return Status::InvalidArgument(
+        "SampleInsertions: not enough missing edges");
+  }
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(count * 2);
+  std::vector<EdgeUpdate> updates;
+  updates.reserve(count);
+  while (updates.size() < count) {
+    NodeId src = static_cast<NodeId>(rng->NextBounded(n));
+    NodeId dst = static_cast<NodeId>(rng->NextBounded(n));
+    if (src == dst || graph.HasEdge(src, dst)) continue;
+    std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+        static_cast<std::uint32_t>(dst);
+    if (!chosen.insert(key).second) continue;
+    updates.push_back({UpdateKind::kInsert, src, dst});
+  }
+  return updates;
+}
+
+Result<std::vector<EdgeUpdate>> SampleDeletions(const DynamicDiGraph& graph,
+                                                std::size_t count, Rng* rng) {
+  INCSR_CHECK(rng != nullptr, "SampleDeletions: rng must not be null");
+  if (count > graph.num_edges()) {
+    return Status::InvalidArgument("SampleDeletions: not enough edges");
+  }
+  std::vector<Edge> edges = graph.Edges();
+  // Partial Fisher-Yates: the first `count` positions become the sample.
+  for (std::size_t k = 0; k < count; ++k) {
+    std::size_t pick = k + rng->NextBounded(edges.size() - k);
+    std::swap(edges[k], edges[pick]);
+  }
+  std::vector<EdgeUpdate> updates;
+  updates.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    updates.push_back({UpdateKind::kDelete, edges[k].src, edges[k].dst});
+  }
+  return updates;
+}
+
+Status ApplyUpdates(const std::vector<EdgeUpdate>& updates,
+                    DynamicDiGraph* graph) {
+  INCSR_CHECK(graph != nullptr, "ApplyUpdates: graph must not be null");
+  for (const EdgeUpdate& u : updates) {
+    Status s = u.kind == UpdateKind::kInsert
+                   ? graph->AddEdge(u.src, u.dst)
+                   : graph->RemoveEdge(u.src, u.dst);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<EdgeUpdate>> DiffGraphs(const DynamicDiGraph& from,
+                                           const DynamicDiGraph& to) {
+  if (from.num_nodes() != to.num_nodes()) {
+    return Status::InvalidArgument("DiffGraphs: node counts differ");
+  }
+  std::vector<EdgeUpdate> updates;
+  for (const Edge& e : from.Edges()) {
+    if (!to.HasEdge(e.src, e.dst)) {
+      updates.push_back({UpdateKind::kDelete, e.src, e.dst});
+    }
+  }
+  for (const Edge& e : to.Edges()) {
+    if (!from.HasEdge(e.src, e.dst)) {
+      updates.push_back({UpdateKind::kInsert, e.src, e.dst});
+    }
+  }
+  return updates;
+}
+
+}  // namespace incsr::graph

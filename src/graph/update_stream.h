@@ -1,0 +1,64 @@
+// Edge-update workloads: the ΔG of the paper. A batch update is an ordered
+// sequence of unit insertions/deletions; the paper's incremental algorithms
+// process them one unit update at a time (Section V, opening).
+#ifndef INCSR_GRAPH_UPDATE_STREAM_H_
+#define INCSR_GRAPH_UPDATE_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/digraph.h"
+
+namespace incsr::graph {
+
+/// Kind of unit link update.
+enum class UpdateKind { kInsert, kDelete };
+
+/// A unit link update: insert or delete edge (src → dst).
+struct EdgeUpdate {
+  UpdateKind kind;
+  NodeId src;
+  NodeId dst;
+
+  bool operator==(const EdgeUpdate&) const = default;
+};
+
+/// "insert(3->7)" / "delete(3->7)".
+std::string ToString(const EdgeUpdate& update);
+
+/// Parses an update stream in the text format the CLI and test fixtures
+/// use: one update per line, "+ src dst" (insert) or "- src dst" (delete);
+/// '#' starts a comment; blank lines are ignored.
+Result<std::vector<EdgeUpdate>> ParseUpdateStream(const std::string& text);
+
+/// Serializes updates into the ParseUpdateStream format.
+std::string FormatUpdateStream(const std::vector<EdgeUpdate>& updates);
+
+/// Samples `count` distinct non-edges of `graph` uniformly (never
+/// self-loops) and returns them as insertions. Fails if the graph has too
+/// few missing edges.
+Result<std::vector<EdgeUpdate>> SampleInsertions(const DynamicDiGraph& graph,
+                                                 std::size_t count, Rng* rng);
+
+/// Samples `count` distinct existing edges uniformly and returns them as
+/// deletions. Fails if count exceeds the edge count.
+Result<std::vector<EdgeUpdate>> SampleDeletions(const DynamicDiGraph& graph,
+                                                std::size_t count, Rng* rng);
+
+/// Applies a sequence of updates to a graph (strict: every insert must be
+/// new, every delete must exist).
+Status ApplyUpdates(const std::vector<EdgeUpdate>& updates,
+                    DynamicDiGraph* graph);
+
+/// Computes the update sequence transforming `from` into `to` over the same
+/// node set: deletions of edges only in `from`, then insertions of edges
+/// only in `to`.
+Result<std::vector<EdgeUpdate>> DiffGraphs(const DynamicDiGraph& from,
+                                           const DynamicDiGraph& to);
+
+}  // namespace incsr::graph
+
+#endif  // INCSR_GRAPH_UPDATE_STREAM_H_

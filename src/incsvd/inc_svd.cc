@@ -1,0 +1,213 @@
+#include "incsvd/inc_svd.h"
+
+#include <utility>
+
+#include "common/memory.h"
+#include "core/rank_one_update.h"
+#include "graph/transition.h"
+#include "la/kron.h"
+#include "la/lu.h"
+#include "la/randomized_svd.h"
+
+namespace incsr::incsvd {
+
+Result<IncSvd> IncSvd::Create(graph::DynamicDiGraph graph,
+                              const IncSvdOptions& options) {
+  if (options.simrank.damping <= 0.0 || options.simrank.damping >= 1.0) {
+    return Status::InvalidArgument("IncSvd: damping must be in (0, 1)");
+  }
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument("IncSvd: empty graph");
+  }
+  if (options.factorization == Factorization::kRandomized &&
+      options.target_rank == 0) {
+    return Status::InvalidArgument(
+        "IncSvd: randomized factorization requires a target rank");
+  }
+  const std::size_t n = graph.num_nodes();
+  const bool randomized =
+      options.factorization == Factorization::kRandomized ||
+      (options.factorization == Factorization::kAuto &&
+       options.target_rank > 0 && n > 512);
+  la::DynamicRowMatrix q = graph::BuildTransition(graph);
+
+  Result<la::SvdResult> factors = [&]() -> Result<la::SvdResult> {
+    if (randomized) {
+      la::RandomizedSvdOptions rand_options;
+      rand_options.rank = options.target_rank;
+      return la::ComputeRandomizedSvd(q.ToCsr(), rand_options);
+    }
+    // The dense Jacobi route materializes Q as an n×n matrix.
+    if (options.memory_budget_bytes > 0) {
+      const std::int64_t dense_q_bytes = static_cast<std::int64_t>(n) * n * 8;
+      if (dense_q_bytes > options.memory_budget_bytes) {
+        return Status::ResourceExhausted(
+            "Inc-SVD: dense SVD of Q needs " + HumanBytes(dense_q_bytes) +
+            ", over the configured budget of " +
+            HumanBytes(options.memory_budget_bytes));
+      }
+    }
+    la::SvdOptions svd_options;
+    svd_options.target_rank = options.target_rank;
+    return la::ComputeSvd(q.ToDense(), svd_options);
+  }();
+  if (!factors.ok()) return factors.status();
+  return IncSvd(std::move(graph), std::move(q), std::move(factors).value(),
+                options);
+}
+
+Status IncSvd::ApplyBatch(const std::vector<graph::EdgeUpdate>& updates) {
+  const std::size_t r = factors_.rank();
+  // Accumulate Uᵀ·ΔQ·V over the batch: each unit update contributes the
+  // rank-one (Uᵀu)·(vᵀV) of Theorem 1, evaluated against the *current*
+  // intermediate Q so the sum telescopes to Uᵀ·(Q_new − Q_old)·V.
+  la::DenseMatrix accumulated(r, r);
+  for (const graph::EdgeUpdate& update : updates) {
+    Result<core::RankOneUpdate> rank_one =
+        core::ComputeRankOneUpdate(q_, update);
+    if (!rank_one.ok()) return rank_one.status();
+    // Uᵀ·u (r) and Vᵀ·v (r) from the sparse u, v.
+    la::Vector ut_u(r);
+    for (std::size_t k = 0; k < rank_one->u.nnz(); ++k) {
+      const std::size_t row =
+          static_cast<std::size_t>(rank_one->u.indices()[k]);
+      const double value = rank_one->u.values()[k];
+      for (std::size_t c = 0; c < r; ++c) {
+        ut_u[c] += value * factors_.u(row, c);
+      }
+    }
+    la::Vector vt_v(r);
+    for (std::size_t k = 0; k < rank_one->v.nnz(); ++k) {
+      const std::size_t row =
+          static_cast<std::size_t>(rank_one->v.indices()[k]);
+      const double value = rank_one->v.values()[k];
+      for (std::size_t c = 0; c < r; ++c) {
+        vt_v[c] += value * factors_.v(row, c);
+      }
+    }
+    accumulated.AddOuterProduct(1.0, ut_u, vt_v);
+    // Commit the edge so the next unit update sees the intermediate state.
+    Status applied = update.kind == graph::UpdateKind::kInsert
+                         ? graph_.AddEdge(update.src, update.dst)
+                         : graph_.RemoveEdge(update.src, update.dst);
+    if (!applied.ok()) return applied;
+    graph::RefreshTransitionRow(graph_, update.dst, &q_);
+  }
+
+  // C_aux = Σ + Uᵀ·ΔQ·V, then its SVD refreshes the factors (Eq. 4) —
+  // the step that loses eigen-information whenever rank(Q) < n.
+  la::DenseMatrix c_aux = std::move(accumulated);
+  for (std::size_t i = 0; i < r; ++i) c_aux(i, i) += factors_.sigma[i];
+  la::SvdOptions svd_options;
+  svd_options.target_rank = options_.target_rank;
+  Result<la::SvdResult> aux_svd = la::ComputeSvd(c_aux, svd_options);
+  if (!aux_svd.ok()) return aux_svd.status();
+
+  stats_.aux_rank = 0;
+  {
+    la::SvdOptions lossless = svd_options;
+    lossless.target_rank = 0;
+    Result<std::size_t> rank = la::NumericalRank(c_aux, lossless);
+    if (rank.ok()) stats_.aux_rank = rank.value();
+  }
+
+  la::SvdResult updated;
+  updated.u = la::Multiply(factors_.u, aux_svd->u);
+  updated.sigma = aux_svd->sigma;
+  updated.v = la::Multiply(factors_.v, aux_svd->v);
+  factors_ = std::move(updated);
+  stats_.new_rank = factors_.rank();
+  return Status::OK();
+}
+
+Result<la::DenseMatrix> IncSvd::ComputeScores() const {
+  if (options_.memory_budget_bytes > 0) {
+    const std::size_t r = factors_.rank();
+    // The Kronecker path materializes the (r², r²) system in doubles.
+    const std::int64_t kron_bytes =
+        options_.solver == SmallSolver::kKronecker
+            ? static_cast<std::int64_t>(r) * r * r * r * 8
+            : 0;
+    const std::int64_t dense_bytes =
+        static_cast<std::int64_t>(graph_.num_nodes()) * graph_.num_nodes() * 8;
+    if (kron_bytes + dense_bytes > options_.memory_budget_bytes) {
+      return Status::ResourceExhausted(
+          "Inc-SVD tensor products need " + HumanBytes(kron_bytes + dense_bytes) +
+          ", over the configured budget of " +
+          HumanBytes(options_.memory_budget_bytes));
+    }
+  }
+  if (options_.faithful_tensor_order) return FaithfulTensorScores();
+  return SimRankFromFactors(factors_, options_.simrank, options_.solver);
+}
+
+Result<la::DenseMatrix> IncSvd::FaithfulTensorScores() const {
+  // Literal tensor-product order of the baseline's Lemma 2:
+  //   vec(S) = (1−C)·vec(I) + C(1−C)·((U⊗U)·(I − C·W⊗W)⁻¹)·vec(Σ²),
+  // with the n²×r² product (U⊗U)·M⁻¹ evaluated row by row BEFORE the
+  // contraction with vec(Σ²) — Θ(r⁴) work per node-pair, Θ(r⁴·n²) total.
+  const std::size_t n = graph_.num_nodes();
+  const std::size_t r = factors_.rank();
+  const double c = options_.simrank.damping;
+  la::DenseMatrix s(n, n);
+  s.AddScaledIdentity(1.0 - c);
+  if (r == 0) return s;
+
+  // W = Σ·Vᵀ·U and M⁻¹ = (I_{r²} − C·W⊗W)⁻¹ materialized (r²×r²).
+  la::DenseMatrix w = la::MultiplyTransposeA(factors_.v, factors_.u);
+  for (std::size_t i = 0; i < r; ++i) {
+    double* row = w.RowPtr(i);
+    for (std::size_t j = 0; j < r; ++j) row[j] *= factors_.sigma[i];
+  }
+  la::DenseMatrix system = la::Kron(w, w);
+  system.Scale(-c);
+  system.AddScaledIdentity(1.0);
+  Result<la::LuFactorization> lu = la::LuFactorization::Compute(system);
+  if (!lu.ok()) return lu.status();
+  Result<la::DenseMatrix> m_inv =
+      lu->SolveMatrix(la::DenseMatrix::Identity(r * r));
+  if (!m_inv.ok()) return m_inv.status();
+
+  // vec(Σ²) in column-major pair indexing (p + q·r).
+  la::Vector vec_sigma2(r * r);
+  for (std::size_t p = 0; p < r; ++p) {
+    vec_sigma2[p + p * r] = factors_.sigma[p] * factors_.sigma[p];
+  }
+
+  const double scale = c * (1.0 - c);
+  std::vector<double> row_scratch(r * r);
+  for (std::size_t a = 0; a < n; ++a) {
+    const double* ua = factors_.u.RowPtr(a);
+    double* srow = s.RowPtr(a);
+    for (std::size_t b = 0; b < n; ++b) {
+      const double* ub = factors_.u.RowPtr(b);
+      // g = (U_b ⊗ U_a)ᵀ · M⁻¹, an r²-vector (this is the Θ(r⁴) step the
+      // baseline pays for every node-pair).
+      for (std::size_t cd = 0; cd < r * r; ++cd) row_scratch[cd] = 0.0;
+      for (std::size_t p = 0; p < r; ++p) {
+        for (std::size_t q2 = 0; q2 < r; ++q2) {
+          const double coeff = ua[p] * ub[q2];
+          if (coeff == 0.0) continue;
+          const double* m_row = m_inv->RowPtr(p + q2 * r);
+          for (std::size_t cd = 0; cd < r * r; ++cd) {
+            row_scratch[cd] += coeff * m_row[cd];
+          }
+        }
+      }
+      double acc = 0.0;
+      for (std::size_t p = 0; p < r; ++p) {
+        acc += row_scratch[p + p * r] * vec_sigma2[p + p * r];
+      }
+      srow[b] += scale * acc;
+    }
+  }
+  return s;
+}
+
+double IncSvd::FactorReconstructionError() const {
+  la::DenseMatrix reconstructed = factors_.Reconstruct();
+  la::DenseMatrix actual = q_.ToDense();
+  return la::MaxAbsDiff(reconstructed, actual);
+}
+
+}  // namespace incsr::incsvd

@@ -1,0 +1,47 @@
+#include "incsvd/svd_simrank.h"
+
+#include "la/sylvester.h"
+
+namespace incsr::incsvd {
+
+Result<la::DenseMatrix> SimRankFromFactors(
+    const la::SvdResult& factors, const simrank::SimRankOptions& options,
+    SmallSolver solver) {
+  const std::size_t n = factors.u.rows();
+  const std::size_t r = factors.rank();
+  const double c = options.damping;
+  if (factors.v.rows() != n) {
+    return Status::InvalidArgument("SimRankFromFactors: U/V row mismatch");
+  }
+  la::DenseMatrix s(n, n);
+  s.AddScaledIdentity(1.0 - c);
+  if (r == 0) return s;  // empty graph: S = (1−C)·I
+
+  // W = Σ·Vᵀ·U  (r×r).
+  la::DenseMatrix w = la::MultiplyTransposeA(factors.v, factors.u);
+  for (std::size_t i = 0; i < r; ++i) {
+    double* row = w.RowPtr(i);
+    for (std::size_t j = 0; j < r; ++j) row[j] *= factors.sigma[i];
+  }
+  // Σ² as the Sylvester constant term.
+  la::DenseMatrix sigma2(r, r);
+  for (std::size_t i = 0; i < r; ++i) {
+    sigma2(i, i) = factors.sigma[i] * factors.sigma[i];
+  }
+
+  Result<la::DenseMatrix> x =
+      solver == SmallSolver::kKronecker
+          ? la::SolveSylvesterKron(c, w, w, sigma2)
+          : la::SolveSylvesterFixedPoint(
+                c, w, w, sigma2,
+                {.iterations = options.iterations, .tolerance = 0.0});
+  if (!x.ok()) return x.status();
+
+  // S += C(1−C) · U·X·Uᵀ.
+  la::DenseMatrix ux = la::Multiply(factors.u, x.value());
+  la::DenseMatrix uxu = la::MultiplyTransposeB(ux, factors.u);
+  s.AddScaled(c * (1.0 - c), uxu);
+  return s;
+}
+
+}  // namespace incsr::incsvd

@@ -1,0 +1,43 @@
+// Batch SimRank from SVD factors — the computational core of the Li et al.
+// (EDBT'10) baseline the reproduced paper compares against (its "Inc-SVD").
+//
+// For any exact factorization Q = U·Σ·Vᵀ the powers telescope,
+// Qᵏ = U·W^{k−1}·Σ·Vᵀ with W = Σ·Vᵀ·U, so the SimRank series
+// S = (1−C)·Σₖ Cᵏ·Qᵏ·(Qᵀ)ᵏ collapses to
+//
+//     S = (1−C)·Iₙ + C(1−C) · U · X · Uᵀ,
+//     X = C·W·X·Wᵀ + Σ²               (r×r Sylvester equation).
+//
+// With a truncated (low-rank) SVD the same formulas produce Li et al.'s
+// approximation. The small system is solved either via the materialized
+// Kronecker system (I_{r²} − C·W⊗W)·vec(X) = vec(Σ²) — the "costly tensor
+// products" whose O(r⁴) memory the paper's Fig. 3 observes — or by
+// fixed-point iteration.
+#ifndef INCSR_INCSVD_SVD_SIMRANK_H_
+#define INCSR_INCSVD_SVD_SIMRANK_H_
+
+#include "common/status.h"
+#include "la/dense_matrix.h"
+#include "la/svd.h"
+#include "simrank/options.h"
+
+namespace incsr::incsvd {
+
+/// How the projected r×r Sylvester equation is solved.
+enum class SmallSolver {
+  /// Materialized r²×r² Kronecker system + LU (faithful to the baseline's
+  /// tensor-product formulation; O(r⁶) time, O(r⁴) memory).
+  kKronecker,
+  /// Fixed-point iteration (O(r³) per step); guards against divergence,
+  /// which truncated factors can exhibit.
+  kFixedPoint,
+};
+
+/// Computes all-pairs SimRank from SVD factors of the transition matrix.
+Result<la::DenseMatrix> SimRankFromFactors(
+    const la::SvdResult& factors, const simrank::SimRankOptions& options,
+    SmallSolver solver = SmallSolver::kKronecker);
+
+}  // namespace incsr::incsvd
+
+#endif  // INCSR_INCSVD_SVD_SIMRANK_H_

@@ -1,0 +1,44 @@
+#include "la/kron.h"
+
+namespace incsr::la {
+
+DenseMatrix Kron(const DenseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix out(a.rows() * b.rows(), a.cols() * b.cols());
+  for (std::size_t ia = 0; ia < a.rows(); ++ia) {
+    for (std::size_t ja = 0; ja < a.cols(); ++ja) {
+      double f = a(ia, ja);
+      if (f == 0.0) continue;
+      for (std::size_t ib = 0; ib < b.rows(); ++ib) {
+        double* out_row = out.RowPtr(ia * b.rows() + ib);
+        const double* b_row = b.RowPtr(ib);
+        double* dst = out_row + ja * b.cols();
+        for (std::size_t jb = 0; jb < b.cols(); ++jb) {
+          dst[jb] = f * b_row[jb];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Vector Vec(const DenseMatrix& a) {
+  Vector out(a.rows() * a.cols());
+  std::size_t k = 0;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    for (std::size_t i = 0; i < a.rows(); ++i) out[k++] = a(i, j);
+  }
+  return out;
+}
+
+DenseMatrix Unvec(const Vector& v, std::size_t rows, std::size_t cols) {
+  INCSR_CHECK(v.size() == rows * cols, "Unvec size mismatch: %zu vs %zu*%zu",
+              v.size(), rows, cols);
+  DenseMatrix out(rows, cols);
+  std::size_t k = 0;
+  for (std::size_t j = 0; j < cols; ++j) {
+    for (std::size_t i = 0; i < rows; ++i) out(i, j) = v[k++];
+  }
+  return out;
+}
+
+}  // namespace incsr::la

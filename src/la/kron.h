@@ -1,0 +1,27 @@
+// Kronecker product and vectorization utilities. These implement the
+// "costly tensor products" of the Inc-SVD baseline (Li et al., EDBT'10):
+// SimRank's vectorized fixed point (I − C·Q⊗Q)·vec(S) = (1−C)·vec(I)
+// collapses, under Q = U·Σ·Vᵀ, to an r²×r² system in vec(X) — which is
+// exactly what Kron/Vec/Unvec materialize here.
+//
+// Convention: Vec stacks COLUMNS, so vec(A·X·B) = (Bᵀ ⊗ A)·vec(X).
+#ifndef INCSR_LA_KRON_H_
+#define INCSR_LA_KRON_H_
+
+#include "la/dense_matrix.h"
+#include "la/vector.h"
+
+namespace incsr::la {
+
+/// Kronecker product A ⊗ B ((a.rows·b.rows) × (a.cols·b.cols)).
+DenseMatrix Kron(const DenseMatrix& a, const DenseMatrix& b);
+
+/// Column-stacking vectorization of a matrix.
+Vector Vec(const DenseMatrix& a);
+
+/// Inverse of Vec: reshapes a (rows·cols)-vector into rows×cols.
+DenseMatrix Unvec(const Vector& v, std::size_t rows, std::size_t cols);
+
+}  // namespace incsr::la
+
+#endif  // INCSR_LA_KRON_H_

@@ -1,0 +1,93 @@
+#include "la/lu.h"
+
+#include <cmath>
+
+namespace incsr::la {
+
+Result<LuFactorization> LuFactorization::Compute(const DenseMatrix& a) {
+  if (a.rows() != a.cols() || a.empty()) {
+    return Status::InvalidArgument("LU requires a non-empty square matrix");
+  }
+  const std::size_t n = a.rows();
+  LuFactorization f;
+  f.lu_ = a;
+  f.perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) f.perm_[i] = static_cast<std::int32_t>(i);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |entry| in column k at or below the diagonal.
+    std::size_t pivot = k;
+    double best = std::fabs(f.lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      double cand = std::fabs(f.lu_(i, k));
+      if (cand > best) {
+        best = cand;
+        pivot = i;
+      }
+    }
+    if (best == 0.0) {
+      return Status::FailedPrecondition("LU: matrix is singular");
+    }
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(f.lu_(k, j), f.lu_(pivot, j));
+      }
+      std::swap(f.perm_[k], f.perm_[pivot]);
+      f.permutation_sign_ = -f.permutation_sign_;
+    }
+    const double inv_pivot = 1.0 / f.lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      double factor = f.lu_(i, k) * inv_pivot;
+      f.lu_(i, k) = factor;
+      if (factor == 0.0) continue;
+      double* __restrict irow = f.lu_.RowPtr(i);
+      const double* __restrict krow = f.lu_.RowPtr(k);
+      for (std::size_t j = k + 1; j < n; ++j) irow[j] -= factor * krow[j];
+    }
+  }
+  return f;
+}
+
+Result<Vector> LuFactorization::Solve(const Vector& b) const {
+  const std::size_t n = dim();
+  if (b.size() != n) {
+    return Status::InvalidArgument("LU solve: dimension mismatch");
+  }
+  Vector x(n);
+  // Forward substitution with permuted rhs (L has unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[static_cast<std::size_t>(perm_[i])];
+    const double* row = lu_.RowPtr(i);
+    for (std::size_t j = 0; j < i; ++j) acc -= row[j] * x[j];
+    x[i] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    const double* row = lu_.RowPtr(ii);
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= row[j] * x[j];
+    x[ii] = acc / row[ii];
+  }
+  return x;
+}
+
+Result<DenseMatrix> LuFactorization::SolveMatrix(const DenseMatrix& b) const {
+  if (b.rows() != dim()) {
+    return Status::InvalidArgument("LU SolveMatrix: dimension mismatch");
+  }
+  DenseMatrix x(b.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    Result<Vector> col = Solve(b.Col(j));
+    if (!col.ok()) return col.status();
+    x.SetCol(j, col.value());
+  }
+  return x;
+}
+
+double LuFactorization::Determinant() const {
+  double det = permutation_sign_;
+  for (std::size_t i = 0; i < dim(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+}  // namespace incsr::la

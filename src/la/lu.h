@@ -1,0 +1,43 @@
+// Dense LU factorization with partial pivoting. Used by the Kronecker
+// (direct) Sylvester solver that the Inc-SVD baseline relies on, and as a
+// general small-dense linear solver in tests.
+#ifndef INCSR_LA_LU_H_
+#define INCSR_LA_LU_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "la/dense_matrix.h"
+#include "la/vector.h"
+
+namespace incsr::la {
+
+/// Factorization P·A = L·U of a square matrix.
+class LuFactorization {
+ public:
+  /// Factors a square matrix. Fails on non-square input or exact
+  /// singularity (zero pivot column).
+  static Result<LuFactorization> Compute(const DenseMatrix& a);
+
+  std::size_t dim() const { return lu_.rows(); }
+
+  /// Solves A·x = b.
+  Result<Vector> Solve(const Vector& b) const;
+  /// Solves A·X = B column-by-column.
+  Result<DenseMatrix> SolveMatrix(const DenseMatrix& b) const;
+
+  /// det(A) (product of pivots with permutation sign).
+  double Determinant() const;
+
+ private:
+  LuFactorization() = default;
+
+  DenseMatrix lu_;                  // L below diagonal (unit), U on/above.
+  std::vector<std::int32_t> perm_;  // row permutation
+  int permutation_sign_ = 1;
+};
+
+}  // namespace incsr::la
+
+#endif  // INCSR_LA_LU_H_

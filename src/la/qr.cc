@@ -1,0 +1,45 @@
+#include "la/qr.h"
+
+#include <cmath>
+#include <vector>
+
+namespace incsr::la {
+
+Result<DenseMatrix> OrthonormalBasis(const DenseMatrix& a, double tolerance) {
+  if (a.empty()) {
+    return Status::InvalidArgument("OrthonormalBasis: empty matrix");
+  }
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  // Work column-major for cache-friendly column operations.
+  std::vector<Vector> cols;
+  cols.reserve(n);
+  double max_norm = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    cols.push_back(a.Col(j));
+    max_norm = std::max(max_norm, cols.back().Norm2());
+  }
+  if (max_norm == 0.0) {
+    return Status::FailedPrecondition("OrthonormalBasis: zero matrix");
+  }
+  std::vector<Vector> basis;
+  basis.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    Vector v = std::move(cols[j]);
+    // Two MGS passes for numerical orthogonality.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const Vector& q : basis) {
+        v.Axpy(-Dot(q, v), q);
+      }
+    }
+    double norm = v.Norm2();
+    if (norm <= tolerance * max_norm) continue;  // dependent column
+    v.Scale(1.0 / norm);
+    basis.push_back(std::move(v));
+  }
+  DenseMatrix q(m, basis.size());
+  for (std::size_t j = 0; j < basis.size(); ++j) q.SetCol(j, basis[j]);
+  return q;
+}
+
+}  // namespace incsr::la

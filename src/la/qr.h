@@ -1,0 +1,22 @@
+// Thin QR factorization by (twice-iterated) modified Gram-Schmidt — the
+// orthonormalization step of the randomized range finder in
+// randomized_svd.h. MGS applied twice is numerically equivalent to
+// Householder QR for the well-conditioned tall-skinny blocks produced by
+// random sketching.
+#ifndef INCSR_LA_QR_H_
+#define INCSR_LA_QR_H_
+
+#include "common/status.h"
+#include "la/dense_matrix.h"
+
+namespace incsr::la {
+
+/// Returns an orthonormal basis Q (m×k, k ≤ cols) of the column space of
+/// `a`. Columns whose residual norm falls below `tolerance` relative to
+/// the largest column norm are dropped (rank-revealing for this purpose).
+Result<DenseMatrix> OrthonormalBasis(const DenseMatrix& a,
+                                     double tolerance = 1e-12);
+
+}  // namespace incsr::la
+
+#endif  // INCSR_LA_QR_H_

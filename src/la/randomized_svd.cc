@@ -1,0 +1,62 @@
+#include "la/randomized_svd.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "la/qr.h"
+
+namespace incsr::la {
+
+Result<SvdResult> ComputeRandomizedSvd(const CsrMatrix& a,
+                                       const RandomizedSvdOptions& options) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (m == 0 || n == 0) {
+    return Status::InvalidArgument("ComputeRandomizedSvd: empty matrix");
+  }
+  if (options.rank == 0) {
+    return Status::InvalidArgument("ComputeRandomizedSvd: rank must be > 0");
+  }
+  const std::size_t sketch =
+      std::min(std::min(m, n), options.rank + options.oversampling);
+
+  // Gaussian sketch Ω and sample Y = A·Ω.
+  Rng rng(options.seed);
+  DenseMatrix omega(n, sketch);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < sketch; ++j) omega(i, j) = rng.NextGaussian();
+  }
+  DenseMatrix y = a.MultiplyDense(omega);
+
+  // Power iterations with re-orthonormalization stabilize the spectrum.
+  for (int it = 0; it < options.power_iterations; ++it) {
+    Result<DenseMatrix> qy = OrthonormalBasis(y);
+    if (!qy.ok()) return qy.status();
+    Result<DenseMatrix> qz = OrthonormalBasis(a.MultiplyTransposeDense(qy.value()));
+    if (!qz.ok()) return qz.status();
+    y = a.MultiplyDense(qz.value());
+  }
+  Result<DenseMatrix> q = OrthonormalBasis(y);
+  if (!q.ok()) return q.status();
+
+  // Project: B = Qᵀ·A (small k×n), then exact SVD of B.
+  DenseMatrix b = a.MultiplyTransposeDense(q.value()).Transpose();
+  Result<SvdResult> small = ComputeSvd(b);
+  if (!small.ok()) return small.status();
+
+  const std::size_t keep = std::min(options.rank, small->rank());
+  SvdResult result;
+  result.u = DenseMatrix(m, keep);
+  result.sigma = Vector(keep);
+  result.v = DenseMatrix(n, keep);
+  // U = Q·U_B (trimmed to `keep` columns).
+  DenseMatrix qu = Multiply(q.value(), small->u);
+  for (std::size_t k = 0; k < keep; ++k) {
+    result.sigma[k] = small->sigma[k];
+    for (std::size_t i = 0; i < m; ++i) result.u(i, k) = qu(i, k);
+    for (std::size_t i = 0; i < n; ++i) result.v(i, k) = small->v(i, k);
+  }
+  return result;
+}
+
+}  // namespace incsr::la

@@ -1,0 +1,147 @@
+#include "la/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace incsr::la {
+
+DenseMatrix SvdResult::Reconstruct() const {
+  // U · diag(sigma): scale columns of U, then multiply by Vᵀ.
+  DenseMatrix us = u;
+  for (std::size_t i = 0; i < us.rows(); ++i) {
+    double* row = us.RowPtr(i);
+    for (std::size_t k = 0; k < us.cols(); ++k) row[k] *= sigma[k];
+  }
+  return MultiplyTransposeB(us, v);
+}
+
+namespace {
+
+// One-sided Jacobi on the columns of w (m×n), rotations accumulated into
+// v (n×n identity on entry). Returns false if not converged.
+bool JacobiOrthogonalize(DenseMatrix* w, DenseMatrix* v,
+                         const SvdOptions& options) {
+  const std::size_t m = w->rows();
+  const std::size_t n = w->cols();
+  // Largest initial column norm²; columns negligible relative to it are
+  // treated as exact zeros (rotating them only chases rounding noise and
+  // stalls convergence on exactly rank-deficient inputs).
+  double max_norm_sq = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) acc += (*w)(i, j) * (*w)(i, j);
+    max_norm_sq = std::max(max_norm_sq, acc);
+  }
+  const double negligible_sq =
+      max_norm_sq * options.tolerance * options.tolerance;
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        // All three inner products are recomputed exactly: maintaining
+        // column norms incrementally across rotations accumulates drift
+        // that shows up as phantom singular values near sqrt(eps).
+        double app = 0.0;
+        double aqq = 0.0;
+        double apq = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double wp = (*w)(i, p);
+          const double wq = (*w)(i, q);
+          app += wp * wp;
+          aqq += wq * wq;
+          apq += wp * wq;
+        }
+        if (app <= negligible_sq || aqq <= negligible_sq) continue;
+        if (std::fabs(apq) <= options.tolerance * std::sqrt(app * aqq)) {
+          continue;
+        }
+        rotated = true;
+        // Two-by-two symmetric Schur decomposition of [[app apq][apq aqq]].
+        double tau = (aqq - app) / (2.0 * apq);
+        double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                   (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+        double c = 1.0 / std::sqrt(1.0 + t * t);
+        double s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          double wp = (*w)(i, p);
+          double wq = (*w)(i, q);
+          (*w)(i, p) = c * wp - s * wq;
+          (*w)(i, q) = s * wp + c * wq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          double vp = (*v)(i, p);
+          double vq = (*v)(i, q);
+          (*v)(i, p) = c * vp - s * vq;
+          (*v)(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (!rotated) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<SvdResult> ComputeSvd(const DenseMatrix& a, const SvdOptions& options) {
+  if (a.empty()) {
+    return Status::InvalidArgument("ComputeSvd: empty matrix");
+  }
+  // One-sided Jacobi wants at least as many rows as columns; work on the
+  // transpose otherwise and swap U/V at the end.
+  const bool transposed = a.rows() < a.cols();
+  DenseMatrix w = transposed ? a.Transpose() : a;
+  const std::size_t m = w.rows();
+  const std::size_t n = w.cols();
+  DenseMatrix v = DenseMatrix::Identity(n);
+  if (!JacobiOrthogonalize(&w, &v, options)) {
+    return Status::Internal("Jacobi SVD failed to converge");
+  }
+  // Singular values are the column norms of the rotated w.
+  std::vector<double> sigma(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) acc += w(i, j) * w(i, j);
+    sigma[j] = std::sqrt(acc);
+  }
+  // Order by descending singular value.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return sigma[x] > sigma[y]; });
+  const double sigma_max = n == 0 ? 0.0 : sigma[order[0]];
+  std::size_t rank = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (sigma[order[k]] > options.rank_tolerance * sigma_max &&
+        sigma[order[k]] > 0.0) {
+      ++rank;
+    }
+  }
+  if (options.target_rank > 0) rank = std::min(rank, options.target_rank);
+  SvdResult result;
+  result.u = DenseMatrix(m, rank);
+  result.sigma = Vector(rank);
+  result.v = DenseMatrix(n, rank);
+  for (std::size_t k = 0; k < rank; ++k) {
+    std::size_t src = order[k];
+    double s = sigma[src];
+    result.sigma[k] = s;
+    double inv = 1.0 / s;
+    for (std::size_t i = 0; i < m; ++i) result.u(i, k) = w(i, src) * inv;
+    for (std::size_t i = 0; i < n; ++i) result.v(i, k) = v(i, src);
+  }
+  if (transposed) std::swap(result.u, result.v);
+  return result;
+}
+
+Result<std::size_t> NumericalRank(const DenseMatrix& a,
+                                  const SvdOptions& options) {
+  SvdOptions opts = options;
+  opts.target_rank = 0;
+  Result<SvdResult> svd = ComputeSvd(a, opts);
+  if (!svd.ok()) return svd.status();
+  return svd->rank();
+}
+
+}  // namespace incsr::la

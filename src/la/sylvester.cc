@@ -1,0 +1,56 @@
+#include "la/sylvester.h"
+
+#include "la/kron.h"
+#include "la/lu.h"
+
+namespace incsr::la {
+
+Result<DenseMatrix> SolveSylvesterFixedPoint(double c, const DenseMatrix& a,
+                                             const DenseMatrix& b,
+                                             const DenseMatrix& c0,
+                                             const SylvesterOptions& options) {
+  if (a.rows() != a.cols() || b.rows() != b.cols()) {
+    return Status::InvalidArgument("Sylvester: A and B must be square");
+  }
+  if (c0.rows() != a.rows() || c0.cols() != b.rows()) {
+    return Status::InvalidArgument("Sylvester: C0 shape mismatch");
+  }
+  DenseMatrix x = c0;
+  for (int k = 0; k < options.iterations; ++k) {
+    // X ← c·A·X·Bᵀ + C0
+    DenseMatrix ax = Multiply(a, x);
+    DenseMatrix next = MultiplyTransposeB(ax, b);
+    next.Scale(c);
+    next.AddScaled(1.0, c0);
+    double delta = MaxAbsDiff(next, x);
+    x = std::move(next);
+    if (x.MaxAbs() > options.divergence_bound) {
+      return Status::FailedPrecondition(
+          "Sylvester fixed-point iteration diverged");
+    }
+    if (options.tolerance > 0.0 && delta < options.tolerance) break;
+  }
+  return x;
+}
+
+Result<DenseMatrix> SolveSylvesterKron(double c, const DenseMatrix& a,
+                                       const DenseMatrix& b,
+                                       const DenseMatrix& c0) {
+  if (a.rows() != a.cols() || b.rows() != b.cols()) {
+    return Status::InvalidArgument("Sylvester: A and B must be square");
+  }
+  if (c0.rows() != a.rows() || c0.cols() != b.rows()) {
+    return Status::InvalidArgument("Sylvester: C0 shape mismatch");
+  }
+  // vec(X) = c·vec(A·X·Bᵀ) + vec(C0) = c·(B ⊗ A)·vec(X) + vec(C0).
+  DenseMatrix system = Kron(b, a);
+  system.Scale(-c);
+  system.AddScaledIdentity(1.0);
+  Result<LuFactorization> lu = LuFactorization::Compute(system);
+  if (!lu.ok()) return lu.status();
+  Result<Vector> x = lu->Solve(Vec(c0));
+  if (!x.ok()) return x.status();
+  return Unvec(x.value(), c0.rows(), c0.cols());
+}
+
+}  // namespace incsr::la

@@ -1,0 +1,45 @@
+// Solvers for the discrete-time Sylvester ("Stein") equation
+//     X = c · A · X · Bᵀ + C0
+// which is the algebraic heart of the paper: SimRank itself is the rank-n
+// instance (A = B = Q, C0 = (1−C)·I), the paper's ΔS characterization is a
+// rank-one instance (Theorem 2), and the Inc-SVD baseline solves a small
+// r×r instance after projecting through the SVD factors.
+#ifndef INCSR_LA_SYLVESTER_H_
+#define INCSR_LA_SYLVESTER_H_
+
+#include "common/status.h"
+#include "la/dense_matrix.h"
+
+namespace incsr::la {
+
+/// Options for the fixed-point Sylvester iteration.
+struct SylvesterOptions {
+  /// Number of fixed-point iterations (series truncation order K).
+  int iterations = 50;
+  /// Early-exit when the max-norm update falls below this value; 0 disables.
+  double tolerance = 0.0;
+  /// Divergence guard: abort when ‖X‖_max exceeds this bound.
+  double divergence_bound = 1e12;
+};
+
+/// Solves X = c·A·X·Bᵀ + C0 by the truncated series Σₖ cᵏ·Aᵏ·C0·(Bᵀ)ᵏ
+/// (fixed-point iteration from X₀ = C0). Converges whenever the spectral
+/// radius of c·(B ⊗ A) is below one; diverging instances are detected and
+/// reported.
+Result<DenseMatrix> SolveSylvesterFixedPoint(double c, const DenseMatrix& a,
+                                             const DenseMatrix& b,
+                                             const DenseMatrix& c0,
+                                             const SylvesterOptions& options = {});
+
+/// Solves X = c·A·X·Bᵀ + C0 exactly via the vectorized Kronecker system
+/// (I − c·B⊗A)·vec(X) = vec(C0) and dense LU. Cost O((ra·rb)³); intended
+/// for the small projected systems of the Inc-SVD baseline (this is its
+/// "costly tensor product" code path, and it is deliberately materialized
+/// so the Fig. 3 memory experiment can observe it).
+Result<DenseMatrix> SolveSylvesterKron(double c, const DenseMatrix& a,
+                                       const DenseMatrix& b,
+                                       const DenseMatrix& c0);
+
+}  // namespace incsr::la
+
+#endif  // INCSR_LA_SYLVESTER_H_

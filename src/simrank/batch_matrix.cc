@@ -1,0 +1,32 @@
+#include "simrank/batch_matrix.h"
+
+#include "graph/transition.h"
+
+namespace incsr::simrank {
+
+la::DenseMatrix BatchMatrixFromTransition(const la::CsrMatrix& q,
+                                          const SimRankOptions& options) {
+  INCSR_CHECK(q.rows() == q.cols(), "BatchMatrix: Q must be square");
+  const std::size_t n = q.rows();
+  const double c = options.damping;
+  la::DenseMatrix s(n, n);
+  s.AddScaledIdentity(1.0 - c);
+  for (int k = 0; k < options.iterations; ++k) {
+    // S ← C·Q·S·Qᵀ + (1−C)·I, computed as C·Q·(Q·Sᵀ)ᵀ + (1−C)·I.
+    // S is symmetric throughout (up to rounding), so Sᵀ reuses S.
+    la::DenseMatrix t = q.MultiplyDense(s);       // Q·S
+    la::DenseMatrix tt = t.Transpose();           // (Q·S)ᵀ = Sᵀ·Qᵀ
+    la::DenseMatrix r = q.MultiplyDense(tt);      // Q·Sᵀ·Qᵀ = Q·S·Qᵀ
+    r.Scale(c);
+    r.AddScaledIdentity(1.0 - c);
+    s = std::move(r);
+  }
+  return s;
+}
+
+la::DenseMatrix BatchMatrix(const graph::DynamicDiGraph& graph,
+                            const SimRankOptions& options) {
+  return BatchMatrixFromTransition(graph::BuildTransitionCsr(graph), options);
+}
+
+}  // namespace incsr::simrank

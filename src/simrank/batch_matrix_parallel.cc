@@ -1,0 +1,113 @@
+#include "simrank/batch_matrix_parallel.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "graph/transition.h"
+
+namespace incsr::simrank {
+
+namespace {
+
+// Runs fn(row_begin, row_end) over a row partition of [0, rows).
+void ParallelRows(std::size_t rows, std::size_t num_threads,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (num_threads <= 1 || rows < 2 * num_threads) {
+    fn(0, rows);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  const std::size_t chunk = (rows + num_threads - 1) / num_threads;
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    const std::size_t begin = t * chunk;
+    const std::size_t end = std::min(rows, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back(fn, begin, end);
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+// out[rows begin..end) = Q·in over the given row range (row-axpy kernel).
+void SpmmRows(const la::CsrMatrix& q, const la::DenseMatrix& in,
+              la::DenseMatrix* out, std::size_t begin, std::size_t end) {
+  const std::size_t width = in.cols();
+  for (std::size_t i = begin; i < end; ++i) {
+    double* __restrict crow = out->RowPtr(i);
+    std::fill(crow, crow + width, 0.0);
+    for (const la::SparseEntry& e : q.RowEntries(i)) {
+      const double* __restrict brow =
+          in.RowPtr(static_cast<std::size_t>(e.col));
+      const double w = e.value;
+      for (std::size_t j = 0; j < width; ++j) crow[j] += w * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+la::DenseMatrix BatchMatrixParallelFromTransition(const la::CsrMatrix& q,
+                                                  const SimRankOptions& options,
+                                                  std::size_t num_threads) {
+  INCSR_CHECK(q.rows() == q.cols(), "BatchMatrixParallel: Q must be square");
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const std::size_t n = q.rows();
+  const double c = options.damping;
+  la::DenseMatrix s(n, n);
+  s.AddScaledIdentity(1.0 - c);
+  la::DenseMatrix t(n, n);
+  la::DenseMatrix tt(n, n);
+  la::DenseMatrix r(n, n);
+  for (int k = 0; k < options.iterations; ++k) {
+    // t = Q·S
+    ParallelRows(n, num_threads, [&](std::size_t lo, std::size_t hi) {
+      SpmmRows(q, s, &t, lo, hi);
+    });
+    // tt = tᵀ (blocked, row-partitioned on the destination)
+    ParallelRows(n, num_threads, [&](std::size_t lo, std::size_t hi) {
+      constexpr std::size_t kBlock = 64;
+      for (std::size_t ib = lo; ib < hi; ib += kBlock) {
+        const std::size_t imax = std::min(hi, ib + kBlock);
+        for (std::size_t jb = 0; jb < n; jb += kBlock) {
+          const std::size_t jmax = std::min(n, jb + kBlock);
+          for (std::size_t i = ib; i < imax; ++i) {
+            for (std::size_t j = jb; j < jmax; ++j) tt(i, j) = t(j, i);
+          }
+        }
+      }
+    });
+    // r = Q·tt = Q·Sᵀ·Qᵀ; then S = C·rᵀ + (1−C)·I. S is symmetric, so rᵀ
+    // keeps the result symmetric to rounding, like the serial kernel.
+    ParallelRows(n, num_threads, [&](std::size_t lo, std::size_t hi) {
+      SpmmRows(q, tt, &r, lo, hi);
+    });
+    ParallelRows(n, num_threads, [&](std::size_t lo, std::size_t hi) {
+      constexpr std::size_t kBlock = 64;
+      for (std::size_t ib = lo; ib < hi; ib += kBlock) {
+        const std::size_t imax = std::min(hi, ib + kBlock);
+        for (std::size_t jb = 0; jb < n; jb += kBlock) {
+          const std::size_t jmax = std::min(n, jb + kBlock);
+          for (std::size_t i = ib; i < imax; ++i) {
+            for (std::size_t j = jb; j < jmax; ++j) {
+              s(i, j) = c * r(j, i) + (i == j ? 1.0 - c : 0.0);
+            }
+          }
+        }
+      }
+    });
+  }
+  return s;
+}
+
+la::DenseMatrix BatchMatrixParallel(const graph::DynamicDiGraph& graph,
+                                    const SimRankOptions& options,
+                                    std::size_t num_threads) {
+  return BatchMatrixParallelFromTransition(graph::BuildTransitionCsr(graph),
+                                           options, num_threads);
+}
+
+}  // namespace incsr::simrank

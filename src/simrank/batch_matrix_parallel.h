@@ -1,0 +1,32 @@
+// Multithreaded matrix-form batch SimRank. The iteration
+// S ← C·Q·S·Qᵀ + (1−C)·I is embarrassingly parallel across output rows:
+// each of the two sparse×dense passes partitions its row range over a
+// thread pool. This is an engineering extension beyond the paper (whose
+// experiments are single-threaded; cf. He et al. [8] for the GPU take) —
+// the bench suite uses it as an ablation of how much a parallel Batch
+// shifts the incremental-vs-batch crossover.
+#ifndef INCSR_SIMRANK_BATCH_MATRIX_PARALLEL_H_
+#define INCSR_SIMRANK_BATCH_MATRIX_PARALLEL_H_
+
+#include "graph/digraph.h"
+#include "la/dense_matrix.h"
+#include "la/sparse_matrix.h"
+#include "simrank/options.h"
+
+namespace incsr::simrank {
+
+/// All-pairs matrix-form SimRank with `num_threads` workers (0 = all
+/// hardware threads). Bit-compatible results with BatchMatrix: the row
+/// partition does not change any summation order within a row.
+la::DenseMatrix BatchMatrixParallel(const graph::DynamicDiGraph& graph,
+                                    const SimRankOptions& options = {},
+                                    std::size_t num_threads = 0);
+
+/// Same, from a prebuilt transition matrix.
+la::DenseMatrix BatchMatrixParallelFromTransition(
+    const la::CsrMatrix& q, const SimRankOptions& options = {},
+    std::size_t num_threads = 0);
+
+}  // namespace incsr::simrank
+
+#endif  // INCSR_SIMRANK_BATCH_MATRIX_PARALLEL_H_

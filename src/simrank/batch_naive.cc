@@ -1,0 +1,39 @@
+#include "simrank/batch_naive.h"
+
+namespace incsr::simrank {
+
+la::DenseMatrix BatchNaive(const graph::DynamicDiGraph& graph,
+                           const SimRankOptions& options) {
+  const std::size_t n = graph.num_nodes();
+  la::DenseMatrix prev = la::DenseMatrix::Identity(n);
+  la::DenseMatrix next(n, n);
+  const double c = options.damping;
+  for (int k = 0; k < options.iterations; ++k) {
+    next.SetZero();
+    for (std::size_t a = 0; a < n; ++a) {
+      auto in_a = graph.InNeighbors(static_cast<graph::NodeId>(a));
+      next(a, a) = 1.0;
+      if (in_a.empty()) continue;
+      for (std::size_t b = a + 1; b < n; ++b) {
+        auto in_b = graph.InNeighbors(static_cast<graph::NodeId>(b));
+        if (in_b.empty()) continue;
+        double acc = 0.0;
+        for (graph::NodeId i : in_a) {
+          const double* row = prev.RowPtr(static_cast<std::size_t>(i));
+          for (graph::NodeId j : in_b) {
+            acc += row[static_cast<std::size_t>(j)];
+          }
+        }
+        double value = c * acc /
+                       (static_cast<double>(in_a.size()) *
+                        static_cast<double>(in_b.size()));
+        next(a, b) = value;
+        next(b, a) = value;
+      }
+    }
+    std::swap(prev, next);
+  }
+  return prev;
+}
+
+}  // namespace incsr::simrank

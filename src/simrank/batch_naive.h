@@ -1,0 +1,25 @@
+// Reference batch SimRank: the original Jeh & Widom (KDD'02) iteration in
+// its textbook O(K·d²·n²) form. Deliberately unoptimized — it is the
+// ground truth the faster algorithms are tested against on small graphs.
+//
+// Convention: this computes the ITERATIVE form of SimRank, in which
+// s(a, a) = 1 for every node (Jeh & Widom's base case). The matrix form
+// used by the incremental algorithms (batch_matrix.h) distributes diagonal
+// mass differently; the two forms are related but not entry-wise equal —
+// see Section III of the reproduced paper.
+#ifndef INCSR_SIMRANK_BATCH_NAIVE_H_
+#define INCSR_SIMRANK_BATCH_NAIVE_H_
+
+#include "graph/digraph.h"
+#include "la/dense_matrix.h"
+#include "simrank/options.h"
+
+namespace incsr::simrank {
+
+/// All-pairs SimRank by the naive Jeh-Widom iteration.
+la::DenseMatrix BatchNaive(const graph::DynamicDiGraph& graph,
+                           const SimRankOptions& options = {});
+
+}  // namespace incsr::simrank
+
+#endif  // INCSR_SIMRANK_BATCH_NAIVE_H_

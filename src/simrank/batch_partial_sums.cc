@@ -1,0 +1,57 @@
+#include "simrank/batch_partial_sums.h"
+
+namespace incsr::simrank {
+
+la::DenseMatrix BatchPartialSums(const graph::DynamicDiGraph& graph,
+                                 const SimRankOptions& options) {
+  const std::size_t n = graph.num_nodes();
+  la::DenseMatrix s = la::DenseMatrix::Identity(n);
+  la::DenseMatrix partial(n, n);
+  la::DenseMatrix next(n, n);
+  const double c = options.damping;
+
+  // Reciprocal in-degrees (0 for nodes with no in-neighbors).
+  la::Vector inv_indegree(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    std::size_t d = graph.InDegree(static_cast<graph::NodeId>(a));
+    inv_indegree[a] = d == 0 ? 0.0 : 1.0 / static_cast<double>(d);
+  }
+
+  for (int k = 0; k < options.iterations; ++k) {
+    // Phase 1: Partial(a, ·) = Σ_{i ∈ I(a)} s(i, ·)  — memoized once per
+    // node a, shared by every pair (a, b) (the Lizorkin optimization).
+    partial.SetZero();
+    for (std::size_t a = 0; a < n; ++a) {
+      double* __restrict prow = partial.RowPtr(a);
+      for (graph::NodeId i : graph.InNeighbors(static_cast<graph::NodeId>(a))) {
+        const double* __restrict srow = s.RowPtr(static_cast<std::size_t>(i));
+        for (std::size_t j = 0; j < n; ++j) prow[j] += srow[j];
+      }
+    }
+    // Phase 2: s'(b, a) = C · inv_d(b) · inv_d(a) · Σ_{j ∈ I(b)} Partialᵀ(j, a)
+    //                   = C · inv_d(b) · inv_d(a) · Σ_{j ∈ I(b)} Partial(a, j).
+    // Aggregating rows of Partialᵀ keeps the inner loop contiguous; with
+    // Partial(a, j) indexed as [a][j], that aggregation reads column slices,
+    // so aggregate rows of Partial transposed on the fly via the symmetric
+    // identity: iterate b, accumulate Partial(·, j) for j ∈ I(b) by rows.
+    next.SetZero();
+    for (std::size_t b = 0; b < n; ++b) {
+      auto in_b = graph.InNeighbors(static_cast<graph::NodeId>(b));
+      if (in_b.empty()) continue;
+      double* __restrict nrow = next.RowPtr(b);
+      for (graph::NodeId j : in_b) {
+        // Partial(a, j) over all a: column j. Walk it as strided reads but
+        // accumulate into the contiguous output row.
+        const std::size_t jcol = static_cast<std::size_t>(j);
+        for (std::size_t a = 0; a < n; ++a) nrow[a] += partial(a, jcol);
+      }
+      const double scale_b = c * inv_indegree[b];
+      for (std::size_t a = 0; a < n; ++a) nrow[a] *= scale_b * inv_indegree[a];
+    }
+    for (std::size_t a = 0; a < n; ++a) next(a, a) = 1.0;
+    std::swap(s, next);
+  }
+  return s;
+}
+
+}  // namespace incsr::simrank

@@ -1,0 +1,24 @@
+// Batch SimRank with partial-sums memoization (Lizorkin et al., PVLDB'08):
+// factor the double sum over in-neighbor pairs through the shared inner
+// aggregation Partial(a, j) = Σ_{i ∈ I(a)} s_k(i, j), reducing the cost per
+// iteration from O(d²n²) to O(d·n²). This plays the role of the paper's
+// "Batch" comparator family ([6], [13]); see DESIGN.md §4 for the
+// substitution note on Yu et al.'s fine-grained variant.
+//
+// Computes the ITERATIVE form (s(a, a) = 1), like batch_naive.h.
+#ifndef INCSR_SIMRANK_BATCH_PARTIAL_SUMS_H_
+#define INCSR_SIMRANK_BATCH_PARTIAL_SUMS_H_
+
+#include "graph/digraph.h"
+#include "la/dense_matrix.h"
+#include "simrank/options.h"
+
+namespace incsr::simrank {
+
+/// All-pairs SimRank via partial-sums memoization.
+la::DenseMatrix BatchPartialSums(const graph::DynamicDiGraph& graph,
+                                 const SimRankOptions& options = {});
+
+}  // namespace incsr::simrank
+
+#endif  // INCSR_SIMRANK_BATCH_PARTIAL_SUMS_H_

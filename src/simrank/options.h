@@ -1,0 +1,27 @@
+// Shared knobs for every SimRank algorithm in the library.
+#ifndef INCSR_SIMRANK_OPTIONS_H_
+#define INCSR_SIMRANK_OPTIONS_H_
+
+namespace incsr::simrank {
+
+/// Parameters common to batch and incremental SimRank computation.
+struct SimRankOptions {
+  /// Damping factor C ∈ (0, 1). The paper's experiments use 0.6 (as in Jeh
+  /// & Widom); its running example (Fig. 1) uses 0.8.
+  double damping = 0.6;
+  /// Iteration count K. The paper uses K = 15 (K = 5 on the largest
+  /// dataset); accuracy after K iterations is bounded by damping^(K+1).
+  int iterations = 15;
+};
+
+/// A-priori accuracy bound after K iterations: |s_K − s| ≤ C^(K+1)
+/// (Lizorkin et al., PVLDB'08; footnote 18 of the reproduced paper).
+inline double ConvergenceBound(const SimRankOptions& options) {
+  double bound = options.damping;
+  for (int k = 0; k < options.iterations; ++k) bound *= options.damping;
+  return bound;
+}
+
+}  // namespace incsr::simrank
+
+#endif  // INCSR_SIMRANK_OPTIONS_H_

@@ -1,0 +1,73 @@
+#include "simrank/queries.h"
+
+#include <vector>
+
+#include "graph/transition.h"
+
+namespace incsr::simrank {
+
+namespace {
+
+Status ValidateNode(const la::CsrMatrix& q, graph::NodeId node) {
+  if (node < 0 || static_cast<std::size_t>(node) >= q.rows()) {
+    return Status::OutOfRange("query node " + std::to_string(node) +
+                              " out of range");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> SinglePairSimRank(const la::CsrMatrix& q, graph::NodeId a,
+                                 graph::NodeId b,
+                                 const SimRankOptions& options) {
+  INCSR_RETURN_IF_ERROR(ValidateNode(q, a));
+  INCSR_RETURN_IF_ERROR(ValidateNode(q, b));
+  const std::size_t n = q.rows();
+  const double c = options.damping;
+  // x_k = (Qᵀ)ᵏ·e_a, y_k = (Qᵀ)ᵏ·e_b; score = (1−C)·Σ Cᵏ·⟨x_k, y_k⟩.
+  la::Vector x = la::Vector::Basis(n, static_cast<std::size_t>(a));
+  la::Vector y = la::Vector::Basis(n, static_cast<std::size_t>(b));
+  double score = la::Dot(x, y);  // k = 0 term: δ_ab
+  double weight = 1.0;
+  for (int k = 1; k <= options.iterations; ++k) {
+    x = q.MultiplyTranspose(x);
+    y = q.MultiplyTranspose(y);
+    weight *= c;
+    score += weight * la::Dot(x, y);
+  }
+  return (1.0 - c) * score;
+}
+
+Result<double> SinglePairSimRank(const graph::DynamicDiGraph& graph,
+                                 graph::NodeId a, graph::NodeId b,
+                                 const SimRankOptions& options) {
+  return SinglePairSimRank(graph::BuildTransitionCsr(graph), a, b, options);
+}
+
+Result<la::Vector> SingleSourceSimRank(const la::CsrMatrix& q,
+                                       graph::NodeId a,
+                                       const SimRankOptions& options) {
+  INCSR_RETURN_IF_ERROR(ValidateNode(q, a));
+  const std::size_t n = q.rows();
+  const double c = options.damping;
+  // row = (1−C)·Σ_k Cᵏ·Qᵏ·z_k with z_k = (Qᵀ)ᵏ·e_a: propagate z backward
+  // once, then push each term forward k steps. Memoizing the forward
+  // applications incrementally keeps this at one Q-apply per (k, step)
+  // pair — O(K²·m) total, O(n) working memory beyond the output.
+  la::Vector row(n);
+  la::Vector z = la::Vector::Basis(n, static_cast<std::size_t>(a));
+  row.Axpy(1.0, z);  // k = 0
+  double weight = 1.0;
+  for (int k = 1; k <= options.iterations; ++k) {
+    z = q.MultiplyTranspose(z);  // (Qᵀ)ᵏ·e_a
+    weight *= c;
+    la::Vector term = z;
+    for (int step = 0; step < k; ++step) term = q.Multiply(term);  // Qᵏ·z
+    row.Axpy(weight, term);
+  }
+  row.Scale(1.0 - c);
+  return row;
+}
+
+}  // namespace incsr::simrank

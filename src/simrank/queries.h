@@ -1,0 +1,39 @@
+// Memory-light SimRank queries: single-pair and single-source scores
+// straight from the series interpretation (Eq. 34 of the paper),
+//     [S]_{a,b} = (1−C) · Σ_k Cᵏ · ⟨(Qᵀ)ᵏ·e_a, (Qᵀ)ᵏ·e_b⟩,
+// by propagating the two probability-mass vectors — O(K·m) time, O(n)
+// memory, no n×n matrix. This serves the "query a few pairs on a huge
+// graph" use case (cf. the single-pair algorithms of Li et al. [10]
+// discussed in the paper's related work) and doubles as an independent
+// oracle for testing the all-pairs algorithms.
+#ifndef INCSR_SIMRANK_QUERIES_H_
+#define INCSR_SIMRANK_QUERIES_H_
+
+#include "common/status.h"
+#include "graph/digraph.h"
+#include "la/sparse_matrix.h"
+#include "la/vector.h"
+#include "simrank/options.h"
+
+namespace incsr::simrank {
+
+/// Matrix-form SimRank score of one node pair, computed from the series
+/// without materializing S.
+Result<double> SinglePairSimRank(const la::CsrMatrix& q, graph::NodeId a,
+                                 graph::NodeId b,
+                                 const SimRankOptions& options = {});
+
+/// Convenience overload building the transition matrix from the graph.
+Result<double> SinglePairSimRank(const graph::DynamicDiGraph& graph,
+                                 graph::NodeId a, graph::NodeId b,
+                                 const SimRankOptions& options = {});
+
+/// One full row [S]_{a,·} of the matrix-form SimRank (equivalently the
+/// column, S being symmetric), in O(K²·m) time and O(K·n) memory.
+Result<la::Vector> SingleSourceSimRank(const la::CsrMatrix& q,
+                                       graph::NodeId a,
+                                       const SimRankOptions& options = {});
+
+}  // namespace incsr::simrank
+
+#endif  // INCSR_SIMRANK_QUERIES_H_

@@ -1,0 +1,180 @@
+// Tests for the common substrate: Status/Result, memory tracking, RNG
+// determinism and distribution sanity, timers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/memory.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "la/vector.h"
+
+namespace incsr {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("edge (1, 2)");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "edge (1, 2)");
+  EXPECT_EQ(s.ToString(), "NotFound: edge (1, 2)");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+        StatusCode::kIoError, StatusCode::kNotSupported,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+Status Inner() { return Status::IoError("disk"); }
+Status Outer() {
+  INCSR_RETURN_IF_ERROR(Inner());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(Outer().code(), StatusCode::kIoError);
+}
+
+TEST(MemoryTest, TrackedAllocationMovesCounters) {
+  auto& counter = MemoryCounter::Global();
+  std::int64_t before = counter.current_bytes();
+  {
+    la::Vector v(1 << 16);  // 512 KB through the tracked allocator
+    EXPECT_GE(counter.current_bytes(), before + (1 << 16) * 8);
+  }
+  EXPECT_LE(counter.current_bytes(), before + 1024);
+}
+
+TEST(MemoryTest, ScopeMeasuresPeakDelta) {
+  MemoryScope scope;
+  { la::Vector v(1 << 14); }
+  std::int64_t peak = scope.PeakDeltaBytes();
+  EXPECT_GE(peak, (1 << 14) * 8);
+}
+
+TEST(MemoryTest, HumanBytesFormats) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(3 * 1024 * 1024), "3.0 MB");
+  EXPECT_EQ(HumanBytes(int64_t{5} * 1024 * 1024 * 1024), "5.0 GB");
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+  Rng c(124);
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 10; ++i) differs |= (a2.NextU64() != c.NextU64());
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    std::uint64_t v = rng.NextBounded(17);
+    EXPECT_LT(v, 17u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 17u);  // all residues hit
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(8);
+  bool hit_lo = false;
+  bool hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= (v == -3);
+    hit_hi |= (v == 3);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliRespectsProbability) {
+  Rng rng(10);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+}
+
+TEST(RngTest, GaussianMomentsAreSane) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / trials, 1.0, 0.05);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  double elapsed = timer.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.0);
+  EXPECT_DOUBLE_EQ(timer.ElapsedMillis() >= elapsed * 1e3 ? 1.0 : 0.0, 1.0);
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace incsr

@@ -1,0 +1,132 @@
+// Tests for the evaluation metrics: error summaries, top-k extraction,
+// overlap, and NDCG@k (the Fig. 4 measure).
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "graph/generators.h"
+#include "simrank/batch_matrix.h"
+
+namespace incsr::eval {
+namespace {
+
+la::DenseMatrix SymmetricScores() {
+  // 4 nodes; off-diagonal scores: (0,1)=0.9 (0,2)=0.5 (0,3)=0.1
+  // (1,2)=0.7 (1,3)=0.3 (2,3)=0.2
+  la::DenseMatrix s = la::DenseMatrix::FromRows({{1.0, 0.9, 0.5, 0.1},
+                                                 {0.9, 1.0, 0.7, 0.3},
+                                                 {0.5, 0.7, 1.0, 0.2},
+                                                 {0.1, 0.3, 0.2, 1.0}});
+  return s;
+}
+
+TEST(MetricsTest, ErrorSummaries) {
+  la::DenseMatrix a = SymmetricScores();
+  la::DenseMatrix b = a;
+  EXPECT_DOUBLE_EQ(MaxAbsError(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(MeanAbsError(a, b), 0.0);
+  b(0, 1) += 0.2;
+  b(3, 2) -= 0.1;
+  EXPECT_DOUBLE_EQ(MaxAbsError(a, b), 0.2);
+  EXPECT_NEAR(MeanAbsError(a, b), (0.2 + 0.1) / 16.0, 1e-15);
+}
+
+TEST(MetricsTest, TopKPairsRanksAndTruncates) {
+  auto top = TopKPairs(SymmetricScores(), 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].a, 0);
+  EXPECT_EQ(top[0].b, 1);
+  EXPECT_DOUBLE_EQ(top[0].score, 0.9);
+  EXPECT_EQ(top[1].a, 1);
+  EXPECT_EQ(top[1].b, 2);
+  EXPECT_EQ(top[2].a, 0);
+  EXPECT_EQ(top[2].b, 2);
+  // k larger than the pair count returns all pairs.
+  EXPECT_EQ(TopKPairs(SymmetricScores(), 100).size(), 6u);
+}
+
+TEST(MetricsTest, TopKOverlapBounds) {
+  la::DenseMatrix exact = SymmetricScores();
+  EXPECT_DOUBLE_EQ(TopKOverlap(exact, exact, 4), 1.0);
+  // Perturb so the top pair changes.
+  la::DenseMatrix approx = exact;
+  approx(0, 1) = approx(1, 0) = 0.0;
+  double overlap = TopKOverlap(approx, exact, 2);
+  EXPECT_GE(overlap, 0.0);
+  EXPECT_LT(overlap, 1.0);
+}
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  la::DenseMatrix exact = SymmetricScores();
+  auto ndcg = NdcgAtK(exact, exact, 4);
+  ASSERT_TRUE(ndcg.ok());
+  EXPECT_DOUBLE_EQ(ndcg.value(), 1.0);
+}
+
+TEST(NdcgTest, ScaleInvariantRankingIsStillPerfect) {
+  la::DenseMatrix exact = SymmetricScores();
+  la::DenseMatrix scaled = exact;
+  scaled.Scale(0.5);  // same order, different values
+  auto ndcg = NdcgAtK(scaled, exact, 4);
+  ASSERT_TRUE(ndcg.ok());
+  EXPECT_DOUBLE_EQ(ndcg.value(), 1.0);
+}
+
+TEST(NdcgTest, DegradedRankingScoresBelowOne) {
+  la::DenseMatrix exact = SymmetricScores();
+  la::DenseMatrix approx = exact;
+  // Invert the ranking: top pair becomes bottom.
+  approx(0, 1) = approx(1, 0) = 0.01;
+  approx(0, 3) = approx(3, 0) = 0.95;
+  auto ndcg = NdcgAtK(approx, exact, 3);
+  ASSERT_TRUE(ndcg.ok());
+  EXPECT_LT(ndcg.value(), 1.0);
+  EXPECT_GT(ndcg.value(), 0.0);
+}
+
+TEST(NdcgTest, MonotoneInRankingQuality) {
+  la::DenseMatrix exact = SymmetricScores();
+  la::DenseMatrix mild = exact;
+  mild(0, 1) = mild(1, 0) = 0.65;  // drops top pair to rank 2
+  la::DenseMatrix severe = exact;
+  severe(0, 1) = severe(1, 0) = 0.0;  // drops top pair out of top-3
+  auto ndcg_mild = NdcgAtK(mild, exact, 3);
+  auto ndcg_severe = NdcgAtK(severe, exact, 3);
+  ASSERT_TRUE(ndcg_mild.ok());
+  ASSERT_TRUE(ndcg_severe.ok());
+  EXPECT_GT(ndcg_mild.value(), ndcg_severe.value());
+}
+
+TEST(NdcgTest, Validation) {
+  la::DenseMatrix a(3, 3);
+  la::DenseMatrix b(4, 4);
+  EXPECT_FALSE(NdcgAtK(a, b, 3).ok());
+  EXPECT_FALSE(NdcgAtK(a, a, 0).ok());
+  // All-zero relevance: trivially ideal.
+  auto ndcg = NdcgAtK(a, a, 2);
+  ASSERT_TRUE(ndcg.ok());
+  EXPECT_DOUBLE_EQ(ndcg.value(), 1.0);
+}
+
+TEST(NdcgTest, EndToEndOnSimRankMatrices) {
+  // Converged batch vs under-iterated batch: NDCG should be high but the
+  // matrices differ; against itself it is exactly 1.
+  auto stream = graph::ErdosRenyiGnm(20, 60, 3);
+  ASSERT_TRUE(stream.ok());
+  auto g = graph::MaterializeGraph(20, stream.value());
+  simrank::SimRankOptions coarse;
+  coarse.iterations = 2;
+  simrank::SimRankOptions fine;
+  fine.iterations = 60;
+  la::DenseMatrix exact = simrank::BatchMatrix(g, fine);
+  la::DenseMatrix rough = simrank::BatchMatrix(g, coarse);
+  auto self_ndcg = NdcgAtK(exact, exact, 30);
+  ASSERT_TRUE(self_ndcg.ok());
+  EXPECT_DOUBLE_EQ(self_ndcg.value(), 1.0);
+  auto rough_ndcg = NdcgAtK(rough, exact, 30);
+  ASSERT_TRUE(rough_ndcg.ok());
+  EXPECT_GT(rough_ndcg.value(), 0.5);
+  EXPECT_LE(rough_ndcg.value(), 1.0);
+}
+
+}  // namespace
+}  // namespace incsr::eval

@@ -1,0 +1,144 @@
+// Pins the Fig. 1 reconstruction (see bench/fig1_example_table.cc and
+// DESIGN.md §4) to the paper's qualitative claims, so the example graph
+// cannot silently drift away from the structural facts the text fixes:
+// d_j = 2 via in-neighbors {h, k}; i, j, f share in-neighborhoods; the
+// insertion's effects reach the {a, b, d} region but leave the satellite
+// pairs untouched; Inc-SR stays exact while a lossless-SVD Inc-SVD does
+// not. Also covers façade edge cases (empty graph, single node,
+// self-loop via the facade).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dynamic_simrank.h"
+#include "graph/digraph.h"
+#include "incsvd/inc_svd.h"
+#include "simrank/batch_matrix.h"
+
+namespace incsr {
+namespace {
+
+using core::DynamicSimRank;
+using graph::DynamicDiGraph;
+using simrank::SimRankOptions;
+
+graph::NodeId Id(char name) { return static_cast<graph::NodeId>(name - 'a'); }
+
+DynamicDiGraph Fig1Graph() {
+  DynamicDiGraph g(15);
+  const std::pair<char, char> edges[] = {
+      {'c', 'a'}, {'d', 'a'}, {'e', 'a'}, {'d', 'b'}, {'e', 'b'},
+      {'n', 'b'}, {'h', 'f'}, {'k', 'f'}, {'h', 'i'}, {'k', 'i'},
+      {'h', 'j'}, {'k', 'j'}, {'o', 'g'}, {'e', 'g'}, {'o', 'k'},
+      {'n', 'k'}, {'n', 'h'}, {'o', 'h'}, {'n', 'l'}, {'e', 'l'},
+      {'n', 'm'}, {'o', 'm'}, {'j', 'd'},
+  };
+  for (auto [s, d] : edges) {
+    INCSR_CHECK(g.AddEdge(Id(s), Id(d)).ok(), "edge %c->%c", s, d);
+  }
+  return g;
+}
+
+SimRankOptions PaperOptions() {
+  SimRankOptions options;
+  options.damping = 0.8;  // the figure's setting
+  options.iterations =
+      static_cast<int>(std::log(1e-13) / std::log(0.8)) + 2;
+  return options;
+}
+
+TEST(Fig1Reconstruction, StructuralFactsFromThePaper) {
+  DynamicDiGraph g = Fig1Graph();
+  // d_j = 2 with in-neighbors {h, k} before the insertion.
+  auto in_j = g.InNeighbors(Id('j'));
+  ASSERT_EQ(in_j.size(), 2u);
+  EXPECT_EQ(in_j[0], Id('h'));
+  EXPECT_EQ(in_j[1], Id('k'));
+  // i and f share j's in-neighborhood (the S column structure of Fig. 1).
+  la::DenseMatrix s = simrank::BatchMatrix(g, PaperOptions());
+  EXPECT_GT(s(Id('i'), Id('j')), 0.0);
+  EXPECT_GT(s(Id('f'), Id('i')), 0.0);
+  EXPECT_GT(s(Id('f'), Id('j')), 0.0);
+  // The satellite pairs of the table's gray rows score nonzero too.
+  EXPECT_GT(s(Id('k'), Id('g')), 0.0);
+  EXPECT_GT(s(Id('k'), Id('h')), 0.0);
+  EXPECT_GT(s(Id('m'), Id('l')), 0.0);
+  // (a, d) starts at exactly zero — the pair the insertion awakens.
+  EXPECT_EQ(s(Id('a'), Id('d')), 0.0);
+}
+
+TEST(Fig1Reconstruction, InsertionChangesAndPreservesTheRightPairs) {
+  SimRankOptions options = PaperOptions();
+  auto index = DynamicSimRank::Create(Fig1Graph(), options);
+  ASSERT_TRUE(index.ok());
+  la::DenseMatrix before = index->scores();
+  ASSERT_TRUE(index->InsertEdge(Id('i'), Id('j')).ok());
+  const la::DenseMatrix& after = index->scores();
+
+  // Unchanged pairs (gray rows): bitwise identical.
+  for (auto [x, y] : {std::pair{'i', 'f'}, std::pair{'k', 'g'},
+                      std::pair{'k', 'h'}, std::pair{'m', 'l'}}) {
+    EXPECT_EQ(after(Id(x), Id(y)), before(Id(x), Id(y))) << x << "," << y;
+  }
+  // Changed pairs.
+  EXPECT_NE(after(Id('a'), Id('b')), before(Id('a'), Id('b')));
+  EXPECT_GT(after(Id('a'), Id('d')), 0.0);  // awakened from exact zero
+  EXPECT_LT(after(Id('j'), Id('f')), before(Id('j'), Id('f')));
+
+  // Exactness against the batch ground truth.
+  la::DenseMatrix truth = simrank::BatchMatrix(index->graph(), options);
+  EXPECT_LT(la::MaxAbsDiff(after, truth), 1e-9);
+}
+
+TEST(Fig1Reconstruction, LosslessIncSvdStillDeviates) {
+  SimRankOptions options = PaperOptions();
+  incsvd::IncSvdOptions svd_options;
+  svd_options.simrank = options;
+  svd_options.factorization = incsvd::Factorization::kDenseJacobi;
+  auto baseline = incsvd::IncSvd::Create(Fig1Graph(), svd_options);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_LT(baseline->factors().rank(), 15u);  // rank(Q) < n — Section IV
+  ASSERT_TRUE(baseline
+                  ->ApplyBatch({{graph::UpdateKind::kInsert, Id('i'), Id('j')}})
+                  .ok());
+  auto scores = baseline->ComputeScores();
+  ASSERT_TRUE(scores.ok());
+  DynamicDiGraph g_new = Fig1Graph();
+  ASSERT_TRUE(g_new.AddEdge(Id('i'), Id('j')).ok());
+  la::DenseMatrix truth = simrank::BatchMatrix(g_new, options);
+  EXPECT_GT(la::MaxAbsDiff(scores.value(), truth), 1e-3);
+}
+
+TEST(FacadeEdgeCases, EmptyAndTinyGraphs) {
+  auto empty = DynamicSimRank::Create(DynamicDiGraph(0), SimRankOptions{});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->TopKPairs(5).empty());
+
+  auto single = DynamicSimRank::Create(DynamicDiGraph(1), SimRankOptions{});
+  ASSERT_TRUE(single.ok());
+  EXPECT_DOUBLE_EQ(single->Score(0, 0), 1.0 - single->options().damping);
+  EXPECT_TRUE(single->TopKFor(0, 3).empty());
+  // The only possible edge on one node is a self-loop.
+  ASSERT_TRUE(single->InsertEdge(0, 0).ok());
+  la::DenseMatrix truth = simrank::BatchMatrix(single->graph(),
+                                               SimRankOptions{});
+  EXPECT_LT(la::MaxAbsDiff(single->scores(), truth), 2e-4);  // K=15 tail
+}
+
+TEST(FacadeEdgeCases, SelfLoopThroughFacadeStaysExact) {
+  DynamicDiGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  SimRankOptions options;
+  options.iterations =
+      static_cast<int>(std::log(1e-13) / std::log(options.damping)) + 2;
+  auto index = DynamicSimRank::Create(g, options);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index->InsertEdge(2, 2).ok());
+  ASSERT_TRUE(index->DeleteEdge(0, 1).ok());
+  la::DenseMatrix truth = simrank::BatchMatrix(index->graph(), options);
+  EXPECT_LT(la::MaxAbsDiff(index->scores(), truth), 1e-9);
+}
+
+}  // namespace
+}  // namespace incsr

@@ -1,0 +1,230 @@
+// Tests for the synthetic graph generators, snapshot series, and dataset
+// stand-ins: determinism, size contracts, degree-profile sanity, and
+// snapshot/delta consistency.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datasets/datasets.h"
+#include "graph/generators.h"
+#include "graph/snapshots.h"
+
+namespace incsr::graph {
+namespace {
+
+TEST(ErdosRenyiTest, ExactEdgeCountNoDuplicatesNoSelfLoops) {
+  auto stream = ErdosRenyiGnm(30, 200, 42);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(stream->size(), 200u);
+  DynamicDiGraph g = MaterializeGraph(30, stream.value());
+  EXPECT_EQ(g.num_edges(), 200u);  // all distinct by construction
+  for (const auto& te : stream.value()) {
+    EXPECT_NE(te.edge.src, te.edge.dst);
+  }
+}
+
+TEST(ErdosRenyiTest, DeterministicInSeed) {
+  auto a = ErdosRenyiGnm(20, 50, 7);
+  auto b = ErdosRenyiGnm(20, 50, 7);
+  auto c = ErdosRenyiGnm(20, 50, 8);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_NE(a.value(), c.value());
+}
+
+TEST(ErdosRenyiTest, RejectsImpossibleDensity) {
+  EXPECT_FALSE(ErdosRenyiGnm(3, 100, 1).ok());
+  EXPECT_FALSE(ErdosRenyiGnm(1, 1, 1).ok());
+}
+
+TEST(PreferentialCitationTest, CitesOnlyEarlierNodes) {
+  auto stream = PreferentialCitation(
+      {.num_nodes = 200, .mean_out_degree = 4.0, .seed = 3});
+  ASSERT_TRUE(stream.ok());
+  for (const auto& te : stream.value()) {
+    EXPECT_GT(te.edge.src, te.edge.dst)
+        << "citation must point backwards in time";
+  }
+  // Timestamps are non-decreasing (arrival order).
+  for (std::size_t k = 1; k < stream->size(); ++k) {
+    EXPECT_LE(stream->at(k - 1).timestamp, stream->at(k).timestamp);
+  }
+}
+
+TEST(PreferentialCitationTest, ProducesHeavyTailedInDegrees) {
+  auto stream = PreferentialCitation(
+      {.num_nodes = 800, .mean_out_degree = 5.0, .seed = 11});
+  ASSERT_TRUE(stream.ok());
+  DynamicDiGraph g = MaterializeGraph(800, stream.value());
+  std::size_t max_in = 0;
+  for (std::size_t v = 0; v < 800; ++v) {
+    max_in = std::max(max_in, g.InDegree(static_cast<NodeId>(v)));
+  }
+  double avg_in = g.AverageInDegree();
+  EXPECT_GT(avg_in, 2.0);
+  // Rich-get-richer: the hub collects far more than the average.
+  EXPECT_GT(static_cast<double>(max_in), 6.0 * avg_in);
+}
+
+TEST(PreferentialCitationTest, MeanOutDegreeRoughlyHonored) {
+  auto stream = PreferentialCitation(
+      {.num_nodes = 1000, .mean_out_degree = 6.0, .seed = 13});
+  ASSERT_TRUE(stream.ok());
+  double per_node = static_cast<double>(stream->size()) / 1000.0;
+  EXPECT_GT(per_node, 3.5);
+  EXPECT_LT(per_node, 8.5);
+}
+
+TEST(RmatTest, SizeAndSkew) {
+  auto stream = Rmat({.scale = 8, .num_edges = 2000, .seed = 5});
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(stream->size(), 2000u);
+  DynamicDiGraph g = MaterializeGraph(256, stream.value());
+  EXPECT_EQ(g.num_edges(), 2000u);
+  std::size_t max_out = 0;
+  for (std::size_t v = 0; v < 256; ++v) {
+    max_out = std::max(max_out, g.OutDegree(static_cast<NodeId>(v)));
+  }
+  EXPECT_GT(max_out, 3 * 2000 / 256);  // skewed, not uniform
+}
+
+TEST(RmatTest, ParameterValidation) {
+  EXPECT_FALSE(Rmat({.scale = 0}).ok());
+  EXPECT_FALSE(Rmat({.scale = 4, .num_edges = 10, .a = 0.9, .b = 0.2}).ok());
+  EXPECT_FALSE(Rmat({.scale = 3, .num_edges = 100000}).ok());
+}
+
+TEST(EvolvingLinkageTest, ReachesRequestedSizes) {
+  auto stream = EvolvingLinkage(
+      {.num_nodes = 300, .num_edges = 1500, .seed = 9});
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(stream->size(), 1500u);
+  DynamicDiGraph g = MaterializeGraph(300, stream.value());
+  EXPECT_EQ(g.num_edges(), 1500u);
+  // Every node referenced in the stream is in range.
+  for (const auto& te : stream.value()) {
+    EXPECT_GE(te.edge.src, 0);
+    EXPECT_LT(te.edge.src, 300);
+    EXPECT_GE(te.edge.dst, 0);
+    EXPECT_LT(te.edge.dst, 300);
+  }
+}
+
+TEST(EvolvingLinkageTest, ParameterValidation) {
+  EXPECT_FALSE(EvolvingLinkage({.num_nodes = 10, .seed_nodes = 20}).ok());
+  EXPECT_FALSE(EvolvingLinkage({.num_nodes = 4, .num_edges = 100}).ok());
+  EXPECT_FALSE(
+      EvolvingLinkage({.num_nodes = 10, .num_communities = 0}).ok());
+  EXPECT_FALSE(
+      EvolvingLinkage({.num_nodes = 10, .num_communities = 11}).ok());
+}
+
+TEST(EvolvingLinkageTest, CommunityStructureIsRespected) {
+  const std::size_t n = 600;
+  const std::size_t k = 10;  // community of a node = id mod 10
+  auto stream = EvolvingLinkage({.num_nodes = n,
+                                 .num_edges = 3000,
+                                 .num_communities = k,
+                                 .intra_community_prob = 1.0,
+                                 .seed = 5});
+  ASSERT_TRUE(stream.ok());
+  std::size_t intra = 0;
+  for (const auto& te : stream.value()) {
+    if (static_cast<std::size_t>(te.edge.src) % k ==
+        static_cast<std::size_t>(te.edge.dst) % k) {
+      ++intra;
+    }
+  }
+  // With intra probability 1.0, cross edges only stem from the arrival
+  // process bootstrapping empty communities — a vanishing fraction.
+  double fraction =
+      static_cast<double>(intra) / static_cast<double>(stream->size());
+  EXPECT_GT(fraction, 0.95);
+
+  // With a single community the generator degenerates gracefully.
+  auto flat = EvolvingLinkage(
+      {.num_nodes = 200, .num_edges = 800, .num_communities = 1, .seed = 5});
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat->size(), 800u);
+}
+
+TEST(SnapshotSeriesTest, CutPointsAndDeltas) {
+  auto stream = ErdosRenyiGnm(50, 1000, 17);
+  ASSERT_TRUE(stream.ok());
+  auto series = SnapshotSeries::FromStream(50, std::move(stream).value(), 5,
+                                           /*base_fraction=*/0.8);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->num_snapshots(), 5u);
+  EXPECT_EQ(series->EdgesAt(0), 800u);
+  EXPECT_EQ(series->EdgesAt(4), 1000u);
+  // Snapshots are nested prefixes.
+  for (std::size_t k = 1; k < 5; ++k) {
+    EXPECT_GE(series->EdgesAt(k), series->EdgesAt(k - 1));
+  }
+  // Replaying the delta turns snapshot k into snapshot k+1.
+  DynamicDiGraph g0 = series->GraphAt(0);
+  auto delta = series->DeltaBetween(0, 2);
+  ASSERT_TRUE(ApplyUpdates(delta, &g0).ok());
+  EXPECT_EQ(g0.Edges(), series->GraphAt(2).Edges());
+}
+
+TEST(SnapshotSeriesTest, Validation) {
+  auto stream = ErdosRenyiGnm(10, 20, 1);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_FALSE(SnapshotSeries::FromStream(10, stream.value(), 0).ok());
+  EXPECT_FALSE(SnapshotSeries::FromStream(10, stream.value(), 3, 0.0).ok());
+  EXPECT_FALSE(SnapshotSeries::FromStream(10, stream.value(), 3, 1.5).ok());
+  // Unsorted stream is rejected.
+  auto shuffled = stream.value();
+  std::swap(shuffled.front().timestamp, shuffled.back().timestamp);
+  shuffled.front().timestamp += 1000;
+  EXPECT_FALSE(SnapshotSeries::FromStream(10, shuffled, 3).ok());
+}
+
+class DatasetSweep
+    : public ::testing::TestWithParam<incsr::datasets::DatasetKind> {};
+
+TEST_P(DatasetSweep, ShapeMatchesScaledPaperNumbers) {
+  using incsr::datasets::DatasetOptions;
+  using incsr::datasets::FullScaleEdges;
+  using incsr::datasets::FullScaleNodes;
+  const auto kind = GetParam();
+  DatasetOptions options;
+  options.scale = 0.02;
+  auto series = incsr::datasets::MakeDataset(kind, options);
+  ASSERT_TRUE(series.ok());
+  const double expected_nodes =
+      static_cast<double>(FullScaleNodes(kind)) * options.scale;
+  const double expected_edges =
+      static_cast<double>(FullScaleEdges(kind)) * options.scale;
+  EXPECT_NEAR(static_cast<double>(series->num_nodes()), expected_nodes,
+              expected_nodes * 0.02 + 2.0);
+  // Generators approximate the edge budget (citation out-degrees are
+  // random); 25% slack keeps the average in-degree in the right regime.
+  EXPECT_NEAR(static_cast<double>(series->stream_size()), expected_edges,
+              expected_edges * 0.25);
+  EXPECT_EQ(series->num_snapshots(), 5u);
+
+  // Deterministic in the seed.
+  auto again = incsr::datasets::MakeDataset(kind, options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->GraphAt(0).Edges(), series->GraphAt(0).Edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetSweep,
+                         ::testing::Values(incsr::datasets::DatasetKind::kDblp,
+                                           incsr::datasets::DatasetKind::kCitH,
+                                           incsr::datasets::DatasetKind::kYouTu));
+
+TEST(DatasetTest, NamesAndValidation) {
+  using incsr::datasets::DatasetKind;
+  EXPECT_EQ(incsr::datasets::DatasetName(DatasetKind::kDblp), "DBLP");
+  EXPECT_EQ(incsr::datasets::DatasetName(DatasetKind::kCitH), "CitH");
+  EXPECT_EQ(incsr::datasets::DatasetName(DatasetKind::kYouTu), "YouTu");
+  incsr::datasets::DatasetOptions bad;
+  bad.scale = 0.0;
+  EXPECT_FALSE(incsr::datasets::MakeDataset(DatasetKind::kDblp, bad).ok());
+}
+
+}  // namespace
+}  // namespace incsr::graph

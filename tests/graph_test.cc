@@ -1,0 +1,279 @@
+// Tests for the graph substrate: dynamic digraph mutation, transition
+// matrix construction, edge-list IO (including failure injection), and
+// update-stream utilities.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.h"
+#include "graph/digraph.h"
+#include "graph/edge_list_io.h"
+#include "graph/transition.h"
+#include "graph/update_stream.h"
+
+namespace incsr::graph {
+namespace {
+
+TEST(DynamicDiGraphTest, AddAndRemoveEdges) {
+  DynamicDiGraph g(4);
+  EXPECT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_TRUE(g.AddEdge(2, 1).ok());
+  EXPECT_TRUE(g.AddEdge(1, 3).ok());
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.InDegree(1), 2u);
+  EXPECT_EQ(g.OutDegree(1), 1u);
+
+  EXPECT_TRUE(g.RemoveEdge(0, 1).ok());
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.InDegree(1), 1u);
+}
+
+TEST(DynamicDiGraphTest, DuplicateAndMissingEdgesAreStatusErrors) {
+  DynamicDiGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_EQ(g.AddEdge(0, 1).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(g.RemoveEdge(1, 0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(g.AddEdge(0, 5).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(g.AddEdge(-1, 0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(g.RemoveEdge(0, 5).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(DynamicDiGraphTest, NeighborsAreSorted) {
+  DynamicDiGraph g(5);
+  ASSERT_TRUE(g.AddEdge(3, 0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 0).ok());
+  ASSERT_TRUE(g.AddEdge(4, 0).ok());
+  auto in = g.InNeighbors(0);
+  ASSERT_EQ(in.size(), 3u);
+  EXPECT_EQ(in[0], 1);
+  EXPECT_EQ(in[1], 3);
+  EXPECT_EQ(in[2], 4);
+}
+
+TEST(DynamicDiGraphTest, SelfLoopsAreAllowed) {
+  DynamicDiGraph g(2);
+  EXPECT_TRUE(g.AddEdge(0, 0).ok());
+  EXPECT_TRUE(g.HasEdge(0, 0));
+  EXPECT_EQ(g.InDegree(0), 1u);
+  EXPECT_EQ(g.OutDegree(0), 1u);
+}
+
+TEST(DynamicDiGraphTest, AddNodesGrowsIdSpace) {
+  DynamicDiGraph g(2);
+  NodeId first = g.AddNodes(3);
+  EXPECT_EQ(first, 2);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_TRUE(g.AddEdge(4, 0).ok());
+}
+
+TEST(DynamicDiGraphTest, EdgesListsLexicographically) {
+  DynamicDiGraph g(3);
+  ASSERT_TRUE(g.AddEdge(2, 0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  std::vector<Edge> edges = g.Edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (Edge{0, 1}));
+  EXPECT_EQ(edges[1], (Edge{0, 2}));
+  EXPECT_EQ(edges[2], (Edge{2, 0}));
+}
+
+TEST(TransitionTest, RowsAreUniformOverInNeighbors) {
+  DynamicDiGraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(3, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 0).ok());
+  la::DynamicRowMatrix q = BuildTransition(g);
+  EXPECT_DOUBLE_EQ(q.At(2, 0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(q.At(2, 1), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(q.At(2, 3), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(q.At(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(q.At(1, 0), 0.0);  // node 1 has no in-edges
+  // Row sums are 1 for nodes with in-neighbors, 0 otherwise.
+  la::Vector ones(4, 1.0);
+  la::Vector sums = q.Multiply(ones);
+  EXPECT_DOUBLE_EQ(sums[2], 1.0);
+  EXPECT_DOUBLE_EQ(sums[1], 0.0);
+}
+
+TEST(TransitionTest, CsrAndDynamicAgree) {
+  DynamicDiGraph g(6);
+  Rng rng(3);
+  for (int k = 0; k < 12; ++k) {
+    NodeId s = static_cast<NodeId>(rng.NextBounded(6));
+    NodeId d = static_cast<NodeId>(rng.NextBounded(6));
+    if (s != d) (void)g.AddEdge(s, d);
+  }
+  EXPECT_EQ(la::MaxAbsDiff(BuildTransition(g).ToDense(),
+                           BuildTransitionCsr(g).ToDense()),
+            0.0);
+}
+
+TEST(TransitionTest, RefreshRowTracksMutation) {
+  DynamicDiGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  la::DynamicRowMatrix q = BuildTransition(g);
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  RefreshTransitionRow(g, 2, &q);
+  EXPECT_DOUBLE_EQ(q.At(2, 0), 0.5);
+  EXPECT_DOUBLE_EQ(q.At(2, 1), 0.5);
+  ASSERT_TRUE(g.RemoveEdge(0, 2).ok());
+  ASSERT_TRUE(g.RemoveEdge(1, 2).ok());
+  RefreshTransitionRow(g, 2, &q);
+  EXPECT_EQ(q.nnz(), 0u);
+}
+
+TEST(TransitionTest, AdjacencyCountsPaths) {
+  // Lemma 1: [A^k]_{i,j} counts length-k paths from i to j.
+  DynamicDiGraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 3).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  la::DenseMatrix a = BuildAdjacencyCsr(g).ToDense();
+  la::DenseMatrix a2 = la::Multiply(a, a);
+  EXPECT_DOUBLE_EQ(a2(0, 3), 2.0);  // two length-2 paths 0→·→3
+  EXPECT_DOUBLE_EQ(a2(0, 1), 0.0);
+}
+
+TEST(EdgeListIoTest, ParsesSnapFormat) {
+  const std::string text =
+      "# Directed graph\n"
+      "# src\tdst\n"
+      "10 20\n"
+      "20\t30\n"
+      "\n"
+      "10 30\n";
+  auto data = ParseEdgeList(text);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->graph.num_nodes(), 3u);
+  EXPECT_EQ(data->graph.num_edges(), 3u);
+  // Remapping is first-appearance order: 10→0, 20→1, 30→2.
+  EXPECT_TRUE(data->graph.HasEdge(0, 1));
+  EXPECT_TRUE(data->graph.HasEdge(1, 2));
+  EXPECT_TRUE(data->graph.HasEdge(0, 2));
+}
+
+TEST(EdgeListIoTest, DuplicatesSkippedByDefaultStrictOnRequest) {
+  const std::string text = "1 2\n1 2\n";
+  auto lax = ParseEdgeList(text);
+  ASSERT_TRUE(lax.ok());
+  EXPECT_EQ(lax->graph.num_edges(), 1u);
+  EXPECT_EQ(lax->duplicates_skipped, 1u);
+
+  EdgeListOptions strict;
+  strict.skip_duplicates = false;
+  EXPECT_EQ(ParseEdgeList(text, strict).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(EdgeListIoTest, MalformedInputIsRejected) {
+  EXPECT_EQ(ParseEdgeList("1\n").status().code(), StatusCode::kIoError);
+  EXPECT_EQ(ParseEdgeList("1 2 3\n").status().code(), StatusCode::kIoError);
+  EXPECT_EQ(ParseEdgeList("-1 2\n").status().code(), StatusCode::kIoError);
+  EXPECT_EQ(ParseEdgeList("a b\n").status().code(), StatusCode::kIoError);
+}
+
+TEST(EdgeListIoTest, NoRemapUsesDenseIds) {
+  EdgeListOptions options;
+  options.remap_ids = false;
+  auto data = ParseEdgeList("0 3\n2 1\n", options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->graph.num_nodes(), 4u);
+  EXPECT_TRUE(data->graph.HasEdge(0, 3));
+  EXPECT_TRUE(data->graph.HasEdge(2, 1));
+}
+
+TEST(EdgeListIoTest, FileRoundTrip) {
+  DynamicDiGraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  ASSERT_TRUE(g.AddEdge(3, 0).ok());
+  std::string path =
+      (std::filesystem::temp_directory_path() / "incsr_io_test.txt").string();
+  ASSERT_TRUE(WriteEdgeListFile(g, path).ok());
+  EdgeListOptions options;
+  options.remap_ids = false;
+  auto loaded = ReadEdgeListFile(path, options);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->graph.Edges(), g.Edges());
+  std::filesystem::remove(path);
+}
+
+TEST(EdgeListIoTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadEdgeListFile("/nonexistent/incsr.txt").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(UpdateStreamTest, SampleInsertionsAvoidExistingEdges) {
+  DynamicDiGraph g(6);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  Rng rng(5);
+  auto updates = SampleInsertions(g, 10, &rng);
+  ASSERT_TRUE(updates.ok());
+  EXPECT_EQ(updates->size(), 10u);
+  for (const EdgeUpdate& u : updates.value()) {
+    EXPECT_EQ(u.kind, UpdateKind::kInsert);
+    EXPECT_NE(u.src, u.dst);
+    EXPECT_FALSE(g.HasEdge(u.src, u.dst)) << ToString(u);
+  }
+}
+
+TEST(UpdateStreamTest, SampleDeletionsPickExistingEdges) {
+  DynamicDiGraph g(5);
+  for (int s = 0; s < 5; ++s) {
+    for (int d = 0; d < 5; ++d) {
+      if (s != d) ASSERT_TRUE(g.AddEdge(s, d).ok());
+    }
+  }
+  Rng rng(6);
+  auto updates = SampleDeletions(g, 7, &rng);
+  ASSERT_TRUE(updates.ok());
+  EXPECT_EQ(updates->size(), 7u);
+  std::set<std::pair<NodeId, NodeId>> unique;
+  for (const EdgeUpdate& u : updates.value()) {
+    EXPECT_EQ(u.kind, UpdateKind::kDelete);
+    EXPECT_TRUE(g.HasEdge(u.src, u.dst));
+    unique.insert({u.src, u.dst});
+  }
+  EXPECT_EQ(unique.size(), 7u);  // no repeats
+}
+
+TEST(UpdateStreamTest, SamplingBoundsAreChecked) {
+  DynamicDiGraph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  Rng rng(7);
+  EXPECT_FALSE(SampleInsertions(g, 5, &rng).ok());  // only 1 slot left
+  EXPECT_FALSE(SampleDeletions(g, 2, &rng).ok());   // only 1 edge
+}
+
+TEST(UpdateStreamTest, ApplyAndDiffRoundTrip) {
+  DynamicDiGraph from(4);
+  ASSERT_TRUE(from.AddEdge(0, 1).ok());
+  ASSERT_TRUE(from.AddEdge(1, 2).ok());
+  DynamicDiGraph to(4);
+  ASSERT_TRUE(to.AddEdge(1, 2).ok());
+  ASSERT_TRUE(to.AddEdge(2, 3).ok());
+  ASSERT_TRUE(to.AddEdge(3, 0).ok());
+
+  auto diff = DiffGraphs(from, to);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->size(), 3u);  // one delete, two inserts
+  DynamicDiGraph replay = from;
+  ASSERT_TRUE(ApplyUpdates(diff.value(), &replay).ok());
+  EXPECT_EQ(replay.Edges(), to.Edges());
+}
+
+TEST(UpdateStreamTest, DiffRequiresSameNodeCount) {
+  EXPECT_FALSE(DiffGraphs(DynamicDiGraph(2), DynamicDiGraph(3)).ok());
+}
+
+}  // namespace
+}  // namespace incsr::graph

@@ -1,0 +1,281 @@
+// Tests for the Inc-SVD baseline (Li et al., EDBT'10): the SVD-based batch
+// SimRank, the incremental factor update, and — most importantly — the
+// flaw the reproduced paper proves in Section IV, pinned down exactly as
+// in its Examples 2 and 3.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/transition.h"
+#include "incsvd/inc_svd.h"
+#include "incsvd/svd_simrank.h"
+#include "la/svd.h"
+#include "simrank/batch_matrix.h"
+
+namespace incsr {
+namespace {
+
+using graph::DynamicDiGraph;
+using graph::EdgeUpdate;
+using graph::UpdateKind;
+using incsvd::IncSvd;
+using incsvd::IncSvdOptions;
+using simrank::SimRankOptions;
+
+SimRankOptions Converged(double damping = 0.6) {
+  SimRankOptions options;
+  options.damping = damping;
+  options.iterations =
+      static_cast<int>(std::log(1e-13) / std::log(damping)) + 2;
+  return options;
+}
+
+TEST(SvdSimRank, LosslessFactorsReproduceBatchOnFullRankGraph) {
+  // A directed ring has a permutation transition matrix — full rank — so
+  // the SVD route must agree with the batch fixed point exactly.
+  DynamicDiGraph ring(6);
+  for (int v = 0; v < 6; ++v) {
+    ASSERT_TRUE(ring.AddEdge(v, (v + 1) % 6).ok());
+  }
+  auto q = graph::BuildTransition(ring);
+  auto factors = la::ComputeSvd(q.ToDense());
+  ASSERT_TRUE(factors.ok());
+  EXPECT_EQ(factors->rank(), 6u);
+
+  SimRankOptions options = Converged();
+  auto s_svd = incsvd::SimRankFromFactors(factors.value(), options);
+  ASSERT_TRUE(s_svd.ok());
+  la::DenseMatrix s_batch = simrank::BatchMatrix(ring, options);
+  EXPECT_LT(la::MaxAbsDiff(s_svd.value(), s_batch), 1e-10);
+}
+
+TEST(SvdSimRank, LosslessFactorsAreExactEvenWhenRankDeficient) {
+  // The BATCH use of the SVD is exact for any exact factorization (the
+  // telescoping Qᵏ = U·W^{k-1}·Σ·Vᵀ needs no orthogonality); only the
+  // INCREMENTAL factor update of Eq. (4) is flawed. Verify the former on
+  // a rank-deficient citation graph.
+  auto stream = graph::PreferentialCitation(
+      {.num_nodes = 20, .mean_out_degree = 2.0, .seed = 5});
+  ASSERT_TRUE(stream.ok());
+  DynamicDiGraph g = graph::MaterializeGraph(20, stream.value());
+  auto q = graph::BuildTransition(g);
+  auto factors = la::ComputeSvd(q.ToDense());
+  ASSERT_TRUE(factors.ok());
+  ASSERT_LT(factors->rank(), 20u) << "test graph should be rank-deficient";
+
+  SimRankOptions options = Converged();
+  auto s_svd = incsvd::SimRankFromFactors(factors.value(), options);
+  ASSERT_TRUE(s_svd.ok());
+  EXPECT_LT(la::MaxAbsDiff(s_svd.value(), simrank::BatchMatrix(g, options)),
+            1e-9);
+}
+
+TEST(SvdSimRank, FixedPointSolverAgreesWithKronecker) {
+  auto stream = graph::ErdosRenyiGnm(12, 30, 17);
+  ASSERT_TRUE(stream.ok());
+  DynamicDiGraph g = graph::MaterializeGraph(12, stream.value());
+  auto factors = la::ComputeSvd(graph::BuildTransition(g).ToDense());
+  ASSERT_TRUE(factors.ok());
+  SimRankOptions options = Converged();
+  auto kron = incsvd::SimRankFromFactors(factors.value(), options,
+                                         incsvd::SmallSolver::kKronecker);
+  auto fixed = incsvd::SimRankFromFactors(factors.value(), options,
+                                          incsvd::SmallSolver::kFixedPoint);
+  ASSERT_TRUE(kron.ok());
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_LT(la::MaxAbsDiff(kron.value(), fixed.value()), 1e-9);
+}
+
+TEST(IncSvdFlaw, PaperExample3ExactReproduction) {
+  // Example 3: Q = [[0,1],[0,0]] (edge 1→0 under our convention
+  // [Q]_{i,j} = 1/|I(i)|), then an edge insertion with ΔQ = [[0,0],[1,0]].
+  // Li et al.'s update leaves the factors unchanged — it misses the new
+  // eigenvector entirely — and ‖Q̃ − Ũ·Σ̃·Ṽᵀ‖ = 1.
+  DynamicDiGraph g(2);
+  ASSERT_TRUE(g.AddEdge(1, 0).ok());  // row 0 of Q becomes [0, 1]
+
+  IncSvdOptions options;
+  options.simrank = Converged(0.8);
+  auto index = IncSvd::Create(std::move(g), options);
+  ASSERT_TRUE(index.ok());
+  ASSERT_EQ(index->factors().rank(), 1u);
+  EXPECT_LT(index->FactorReconstructionError(), 1e-12);
+
+  // Insert edge (0 → 1): ΔQ = e₂·e₁ᵀ (row 1, col 0), exactly the paper's.
+  ASSERT_TRUE(index->ApplyBatch({{UpdateKind::kInsert, 0, 1}}).ok());
+
+  // C_aux = Σ + (Uᵀu)(vᵀV) = [1]: the update is invisible to the factors.
+  EXPECT_EQ(index->last_stats().aux_rank, 1u);
+  EXPECT_EQ(index->factors().rank(), 1u);
+  // The reconstruction misses ΔQ completely: ‖Q̃ − ŨΣ̃Ṽᵀ‖_max = 1.
+  EXPECT_NEAR(index->FactorReconstructionError(), 1.0, 1e-10);
+
+  // And the similarity estimate disagrees with the truth: in the true
+  // graph 0 and 1 now cite each other, giving s(0,1) > 0 in matrix form,
+  // while Inc-SVD still reports the old value.
+  auto scores = index->ComputeScores();
+  ASSERT_TRUE(scores.ok());
+  la::DenseMatrix truth = simrank::BatchMatrix(index->graph(), Converged(0.8));
+  EXPECT_GT(la::MaxAbsDiff(scores.value(), truth), 0.05);
+}
+
+TEST(IncSvdFlaw, FullRankGraphIsUpdatedExactly) {
+  // When Q stays full-rank, Eq. (6) holds and the baseline is exact — the
+  // boundary case the paper concedes (at O(n⁶) cost).
+  DynamicDiGraph ring(5);
+  for (int v = 0; v < 5; ++v) {
+    ASSERT_TRUE(ring.AddEdge(v, (v + 1) % 5).ok());
+  }
+  IncSvdOptions options;
+  options.simrank = Converged();
+  auto index = IncSvd::Create(std::move(ring), options);
+  ASSERT_TRUE(index.ok());
+  ASSERT_EQ(index->factors().rank(), 5u);
+
+  // Adding a chord keeps every in-degree >= 1; check rank stayed full and
+  // the update stayed exact.
+  ASSERT_TRUE(index->ApplyBatch({{UpdateKind::kInsert, 0, 2}}).ok());
+  ASSERT_EQ(index->factors().rank(), 5u);
+  EXPECT_LT(index->FactorReconstructionError(), 1e-10);
+  auto scores = index->ComputeScores();
+  ASSERT_TRUE(scores.ok());
+  la::DenseMatrix truth = simrank::BatchMatrix(index->graph(), Converged());
+  EXPECT_LT(la::MaxAbsDiff(scores.value(), truth), 1e-9);
+}
+
+TEST(IncSvdFlaw, RankDeficientUpdateLosesEigenInformation) {
+  // On a typical (rank-deficient) citation graph, even the LOSSLESS
+  // incremental update drifts from the truth — the paper's headline
+  // argument against [1].
+  auto stream = graph::PreferentialCitation(
+      {.num_nodes = 16, .mean_out_degree = 2.0, .seed = 9});
+  ASSERT_TRUE(stream.ok());
+  DynamicDiGraph g = graph::MaterializeGraph(16, stream.value());
+  IncSvdOptions options;
+  options.simrank = Converged();
+  auto index = IncSvd::Create(std::move(g), options);
+  ASSERT_TRUE(index.ok());
+  ASSERT_LT(index->factors().rank(), 16u);
+
+  Rng rng(31);
+  auto insertions = graph::SampleInsertions(index->graph(), 3, &rng);
+  ASSERT_TRUE(insertions.ok());
+  ASSERT_TRUE(index->ApplyBatch(insertions.value()).ok());
+  EXPECT_GT(index->FactorReconstructionError(), 1e-6);
+}
+
+TEST(IncSvd, TruncatedRankCapsFactors) {
+  auto stream = graph::ErdosRenyiGnm(15, 45, 41);
+  ASSERT_TRUE(stream.ok());
+  DynamicDiGraph g = graph::MaterializeGraph(15, stream.value());
+  IncSvdOptions options;
+  options.simrank = Converged();
+  options.target_rank = 5;
+  auto index = IncSvd::Create(std::move(g), options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->factors().rank(), 5u);
+  ASSERT_TRUE(index->ApplyBatch({{UpdateKind::kInsert, 0, 5}}).ok());
+  EXPECT_LE(index->factors().rank(), 5u);
+  auto scores = index->ComputeScores();
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->rows(), 15u);
+}
+
+TEST(IncSvd, MemoryBudgetProducesResourceExhausted) {
+  auto stream = graph::ErdosRenyiGnm(10, 25, 43);
+  ASSERT_TRUE(stream.ok());
+  DynamicDiGraph g = graph::MaterializeGraph(10, stream.value());
+
+  // Budget below even the dense Q: factorization itself is refused.
+  IncSvdOptions tiny;
+  tiny.simrank = Converged();
+  tiny.memory_budget_bytes = 64;
+  auto refused = IncSvd::Create(g, tiny);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+
+  // Budget that admits the 10×10 dense Q (800 B) but not the r⁴
+  // Kronecker system of the scoring step.
+  IncSvdOptions medium;
+  medium.simrank = Converged();
+  medium.memory_budget_bytes = 2000;
+  auto index = IncSvd::Create(std::move(g), medium);
+  ASSERT_TRUE(index.ok());
+  auto scores = index->ComputeScores();
+  EXPECT_FALSE(scores.ok());
+  EXPECT_EQ(scores.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(IncSvd, RandomizedFactorizationApproximatesTopRank) {
+  auto stream = graph::PreferentialCitation(
+      {.num_nodes = 120, .mean_out_degree = 4.0, .seed = 77});
+  ASSERT_TRUE(stream.ok());
+  DynamicDiGraph g = graph::MaterializeGraph(120, stream.value());
+
+  IncSvdOptions options;
+  options.simrank = Converged();
+  options.target_rank = 6;
+  options.factorization = incsvd::Factorization::kRandomized;
+  auto randomized = IncSvd::Create(g, options);
+  ASSERT_TRUE(randomized.ok());
+  ASSERT_EQ(randomized->factors().rank(), 6u);
+
+  options.factorization = incsvd::Factorization::kDenseJacobi;
+  auto exact = IncSvd::Create(g, options);
+  ASSERT_TRUE(exact.ok());
+
+  // Leading singular values agree to a few percent.
+  for (std::size_t k = 0; k < 6; ++k) {
+    EXPECT_NEAR(randomized->factors().sigma[k], exact->factors().sigma[k],
+                0.05 * exact->factors().sigma[0] + 1e-9)
+        << "sigma[" << k << "]";
+  }
+  EXPECT_EQ(IncSvd::Create(g, {.simrank = Converged(),
+                               .target_rank = 0,
+                               .factorization =
+                                   incsvd::Factorization::kRandomized})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(IncSvd, FaithfulTensorOrderMatchesFastPath) {
+  auto stream = graph::ErdosRenyiGnm(14, 40, 51);
+  ASSERT_TRUE(stream.ok());
+  DynamicDiGraph g = graph::MaterializeGraph(14, stream.value());
+  IncSvdOptions fast;
+  fast.simrank = Converged();
+  fast.target_rank = 5;
+  IncSvdOptions faithful = fast;
+  faithful.faithful_tensor_order = true;
+  auto a = IncSvd::Create(g, fast);
+  auto b = IncSvd::Create(g, faithful);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto sa = a->ComputeScores();
+  auto sb = b->ComputeScores();
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  // Same algebra, different evaluation order.
+  EXPECT_LT(la::MaxAbsDiff(sa.value(), sb.value()), 1e-9);
+}
+
+TEST(IncSvd, InvalidUpdatesAreRejected) {
+  DynamicDiGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  IncSvdOptions options;
+  options.simrank = Converged();
+  auto index = IncSvd::Create(std::move(g), options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->ApplyBatch({{UpdateKind::kInsert, 0, 1}}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(index->ApplyBatch({{UpdateKind::kDelete, 1, 2}}).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(index->ApplyBatch({{UpdateKind::kInsert, 0, 9}}).code(),
+            StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace incsr

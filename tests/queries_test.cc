@@ -1,0 +1,121 @@
+// Tests for the memory-light SimRank queries (single-pair, single-source)
+// and the update-stream text format.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/transition.h"
+#include "graph/update_stream.h"
+#include "simrank/batch_matrix.h"
+#include "simrank/queries.h"
+
+namespace incsr::simrank {
+namespace {
+
+using graph::DynamicDiGraph;
+
+DynamicDiGraph TestGraph(std::uint64_t seed = 5) {
+  auto stream = graph::ErdosRenyiGnm(25, 80, seed);
+  INCSR_CHECK(stream.ok(), "generator");
+  return graph::MaterializeGraph(25, stream.value());
+}
+
+TEST(SinglePairQuery, MatchesAllPairsMatrix) {
+  DynamicDiGraph g = TestGraph();
+  SimRankOptions options;
+  options.iterations = 25;
+  la::CsrMatrix q = graph::BuildTransitionCsr(g);
+  la::DenseMatrix s = BatchMatrixFromTransition(q, options);
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto a = static_cast<graph::NodeId>(rng.NextBounded(25));
+    auto b = static_cast<graph::NodeId>(rng.NextBounded(25));
+    auto score = SinglePairSimRank(q, a, b, options);
+    ASSERT_TRUE(score.ok());
+    EXPECT_NEAR(score.value(),
+                s(static_cast<std::size_t>(a), static_cast<std::size_t>(b)),
+                1e-10)
+        << "pair (" << a << ", " << b << ")";
+  }
+}
+
+TEST(SinglePairQuery, GraphOverloadAndDiagonal) {
+  DynamicDiGraph g = TestGraph(7);
+  SimRankOptions options;
+  options.iterations = 20;
+  auto self = SinglePairSimRank(g, 3, 3, options);
+  ASSERT_TRUE(self.ok());
+  la::DenseMatrix s = BatchMatrix(g, options);
+  EXPECT_NEAR(self.value(), s(3, 3), 1e-12);
+}
+
+TEST(SinglePairQuery, RejectsBadNodes) {
+  DynamicDiGraph g = TestGraph();
+  EXPECT_EQ(SinglePairSimRank(g, -1, 3).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(SinglePairSimRank(g, 3, 99).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(SingleSourceQuery, MatchesAllPairsRow) {
+  DynamicDiGraph g = TestGraph(11);
+  SimRankOptions options;
+  options.iterations = 15;
+  la::CsrMatrix q = graph::BuildTransitionCsr(g);
+  la::DenseMatrix s = BatchMatrixFromTransition(q, options);
+  for (graph::NodeId a : {0, 7, 24}) {
+    auto row = SingleSourceSimRank(q, a, options);
+    ASSERT_TRUE(row.ok());
+    EXPECT_LT(la::MaxAbsDiff(row.value(),
+                             s.Row(static_cast<std::size_t>(a))),
+              1e-10)
+        << "source " << a;
+  }
+}
+
+TEST(SingleSourceQuery, IsolatedNodeRowIsDeltaScaled) {
+  DynamicDiGraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  SimRankOptions options;
+  auto row = SingleSourceSimRank(graph::BuildTransitionCsr(g), 3, options);
+  ASSERT_TRUE(row.ok());
+  EXPECT_DOUBLE_EQ(row.value()[3], 1.0 - options.damping);
+  EXPECT_DOUBLE_EQ(row.value()[0], 0.0);
+}
+
+TEST(UpdateStreamFormat, RoundTrip) {
+  std::vector<graph::EdgeUpdate> updates = {
+      {graph::UpdateKind::kInsert, 3, 7},
+      {graph::UpdateKind::kDelete, 0, 2},
+      {graph::UpdateKind::kInsert, 100, 4},
+  };
+  std::string text = graph::FormatUpdateStream(updates);
+  auto parsed = graph::ParseUpdateStream(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), updates);
+}
+
+TEST(UpdateStreamFormat, CommentsAndBlanksIgnored) {
+  auto parsed = graph::ParseUpdateStream(
+      "# churn for day 12\n\n+ 1 2   # new link\n- 2 1\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ(parsed->at(0).kind, graph::UpdateKind::kInsert);
+  EXPECT_EQ(parsed->at(1).kind, graph::UpdateKind::kDelete);
+}
+
+TEST(UpdateStreamFormat, MalformedLinesRejected) {
+  EXPECT_EQ(graph::ParseUpdateStream("* 1 2\n").status().code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(graph::ParseUpdateStream("+ 1\n").status().code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(graph::ParseUpdateStream("+ 1 2 3\n").status().code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(graph::ParseUpdateStream("+ -1 2\n").status().code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(graph::ParseUpdateStream("insert 1 2\n").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace incsr::simrank

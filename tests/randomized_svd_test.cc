@@ -1,0 +1,138 @@
+// Tests for the randomized truncated SVD and its Gram-Schmidt range
+// finder — the substrate that makes the Inc-SVD baseline's r = 5
+// factorization tractable at bench scale.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/transition.h"
+#include "la/qr.h"
+#include "la/randomized_svd.h"
+#include "la/svd.h"
+
+namespace incsr::la {
+namespace {
+
+DenseMatrix RandomMatrix(std::size_t rows, std::size_t cols, Rng* rng) {
+  DenseMatrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng->NextGaussian();
+  }
+  return m;
+}
+
+double OrthonormalityDefect(const DenseMatrix& x) {
+  DenseMatrix gram = MultiplyTransposeA(x, x);
+  gram.AddScaledIdentity(-1.0);
+  return gram.MaxAbs();
+}
+
+TEST(OrthonormalBasisTest, FullRankInput) {
+  Rng rng(3);
+  DenseMatrix a = RandomMatrix(12, 5, &rng);
+  auto q = OrthonormalBasis(a);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->cols(), 5u);
+  EXPECT_LT(OrthonormalityDefect(q.value()), 1e-12);
+  // Column span is preserved: projecting A onto Q recovers A.
+  DenseMatrix projected = Multiply(q.value(), MultiplyTransposeA(q.value(), a));
+  EXPECT_LT(MaxAbsDiff(projected, a), 1e-10);
+}
+
+TEST(OrthonormalBasisTest, RankDeficientInputDropsColumns) {
+  Rng rng(5);
+  DenseMatrix left = RandomMatrix(10, 3, &rng);
+  DenseMatrix right = RandomMatrix(3, 6, &rng);
+  DenseMatrix a = Multiply(left, right);  // rank 3, 6 columns
+  auto q = OrthonormalBasis(a);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->cols(), 3u);
+  EXPECT_LT(OrthonormalityDefect(q.value()), 1e-10);
+}
+
+TEST(OrthonormalBasisTest, DegenerateInputsAreRejected) {
+  EXPECT_FALSE(OrthonormalBasis(DenseMatrix()).ok());
+  EXPECT_EQ(OrthonormalBasis(DenseMatrix(4, 3)).status().code(),
+            StatusCode::kFailedPrecondition);  // zero matrix
+}
+
+TEST(RandomizedSvdTest, TopSingularTripletsMatchJacobi) {
+  auto stream = graph::PreferentialCitation(
+      {.num_nodes = 150, .mean_out_degree = 5.0, .seed = 9});
+  ASSERT_TRUE(stream.ok());
+  auto g = graph::MaterializeGraph(150, stream.value());
+  CsrMatrix q_sparse = graph::BuildTransitionCsr(g);
+
+  auto randomized = ComputeRandomizedSvd(q_sparse, {.rank = 8});
+  ASSERT_TRUE(randomized.ok());
+  ASSERT_EQ(randomized->rank(), 8u);
+
+  auto exact = ComputeSvd(q_sparse.ToDense());
+  ASSERT_TRUE(exact.ok());
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_NEAR(randomized->sigma[k], exact->sigma[k],
+                0.03 * exact->sigma[0])
+        << "sigma[" << k << "]";
+  }
+  // Factors are orthonormal and the truncation error is near-optimal:
+  // within a modest factor of the Eckart-Young bound sigma_{r+1}.
+  EXPECT_LT(OrthonormalityDefect(randomized->u), 1e-9);
+  EXPECT_LT(OrthonormalityDefect(randomized->v), 1e-9);
+  DenseMatrix err = randomized->Reconstruct();
+  err.AddScaled(-1.0, q_sparse.ToDense());
+  double dropped_sq = 0.0;
+  for (std::size_t k = 8; k < exact->rank(); ++k) {
+    dropped_sq += exact->sigma[k] * exact->sigma[k];
+  }
+  EXPECT_LT(err.FrobeniusNorm(), 2.0 * std::sqrt(dropped_sq) + 1e-9);
+}
+
+TEST(RandomizedSvdTest, ExactOnLowRankMatrix) {
+  // When the true rank is below the sketch size, the result is exact.
+  Rng rng(13);
+  DenseMatrix left = RandomMatrix(40, 4, &rng);
+  DenseMatrix right = RandomMatrix(4, 40, &rng);
+  DenseMatrix dense = Multiply(left, right);
+  std::vector<std::tuple<std::int32_t, std::int32_t, double>> triplets;
+  for (std::int32_t i = 0; i < 40; ++i) {
+    for (std::int32_t j = 0; j < 40; ++j) {
+      triplets.emplace_back(i, j, dense(static_cast<std::size_t>(i),
+                                        static_cast<std::size_t>(j)));
+    }
+  }
+  CsrMatrix sparse = CsrMatrix::FromTriplets(40, 40, triplets);
+  auto svd = ComputeRandomizedSvd(sparse, {.rank = 4});
+  ASSERT_TRUE(svd.ok());
+  ASSERT_EQ(svd->rank(), 4u);
+  EXPECT_LT(MaxAbsDiff(svd->Reconstruct(), dense),
+            1e-9 * (1.0 + dense.MaxAbs()));
+}
+
+TEST(RandomizedSvdTest, DeterministicInSeed) {
+  auto stream = graph::ErdosRenyiGnm(60, 240, 21);
+  ASSERT_TRUE(stream.ok());
+  auto g = graph::MaterializeGraph(60, stream.value());
+  CsrMatrix q = graph::BuildTransitionCsr(g);
+  auto a = ComputeRandomizedSvd(q, {.rank = 5, .seed = 42});
+  auto b = ComputeRandomizedSvd(q, {.rank = 5, .seed = 42});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(MaxAbsDiff(a->u, b->u), 0.0);
+  EXPECT_EQ(la::MaxAbsDiff(a->sigma, b->sigma), 0.0);
+}
+
+TEST(RandomizedSvdTest, Validation) {
+  CsrMatrix empty;
+  EXPECT_FALSE(ComputeRandomizedSvd(empty, {.rank = 3}).ok());
+  auto stream = graph::ErdosRenyiGnm(10, 30, 1);
+  ASSERT_TRUE(stream.ok());
+  CsrMatrix q = graph::BuildTransitionCsr(
+      graph::MaterializeGraph(10, stream.value()));
+  EXPECT_EQ(ComputeRandomizedSvd(q, {.rank = 0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace incsr::la

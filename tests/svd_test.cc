@@ -1,0 +1,163 @@
+// Tests for the one-sided Jacobi SVD: reconstruction, orthonormality,
+// rank-revealing behaviour, truncation, and the exact 2×2 case from the
+// paper's Example 2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "la/dense_matrix.h"
+#include "la/svd.h"
+
+namespace incsr::la {
+namespace {
+
+DenseMatrix RandomMatrix(std::size_t rows, std::size_t cols, Rng* rng) {
+  DenseMatrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng->NextGaussian();
+  }
+  return m;
+}
+
+// ‖XᵀX − I‖_max: column orthonormality defect.
+double OrthonormalityDefect(const DenseMatrix& x) {
+  DenseMatrix gram = MultiplyTransposeA(x, x);
+  gram.AddScaledIdentity(-1.0);
+  return gram.MaxAbs();
+}
+
+TEST(SvdTest, PaperExample2) {
+  // Q = [[0, 1], [0, 0]] has the lossless SVD U = [1,0]ᵀ, Σ = [1],
+  // V = [0,1]ᵀ; crucially U·Uᵀ ≠ I₂ while Uᵀ·U = I₁ — the rank-deficiency
+  // fact Section IV of the paper builds on.
+  DenseMatrix q = DenseMatrix::FromRows({{0, 1}, {0, 0}});
+  auto svd = ComputeSvd(q);
+  ASSERT_TRUE(svd.ok());
+  ASSERT_EQ(svd->rank(), 1u);
+  EXPECT_NEAR(svd->sigma[0], 1.0, 1e-12);
+  EXPECT_NEAR(std::fabs(svd->u(0, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(svd->u(1, 0), 0.0, 1e-12);
+  EXPECT_NEAR(std::fabs(svd->v(1, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(svd->v(0, 0), 0.0, 1e-12);
+
+  // Uᵀ·U = I_rank but U·Uᵀ ≠ I_n.
+  EXPECT_LT(OrthonormalityDefect(svd->u), 1e-12);
+  DenseMatrix uut = MultiplyTransposeB(svd->u, svd->u);
+  uut.AddScaledIdentity(-1.0);
+  EXPECT_NEAR(uut.MaxAbs(), 1.0, 1e-12);  // ‖U·Uᵀ − I‖ = 1, not small
+
+  EXPECT_LT(MaxAbsDiff(svd->Reconstruct(), q), 1e-12);
+}
+
+TEST(SvdTest, DiagonalMatrix) {
+  DenseMatrix d = DenseMatrix::Diagonal(Vector{3.0, 1.0, 2.0});
+  auto svd = ComputeSvd(d);
+  ASSERT_TRUE(svd.ok());
+  ASSERT_EQ(svd->rank(), 3u);
+  EXPECT_NEAR(svd->sigma[0], 3.0, 1e-12);
+  EXPECT_NEAR(svd->sigma[1], 2.0, 1e-12);
+  EXPECT_NEAR(svd->sigma[2], 1.0, 1e-12);
+  EXPECT_LT(MaxAbsDiff(svd->Reconstruct(), d), 1e-12);
+}
+
+struct SvdCase {
+  std::uint64_t seed;
+  std::size_t rows;
+  std::size_t cols;
+};
+
+class SvdPropertyTest : public ::testing::TestWithParam<SvdCase> {};
+
+TEST_P(SvdPropertyTest, ReconstructionAndOrthonormality) {
+  const SvdCase param = GetParam();
+  Rng rng(param.seed);
+  DenseMatrix a = RandomMatrix(param.rows, param.cols, &rng);
+  auto svd = ComputeSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_EQ(svd->rank(), std::min(param.rows, param.cols));
+  const double scale = a.MaxAbs();
+  EXPECT_LT(MaxAbsDiff(svd->Reconstruct(), a), 1e-10 * (1.0 + scale));
+  EXPECT_LT(OrthonormalityDefect(svd->u), 1e-10);
+  EXPECT_LT(OrthonormalityDefect(svd->v), 1e-10);
+  // Singular values are non-increasing and positive.
+  for (std::size_t k = 1; k < svd->rank(); ++k) {
+    EXPECT_LE(svd->sigma[k], svd->sigma[k - 1] + 1e-12);
+    EXPECT_GT(svd->sigma[k], 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdPropertyTest,
+    ::testing::Values(SvdCase{1, 6, 6}, SvdCase{2, 10, 4}, SvdCase{3, 4, 10},
+                      SvdCase{4, 20, 20}, SvdCase{5, 1, 5}, SvdCase{6, 5, 1},
+                      SvdCase{7, 30, 17}, SvdCase{8, 17, 30}));
+
+TEST(SvdTest, RankDeficientMatrixIsDetected) {
+  Rng rng(21);
+  // Build a 10×10 matrix of rank exactly 3.
+  DenseMatrix left = RandomMatrix(10, 3, &rng);
+  DenseMatrix right = RandomMatrix(3, 10, &rng);
+  DenseMatrix a = Multiply(left, right);
+  auto svd = ComputeSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_EQ(svd->rank(), 3u);
+  EXPECT_LT(MaxAbsDiff(svd->Reconstruct(), a), 1e-9 * (1.0 + a.MaxAbs()));
+
+  auto rank = NumericalRank(a);
+  ASSERT_TRUE(rank.ok());
+  EXPECT_EQ(rank.value(), 3u);
+}
+
+TEST(SvdTest, TargetRankTruncatesToBestApproximation) {
+  Rng rng(22);
+  DenseMatrix a = RandomMatrix(12, 12, &rng);
+  SvdOptions options;
+  options.target_rank = 4;
+  auto truncated = ComputeSvd(a, options);
+  ASSERT_TRUE(truncated.ok());
+  ASSERT_EQ(truncated->rank(), 4u);
+  auto full = ComputeSvd(a);
+  ASSERT_TRUE(full.ok());
+  // Eckart-Young: the truncation error in Frobenius norm equals the norm
+  // of the dropped singular values.
+  DenseMatrix err = truncated->Reconstruct();
+  err.AddScaled(-1.0, a);
+  double dropped = 0.0;
+  for (std::size_t k = 4; k < full->rank(); ++k) {
+    dropped += full->sigma[k] * full->sigma[k];
+  }
+  EXPECT_NEAR(err.FrobeniusNorm(), std::sqrt(dropped), 1e-8);
+}
+
+TEST(SvdTest, ZeroMatrixHasRankZero) {
+  DenseMatrix zero(5, 5);
+  auto svd = ComputeSvd(zero);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_EQ(svd->rank(), 0u);
+  EXPECT_LT(MaxAbsDiff(svd->Reconstruct(), zero), 1e-15);
+}
+
+TEST(SvdTest, EmptyMatrixIsRejected) {
+  DenseMatrix empty;
+  EXPECT_EQ(ComputeSvd(empty).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SvdTest, SingularValuesMatchEigenvaluesOfGram) {
+  Rng rng(23);
+  DenseMatrix a = RandomMatrix(8, 8, &rng);
+  auto svd = ComputeSvd(a);
+  ASSERT_TRUE(svd.ok());
+  // tr(AᵀA) = Σ σ².
+  DenseMatrix gram = MultiplyTransposeA(a, a);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) trace += gram(i, i);
+  double sum_sq = 0.0;
+  for (std::size_t k = 0; k < svd->rank(); ++k) {
+    sum_sq += svd->sigma[k] * svd->sigma[k];
+  }
+  EXPECT_NEAR(trace, sum_sq, 1e-9 * (1.0 + trace));
+}
+
+}  // namespace
+}  // namespace incsr::la

@@ -1,0 +1,172 @@
+// incsr_cli — command-line driver for the library: load a SNAP edge list,
+// compute all-pairs SimRank, optionally replay an update stream
+// incrementally, and print top-k similar pairs (or neighbors of a query
+// node).
+//
+// Usage:
+//   incsr_cli <edge_list> [--updates FILE] [--query NODE] [--topk K]
+//             [--damping C] [--iterations K] [--algorithm incsr|incusr]
+//
+// The updates file holds one update per line: "+ src dst" (insert) or
+// "- src dst" (delete); '#' starts a comment.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "incsr/incsr.h"
+
+namespace {
+
+using namespace incsr;
+
+struct CliOptions {
+  std::string edge_list;
+  std::string updates_file;
+  graph::NodeId query = -1;
+  std::size_t topk = 10;
+  double damping = 0.6;
+  int iterations = 15;
+  core::UpdateAlgorithm algorithm = core::UpdateAlgorithm::kIncSR;
+};
+
+void PrintUsage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s <edge_list> [--updates FILE] [--query NODE] [--topk K]\n"
+      "          [--damping C] [--iterations K] [--algorithm incsr|incusr]\n",
+      prog);
+}
+
+Result<CliOptions> ParseArgs(int argc, char** argv) {
+  if (argc < 2) return Status::InvalidArgument("missing edge list path");
+  CliOptions options;
+  options.edge_list = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag " + flag + " needs a value");
+      }
+      return std::string(argv[++i]);
+    };
+    if (flag == "--updates") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      options.updates_file = v.value();
+    } else if (flag == "--query") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      options.query = static_cast<graph::NodeId>(std::atoi(v->c_str()));
+    } else if (flag == "--topk") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      options.topk = static_cast<std::size_t>(std::atoll(v->c_str()));
+    } else if (flag == "--damping") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      options.damping = std::atof(v->c_str());
+    } else if (flag == "--iterations") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      options.iterations = std::atoi(v->c_str());
+    } else if (flag == "--algorithm") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      if (*v == "incsr") {
+        options.algorithm = core::UpdateAlgorithm::kIncSR;
+      } else if (*v == "incusr") {
+        options.algorithm = core::UpdateAlgorithm::kIncUSR;
+      } else {
+        return Status::InvalidArgument("unknown algorithm '" + *v + "'");
+      }
+    } else {
+      return Status::InvalidArgument("unknown flag '" + flag + "'");
+    }
+  }
+  return options;
+}
+
+Result<std::vector<graph::EdgeUpdate>> ReadUpdates(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open updates file '" + path + "'");
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return graph::ParseUpdateStream(contents.str());
+}
+
+int Run(const CliOptions& options) {
+  auto data = graph::ReadEdgeListFile(options.edge_list);
+  if (!data.ok()) {
+    std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu nodes, %zu edges (%zu duplicate lines skipped)\n",
+              data->graph.num_nodes(), data->graph.num_edges(),
+              data->duplicates_skipped);
+
+  simrank::SimRankOptions sr_options;
+  sr_options.damping = options.damping;
+  sr_options.iterations = options.iterations;
+  WallTimer timer;
+  auto index = core::DynamicSimRank::Create(data->graph, sr_options,
+                                            options.algorithm);
+  if (!index.ok()) {
+    std::fprintf(stderr, "error: %s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("batch SimRank solve: %.2f s (C = %.2f, K = %d)\n",
+              timer.ElapsedSeconds(), options.damping, options.iterations);
+
+  if (!options.updates_file.empty()) {
+    auto updates = ReadUpdates(options.updates_file);
+    if (!updates.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   updates.status().ToString().c_str());
+      return 1;
+    }
+    timer.Restart();
+    Status applied = index->ApplyBatch(updates.value());
+    if (!applied.ok()) {
+      std::fprintf(stderr, "error applying updates: %s\n",
+                   applied.ToString().c_str());
+      return 1;
+    }
+    std::printf("applied %zu updates incrementally: %.3f s\n",
+                updates->size(), timer.ElapsedSeconds());
+  }
+
+  if (options.query >= 0) {
+    if (!index->graph().HasNode(options.query)) {
+      std::fprintf(stderr, "error: query node %d out of range\n",
+                   options.query);
+      return 1;
+    }
+    std::printf("top-%zu most similar to node %d:\n", options.topk,
+                options.query);
+    for (const auto& pair : index->TopKFor(options.query, options.topk)) {
+      std::printf("  %6d  %.6f\n", pair.b, pair.score);
+    }
+  } else {
+    std::printf("top-%zu node pairs:\n", options.topk);
+    for (const auto& pair : index->TopKPairs(options.topk)) {
+      std::printf("  (%6d, %6d)  %.6f\n", pair.a, pair.b, pair.score);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = ParseArgs(argc, argv);
+  if (!options.ok()) {
+    std::fprintf(stderr, "error: %s\n", options.status().ToString().c_str());
+    PrintUsage(argv[0]);
+    return 2;
+  }
+  return Run(options.value());
+}
