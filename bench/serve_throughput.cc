@@ -1,0 +1,190 @@
+// serve_throughput — load generator for the concurrent serving layer.
+// Builds a synthetic link-evolving workload (ER base graph + sampled
+// insertions), replays it through SimRankService from W writer threads
+// while R reader threads issue top-k queries in a closed loop, and reports
+// ingest throughput (updates/s) plus query latency percentiles (p50/p99)
+// under the mixed read/write load. Runs twice — query cache enabled and
+// disabled — so the affected-area invalidation win is visible directly.
+//
+// Usage: bench_serve_throughput [--nodes N] [--edges M] [--updates U]
+//          [--writers W] [--readers R] [--topk K] [--max-batch B]
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "incsr/incsr.h"
+
+namespace {
+
+using namespace incsr;
+
+struct LoadConfig {
+  std::size_t nodes = 200;
+  std::size_t edges = 1200;
+  std::size_t updates = 400;
+  std::size_t writers = 2;
+  std::size_t readers = 2;
+  std::size_t topk = 10;
+  std::size_t max_batch = 64;
+};
+
+double Percentile(std::vector<double>* sorted_in_place, double pct) {
+  std::vector<double>& v = *sorted_in_place;
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      pct * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+struct LoadResult {
+  double ingest_seconds = 0.0;
+  std::uint64_t total_queries = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  service::ServiceStats stats;
+};
+
+LoadResult RunLoad(const LoadConfig& config,
+                   const graph::DynamicDiGraph& graph,
+                   const std::vector<graph::EdgeUpdate>& updates,
+                   std::size_t cache_capacity) {
+  simrank::SimRankOptions options;  // paper defaults: C = 0.6, K = 15
+  auto index = core::DynamicSimRank::Create(graph, options);
+  INCSR_CHECK(index.ok(), "index build failed");
+
+  service::ServiceOptions service_options;
+  service_options.max_batch = config.max_batch;
+  service_options.cache_capacity = cache_capacity;
+  auto service = service::SimRankService::Create(std::move(index).value(),
+                                                 service_options);
+  INCSR_CHECK(service.ok(), "service build failed");
+  service::SimRankService& svc = **service;
+
+  std::atomic<bool> done{false};
+  std::vector<std::vector<double>> latencies(config.readers);
+  std::vector<std::thread> threads;
+  WallTimer timer;
+  for (std::size_t w = 0; w < config.writers; ++w) {
+    threads.emplace_back([&, w] {
+      for (std::size_t i = w; i < updates.size(); i += config.writers) {
+        Status s = svc.Submit(updates[i]);
+        INCSR_CHECK(s.ok(), "submit failed: %s", s.ToString().c_str());
+      }
+    });
+  }
+  for (std::size_t r = 0; r < config.readers; ++r) {
+    threads.emplace_back([&, r] {
+      Rng rng(999 + static_cast<std::uint64_t>(r));
+      std::vector<double>& mine = latencies[r];
+      while (!done.load(std::memory_order_acquire)) {
+        const auto node =
+            static_cast<graph::NodeId>(rng.NextBounded(config.nodes));
+        WallTimer query_timer;
+        auto top = svc.TopKFor(node, config.topk);
+        INCSR_CHECK(top.ok(), "query failed");
+        mine.push_back(query_timer.ElapsedSeconds() * 1e6);
+      }
+    });
+  }
+  for (std::size_t w = 0; w < config.writers; ++w) threads[w].join();
+  INCSR_CHECK(svc.Flush().ok(), "flush failed");
+  LoadResult result;
+  result.ingest_seconds = timer.ElapsedSeconds();
+  done.store(true, std::memory_order_release);
+  for (std::size_t t = config.writers; t < threads.size(); ++t) {
+    threads[t].join();
+  }
+
+  std::vector<double> merged;
+  for (const auto& per_reader : latencies) {
+    merged.insert(merged.end(), per_reader.begin(), per_reader.end());
+  }
+  result.total_queries = merged.size();
+  result.p50_us = Percentile(&merged, 0.50);
+  result.p99_us = Percentile(&merged, 0.99);
+  result.stats = svc.stats();
+  return result;
+}
+
+void Report(const char* label, const LoadConfig& config,
+            const LoadResult& result) {
+  const double updates_per_sec =
+      static_cast<double>(result.stats.applied) / result.ingest_seconds;
+  const double queries_per_sec =
+      static_cast<double>(result.total_queries) / result.ingest_seconds;
+  const std::uint64_t lookups = result.stats.cache.hits +
+                                result.stats.cache.misses;
+  std::printf(
+      "%-14s %9.0f upd/s  %8.0f qry/s  p50 %7.1f us  p99 %7.1f us  "
+      "hit-rate %5.1f%%  (%llu queries, %llu epochs)\n",
+      label, updates_per_sec, queries_per_sec, result.p50_us, result.p99_us,
+      lookups == 0 ? 0.0
+                   : 100.0 * static_cast<double>(result.stats.cache.hits) /
+                         static_cast<double>(lookups),
+      static_cast<unsigned long long>(result.total_queries),
+      static_cast<unsigned long long>(result.stats.epoch));
+  INCSR_CHECK(result.stats.applied == config.updates,
+              "lost updates: applied %llu of %zu",
+              static_cast<unsigned long long>(result.stats.applied),
+              config.updates);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::InitBench();
+  LoadConfig config;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> std::size_t {
+      INCSR_CHECK(i + 1 < argc, "flag %s needs a value", argv[i]);
+      return static_cast<std::size_t>(std::atoll(argv[++i]));
+    };
+    if (std::strcmp(argv[i], "--nodes") == 0) {
+      config.nodes = next();
+    } else if (std::strcmp(argv[i], "--edges") == 0) {
+      config.edges = next();
+    } else if (std::strcmp(argv[i], "--updates") == 0) {
+      config.updates = next();
+    } else if (std::strcmp(argv[i], "--writers") == 0) {
+      config.writers = next();
+    } else if (std::strcmp(argv[i], "--readers") == 0) {
+      config.readers = next();
+    } else if (std::strcmp(argv[i], "--topk") == 0) {
+      config.topk = next();
+    } else if (std::strcmp(argv[i], "--max-batch") == 0) {
+      config.max_batch = next();
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  bench::PrintHeader("serve_throughput — mixed read/write serving load");
+  std::printf(
+      "n = %zu, |E| = %zu, |dG| = %zu insertions, %zu writers, %zu readers, "
+      "k = %zu, max_batch = %zu\n",
+      config.nodes, config.edges, config.updates, config.writers,
+      config.readers, config.topk, config.max_batch);
+
+  auto stream = graph::ErdosRenyiGnm(config.nodes, config.edges, 7);
+  INCSR_CHECK(stream.ok(), "generator failed");
+  graph::DynamicDiGraph graph =
+      graph::MaterializeGraph(config.nodes, stream.value());
+  Rng rng(11);
+  auto updates = graph::SampleInsertions(graph, config.updates, &rng);
+  INCSR_CHECK(updates.ok(), "sampling failed: %s",
+              updates.status().ToString().c_str());
+
+  LoadResult cached = RunLoad(config, graph, updates.value(),
+                              /*cache_capacity=*/4096);
+  Report("cache on:", config, cached);
+  LoadResult uncached = RunLoad(config, graph, updates.value(),
+                                /*cache_capacity=*/0);
+  Report("cache off:", config, uncached);
+  return 0;
+}

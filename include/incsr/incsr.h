@@ -32,6 +32,8 @@
 #include "la/sparse_matrix.h"    // IWYU pragma: export
 #include "la/svd.h"              // IWYU pragma: export
 #include "la/vector.h"           // IWYU pragma: export
+#include "service/query_cache.h"     // IWYU pragma: export
+#include "service/simrank_service.h" // IWYU pragma: export
 #include "simrank/batch_matrix.h"        // IWYU pragma: export
 #include "simrank/batch_naive.h"         // IWYU pragma: export
 #include "simrank/batch_partial_sums.h"  // IWYU pragma: export

@@ -84,8 +84,13 @@ Status DynamicSimRank::ApplyUpdate(const graph::EdgeUpdate& update) {
 
 Status DynamicSimRank::ApplyBatch(
     const std::vector<graph::EdgeUpdate>& updates) {
+  batch_stats_ = AffectedAreaStats{};
+  batch_stats_.num_nodes = graph_.num_nodes();
   for (const graph::EdgeUpdate& update : updates) {
     INCSR_RETURN_IF_ERROR(ApplyUpdate(update));
+    if (algorithm_ == UpdateAlgorithm::kIncSR) {
+      batch_stats_.Merge(engine_.last_stats());
+    }
   }
   return Status::OK();
 }
@@ -96,10 +101,13 @@ Status DynamicSimRank::ApplyBatchCoalesced(
     return Status::NotSupported(
         "coalesced batches require the Inc-SR update algorithm");
   }
+  batch_stats_ = AffectedAreaStats{};
+  batch_stats_.num_nodes = graph_.num_nodes();
   for (const CoalescedGroup& group : CoalesceByTarget(updates)) {
     INCSR_RETURN_IF_ERROR(engine_.ApplyRowUpdate(
         group.target, std::span(group.changes.data(), group.changes.size()),
         &graph_, &q_, &s_));
+    batch_stats_.Merge(engine_.last_stats());
   }
   return Status::OK();
 }
@@ -119,15 +127,15 @@ graph::NodeId DynamicSimRank::AddNode() {
   return fresh;
 }
 
-std::vector<ScoredPair> DynamicSimRank::TopKPairs(std::size_t k) const {
-  const std::size_t n = graph_.num_nodes();
+std::vector<ScoredPair> TopKPairsOf(const la::DenseMatrix& s, std::size_t k) {
+  const std::size_t n = s.rows();
   std::vector<ScoredPair> heap;  // min-heap on score
   auto cmp = [](const ScoredPair& x, const ScoredPair& y) {
     if (x.score != y.score) return x.score > y.score;
     return std::pair(x.a, x.b) < std::pair(y.a, y.b);
   };
   for (std::size_t a = 0; a < n; ++a) {
-    const double* row = s_.RowPtr(a);
+    const double* row = s.RowPtr(a);
     for (std::size_t b = a + 1; b < n; ++b) {
       ScoredPair cand{static_cast<graph::NodeId>(a),
                       static_cast<graph::NodeId>(b), row[b]};
@@ -146,25 +154,44 @@ std::vector<ScoredPair> DynamicSimRank::TopKPairs(std::size_t k) const {
   return heap;
 }
 
+std::vector<ScoredPair> TopKForOf(const la::DenseMatrix& s,
+                                  graph::NodeId query, std::size_t k) {
+  const std::size_t n = s.rows();
+  const std::size_t q = static_cast<std::size_t>(query);
+  const double* row = s.RowPtr(q);
+  // Bounded min-heap over the k best seen so far: O(n log k) instead of
+  // the former full materialize-and-sort — this is the hot read path the
+  // serving layer multiplies by every query.
+  auto cmp = [](const ScoredPair& x, const ScoredPair& y) {
+    if (x.score != y.score) return x.score > y.score;
+    return x.b < y.b;
+  };
+  std::vector<ScoredPair> heap;
+  heap.reserve(std::min(k, n));
+  for (std::size_t b = 0; b < n; ++b) {
+    if (b == q) continue;
+    ScoredPair cand{query, static_cast<graph::NodeId>(b), row[b]};
+    if (heap.size() < k) {
+      heap.push_back(cand);
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    } else if (!heap.empty() && cmp(cand, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      heap.back() = cand;
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), cmp);
+  return heap;
+}
+
+std::vector<ScoredPair> DynamicSimRank::TopKPairs(std::size_t k) const {
+  return TopKPairsOf(s_, k);
+}
+
 std::vector<ScoredPair> DynamicSimRank::TopKFor(graph::NodeId query,
                                                 std::size_t k) const {
   INCSR_CHECK(graph_.HasNode(query), "TopKFor: node out of range");
-  const std::size_t n = graph_.num_nodes();
-  const std::size_t q = static_cast<std::size_t>(query);
-  std::vector<ScoredPair> scored;
-  scored.reserve(n > 0 ? n - 1 : 0);
-  for (std::size_t b = 0; b < n; ++b) {
-    if (b == q) continue;
-    scored.push_back(
-        {query, static_cast<graph::NodeId>(b), s_(q, b)});
-  }
-  std::sort(scored.begin(), scored.end(),
-            [](const ScoredPair& x, const ScoredPair& y) {
-              if (x.score != y.score) return x.score > y.score;
-              return x.b < y.b;
-            });
-  if (scored.size() > k) scored.resize(k);
-  return scored;
+  return TopKForOf(s_, query, k);
 }
 
 }  // namespace incsr::core

@@ -45,6 +45,16 @@ struct ScoredPair {
   bool operator==(const ScoredPair&) const = default;
 };
 
+/// Top-k highest-scoring distinct pairs (a < b) of a similarity matrix,
+/// ties broken by (a, b). Bounded min-heap: O(n² log k), O(k) extra space.
+/// Free function so the serving layer can run it on pinned snapshots.
+std::vector<ScoredPair> TopKPairsOf(const la::DenseMatrix& s, std::size_t k);
+
+/// Top-k most similar nodes to `query` (excluding itself) read off row
+/// `query` of `s`, ties broken by node id. Bounded min-heap: O(n log k).
+std::vector<ScoredPair> TopKForOf(const la::DenseMatrix& s,
+                                  graph::NodeId query, std::size_t k);
+
 /// Incrementally maintained all-pairs SimRank index (matrix form, Eq. 2).
 class DynamicSimRank {
  public:
@@ -104,6 +114,12 @@ class DynamicSimRank {
     return engine_.last_stats();
   }
 
+  /// Merged affected-area statistics of the last ApplyBatch /
+  /// ApplyBatchCoalesced call (one Merge per unit update / coalesced
+  /// group). `touched_nodes` spans the whole batch — the serving layer
+  /// uses it for selective query-cache invalidation. Empty for Inc-uSR.
+  const AffectedAreaStats& last_batch_stats() const { return batch_stats_; }
+
  private:
   DynamicSimRank(graph::DynamicDiGraph graph, la::DenseMatrix s,
                  const simrank::SimRankOptions& options,
@@ -115,6 +131,7 @@ class DynamicSimRank {
   simrank::SimRankOptions options_;
   UpdateAlgorithm algorithm_;
   IncSrEngine engine_;
+  AffectedAreaStats batch_stats_;
 };
 
 }  // namespace incsr::core

@@ -162,6 +162,16 @@ void IncSrEngine::ScatterOuter(const Workspace& xi, const Workspace& eta,
   }
 }
 
+void IncSrEngine::RecordTouched(const Workspace& ws) {
+  for (std::int32_t idx : ws.indices) {
+    const auto i = static_cast<std::size_t>(idx);
+    if (!touched_seen_[i]) {
+      touched_seen_[i] = 1;
+      stats_.touched_nodes.push_back(idx);
+    }
+  }
+}
+
 Status IncSrEngine::ApplyUpdate(const graph::EdgeUpdate& update,
                                 graph::DynamicDiGraph* graph,
                                 la::DynamicRowMatrix* q, la::DenseMatrix* s) {
@@ -171,7 +181,6 @@ Status IncSrEngine::ApplyUpdate(const graph::EdgeUpdate& update,
       graph->num_nodes() != q->rows()) {
     return Status::InvalidArgument("IncSrEngine: inconsistent G/Q/S shapes");
   }
-  const std::size_t n = graph->num_nodes();
 
   // Phase 1 (old state): Theorem 1 factors and the pruned seed θ on B₀.
   RankOneUpdate rank_one;
@@ -205,6 +214,9 @@ void IncSrEngine::RunPrunedIterations(graph::NodeId target,
   stats_.num_nodes = n;
   stats_.a_sizes.push_back(xi_.indices.size());
   stats_.b_sizes.push_back(eta_.indices.size());
+  touched_seen_.assign(n, 0);
+  RecordTouched(xi_);
+  RecordTouched(eta_);
   ScatterOuter(xi_, eta_, s);
 
   for (int k = 0; k < options_.iterations; ++k) {
@@ -214,8 +226,11 @@ void IncSrEngine::RunPrunedIterations(graph::NodeId target,
     std::swap(eta_, eta_next_);
     stats_.a_sizes.push_back(xi_.indices.size());
     stats_.b_sizes.push_back(eta_.indices.size());
+    RecordTouched(xi_);
+    RecordTouched(eta_);
     ScatterOuter(xi_, eta_, s);
   }
+  std::sort(stats_.touched_nodes.begin(), stats_.touched_nodes.end());
 }
 
 Status IncSrEngine::ApplyRowUpdate(graph::NodeId target,

@@ -97,12 +97,17 @@ class IncSrEngine {
                            const graph::DynamicDiGraph& new_graph,
                            la::DenseMatrix* s);
 
+  // Adds every index of `ws` not yet in stats_.touched_nodes (dedup via
+  // touched_seen_, which mirrors stats_.touched_nodes membership).
+  void RecordTouched(const Workspace& ws);
+
   simrank::SimRankOptions options_;
   AffectedAreaStats stats_;
   Workspace xi_;
   Workspace eta_;
   Workspace xi_next_;
   Workspace eta_next_;
+  std::vector<std::uint8_t> touched_seen_;
 };
 
 }  // namespace incsr::core

@@ -28,6 +28,12 @@ struct Edge {
   auto operator<=>(const Edge&) const = default;
 };
 
+/// Packs an edge into a 64-bit key (for dedup sets and overlay maps).
+inline std::uint64_t EdgeKey(NodeId src, NodeId dst) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint32_t>(dst);
+}
+
 /// Mutable directed graph over a dense node-id space [0, num_nodes).
 /// Parallel edges are rejected; self-loops are allowed (SimRank is defined
 /// for them) but none of the shipped generators produce them.

@@ -6,16 +6,6 @@
 
 namespace incsr::graph {
 
-namespace {
-
-// Packs an edge into a 64-bit key for dedup sets.
-std::uint64_t EdgeKey(NodeId src, NodeId dst) {
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
-         static_cast<std::uint32_t>(dst);
-}
-
-}  // namespace
-
 Result<std::vector<TimestampedEdge>> ErdosRenyiGnm(std::size_t num_nodes,
                                                    std::size_t num_edges,
                                                    std::uint64_t seed) {

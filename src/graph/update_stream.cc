@@ -14,10 +14,24 @@ std::string ToString(const EdgeUpdate& update) {
 
 Result<std::vector<EdgeUpdate>> ParseUpdateStream(const std::string& text) {
   std::vector<EdgeUpdate> updates;
-  std::istringstream stream(text);
-  std::string line;
+  std::size_t pos = 0;
   std::size_t line_no = 0;
-  while (std::getline(stream, line)) {
+  // Tolerate a UTF-8 byte-order mark (files exported by Windows tools).
+  if (text.size() >= 3 && text.compare(0, 3, "\xEF\xBB\xBF") == 0) pos = 3;
+  while (pos < text.size()) {
+    // Split on LF, CRLF, or lone CR so replay files written on any
+    // platform parse identically.
+    std::size_t eol = text.find_first_of("\r\n", pos);
+    const std::size_t line_end = eol == std::string::npos ? text.size() : eol;
+    std::string line = text.substr(pos, line_end - pos);
+    if (eol == std::string::npos) {
+      pos = text.size();
+    } else if (text[eol] == '\r' && eol + 1 < text.size() &&
+               text[eol + 1] == '\n') {
+      pos = eol + 2;
+    } else {
+      pos = eol + 1;
+    }
     ++line_no;
     std::size_t hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
@@ -79,10 +93,7 @@ Result<std::vector<EdgeUpdate>> SampleInsertions(const DynamicDiGraph& graph,
     NodeId src = static_cast<NodeId>(rng->NextBounded(n));
     NodeId dst = static_cast<NodeId>(rng->NextBounded(n));
     if (src == dst || graph.HasEdge(src, dst)) continue;
-    std::uint64_t key =
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
-        static_cast<std::uint32_t>(dst);
-    if (!chosen.insert(key).second) continue;
+    if (!chosen.insert(EdgeKey(src, dst)).second) continue;
     updates.push_back({UpdateKind::kInsert, src, dst});
   }
   return updates;

@@ -1,0 +1,114 @@
+#include "service/query_cache.h"
+
+#include <algorithm>
+
+namespace incsr::service {
+
+bool TopKQueryCache::Lookup(graph::NodeId node, std::size_t k,
+                            std::vector<core::ScoredPair>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(node);
+  if (it == entries_.end() || it->second.k < k) {
+    ++stats_.misses;
+    return false;
+  }
+  Entry& entry = it->second;
+  lru_.splice(lru_.begin(), lru_, entry.lru_pos);
+  const std::size_t count = std::min(k, entry.results.size());
+  out->assign(entry.results.begin(), entry.results.begin() + count);
+  ++stats_.hits;
+  return true;
+}
+
+void TopKQueryCache::Insert(graph::NodeId node, std::size_t k,
+                            std::uint64_t epoch,
+                            std::vector<core::ScoredPair> results) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch != epoch_) {
+    ++stats_.stale_inserts;
+    return;
+  }
+  auto it = entries_.find(node);
+  if (it != entries_.end()) {
+    if (it->second.k >= k) return;  // existing entry answers more
+    it->second.k = k;
+    it->second.results = std::move(results);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    EraseLocked(lru_.back());
+    ++stats_.evictions;
+  }
+  lru_.push_front(node);
+  entries_.emplace(node, Entry{k, std::move(results), lru_.begin()});
+}
+
+bool TopKQueryCache::LookupPairs(std::size_t k,
+                                 std::vector<core::ScoredPair>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!pairs_valid_ || pairs_k_ < k) {
+    ++stats_.misses;
+    return false;
+  }
+  const std::size_t count = std::min(k, pairs_.size());
+  out->assign(pairs_.begin(), pairs_.begin() + count);
+  ++stats_.hits;
+  return true;
+}
+
+void TopKQueryCache::InsertPairs(std::size_t k, std::uint64_t epoch,
+                                 std::vector<core::ScoredPair> results) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch != epoch_) {
+    ++stats_.stale_inserts;
+    return;
+  }
+  if (pairs_valid_ && pairs_k_ >= k) return;
+  pairs_valid_ = true;
+  pairs_k_ = k;
+  pairs_ = std::move(results);
+}
+
+void TopKQueryCache::OnPublish(std::uint64_t epoch,
+                               std::span<const std::int32_t> touched) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::int32_t node : touched) {
+    auto it = entries_.find(node);
+    if (it != entries_.end()) {
+      EraseLocked(node);
+      ++stats_.invalidations;
+    }
+  }
+  if (!touched.empty() && pairs_valid_) {
+    pairs_valid_ = false;
+    pairs_.clear();
+    ++stats_.invalidations;
+  }
+  epoch_ = epoch;
+}
+
+void TopKQueryCache::InvalidateAll(std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.invalidations += entries_.size() + (pairs_valid_ ? 1 : 0);
+  entries_.clear();
+  lru_.clear();
+  pairs_valid_ = false;
+  pairs_.clear();
+  epoch_ = epoch;
+}
+
+QueryCacheStats TopKQueryCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void TopKQueryCache::EraseLocked(graph::NodeId node) {
+  auto it = entries_.find(node);
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+}
+
+}  // namespace incsr::service

@@ -1,0 +1,182 @@
+// SimRankService — concurrent serving layer over the exact incremental
+// engine. The paper's scenario is a link-evolving graph under live traffic
+// (citation feeds, re-ranked video lists); the core DynamicSimRank is
+// single-threaded, so this façade adds the three pieces a service needs:
+//
+//   1. Ingest pipeline: writers enqueue EdgeUpdates into a bounded MPSC
+//      queue (backpressure: block or reject). A background applier thread
+//      drains the queue in batches and absorbs each batch with
+//      ApplyBatchCoalesced — one generalized rank-one Sylvester solve per
+//      DISTINCT target node, the |ΔG|/T saving of core/coalesced_update.h,
+//      which queueing naturally amplifies: the deeper the backlog, the more
+//      updates cluster per target.
+//
+//   2. Epoch snapshots: after each batch the applier publishes an immutable
+//      EpochSnapshot (a copy of G and S) via shared_ptr swap. Readers pin a
+//      snapshot with one pointer copy under a short mutex — they never
+//      block behind an in-flight update and can never observe a torn S.
+//
+//   3. Affected-area query cache: TopKFor/TopKPairs results are memoized
+//      and invalidated selectively from each batch's
+//      AffectedAreaStats::touched_nodes instead of being flushed wholesale
+//      (see service/query_cache.h).
+//
+// Consistency model: Score/TopKFor/TopKPairs reflect SOME published epoch
+// at least as new as the last Flush() that returned. Flush() is the
+// barrier: it returns once every previously accepted update has been
+// applied AND published, after which reads are exact for the final graph.
+#ifndef INCSR_SERVICE_SIMRANK_SERVICE_H_
+#define INCSR_SERVICE_SIMRANK_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dynamic_simrank.h"
+#include "graph/digraph.h"
+#include "graph/update_stream.h"
+#include "la/dense_matrix.h"
+#include "service/query_cache.h"
+
+namespace incsr::service {
+
+/// What Submit does when the ingest queue is full.
+enum class BackpressurePolicy {
+  /// Block the writer until the applier frees queue space (or Stop()).
+  kBlock,
+  /// Fail fast with ResourceExhausted; the writer decides what to drop.
+  kReject,
+};
+
+/// Serving-layer knobs.
+struct ServiceOptions {
+  /// Ingest queue capacity (updates). Must be >= 1.
+  std::size_t queue_capacity = 4096;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Max updates drained into one coalesced apply/publish cycle. Larger
+  /// batches amortize the snapshot copy and coalesce better; smaller ones
+  /// publish fresher epochs. Must be >= 1.
+  std::size_t max_batch = 512;
+  /// Query-cache capacity in cached query nodes; 0 disables caching.
+  std::size_t cache_capacity = 4096;
+};
+
+/// Immutable published state; readers hold it via shared_ptr, so a pinned
+/// snapshot stays valid (and unchanging) while newer epochs are published.
+struct EpochSnapshot {
+  std::uint64_t epoch = 0;
+  graph::DynamicDiGraph graph;
+  la::DenseMatrix scores;
+};
+
+/// Counter snapshot of service activity (all counters are cumulative).
+struct ServiceStats {
+  std::uint64_t epoch = 0;           ///< epoch of the published snapshot
+  std::uint64_t submitted = 0;       ///< updates accepted into the queue
+  std::uint64_t applied = 0;         ///< updates applied to the index
+  std::uint64_t rejected = 0;        ///< updates refused by backpressure
+  std::uint64_t failed = 0;          ///< updates skipped as invalid
+  std::uint64_t batches = 0;         ///< apply/publish cycles
+  std::size_t queue_depth = 0;       ///< updates currently queued
+  QueryCacheStats cache;
+};
+
+/// Thread-safe SimRank serving façade. Create once, Submit from any number
+/// of writer threads, query from any number of reader threads.
+class SimRankService {
+ public:
+  /// Takes ownership of a built index and starts the applier thread.
+  static Result<std::unique_ptr<SimRankService>> Create(
+      core::DynamicSimRank index, const ServiceOptions& options = {});
+
+  /// Stops the service (drains the queue first, see Stop()).
+  ~SimRankService();
+
+  SimRankService(const SimRankService&) = delete;
+  SimRankService& operator=(const SimRankService&) = delete;
+
+  // ---- Writer side -------------------------------------------------------
+
+  /// Enqueues one update. kBlock: waits for queue space; kReject: returns
+  /// ResourceExhausted when full. Returns FailedPrecondition after Stop().
+  /// Acceptance is not validation — an update invalid against the graph
+  /// state it meets (duplicate insert, absent delete) is skipped by the
+  /// applier and counted in stats().failed.
+  Status Submit(const graph::EdgeUpdate& update);
+
+  /// Enqueues a sequence of updates (stops at the first rejection).
+  Status SubmitBatch(const std::vector<graph::EdgeUpdate>& updates);
+
+  /// Barrier: returns once every update accepted before the call has been
+  /// applied and published. Safe from any thread, including after Stop().
+  Status Flush();
+
+  /// Drains every queued update, publishes the final epoch, and joins the
+  /// applier thread. Idempotent; subsequent Submits fail. Reads remain
+  /// valid forever (they serve the last published snapshot).
+  void Stop();
+
+  // ---- Reader side (never blocks behind updates) -------------------------
+
+  /// Pins the latest published snapshot.
+  std::shared_ptr<const EpochSnapshot> Snapshot() const;
+
+  /// SimRank score of (a, b) in the latest published epoch.
+  Result<double> Score(graph::NodeId a, graph::NodeId b) const;
+
+  /// Top-k most similar nodes to `query`, served from the cache when the
+  /// affected-area invalidation has kept the entry warm.
+  Result<std::vector<core::ScoredPair>> TopKFor(graph::NodeId query,
+                                                std::size_t k) const;
+
+  /// Top-k highest-scoring distinct pairs of the latest published epoch.
+  std::vector<core::ScoredPair> TopKPairs(std::size_t k) const;
+
+  ServiceStats stats() const;
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  SimRankService(core::DynamicSimRank index, const ServiceOptions& options);
+
+  void ApplierLoop();
+  /// Applies one drained batch (coalesced, with unit-update fallback on
+  /// invalid updates) and publishes the resulting epoch.
+  void ApplyAndPublish(const std::vector<graph::EdgeUpdate>& batch);
+  void Publish(std::vector<std::int32_t> touched, bool invalidate_all);
+
+  const ServiceOptions options_;
+  core::DynamicSimRank index_;  // applier thread only, once started
+
+  mutable std::mutex mu_;  // queue, sequence counters, lifecycle
+  std::condition_variable queue_not_full_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable progress_;  // Flush waiters
+  std::deque<graph::EdgeUpdate> queue_;
+  std::uint64_t accepted_ = 0;   // updates ever enqueued
+  std::uint64_t published_ = 0;  // updates applied AND visible to readers
+  bool stopping_ = false;
+
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const EpochSnapshot> snapshot_;
+
+  mutable TopKQueryCache cache_;
+
+  // Cumulative counters (relaxed: read by stats() only).
+  std::atomic<std::uint64_t> applied_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+
+  std::mutex stop_mu_;   // serializes Stop() callers around the join
+  std::thread applier_;  // last: joins in Stop()
+};
+
+}  // namespace incsr::service
+
+#endif  // INCSR_SERVICE_SIMRANK_SERVICE_H_

@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "core/coalesced_update.h"
+#include "core/dynamic_simrank.h"
 #include "core/inc_sr.h"
 #include "graph/generators.h"
 #include "graph/transition.h"
@@ -221,6 +222,74 @@ TEST(CoalescedBatchEngine, WholeBatchMatchesSequentialAndTruth) {
   EXPECT_LT(
       la::MaxAbsDiff(s_coalesced, simrank::BatchMatrix(g_coalesced, options)),
       1e-9);
+}
+
+TEST(DynamicSimRank, ApplyBatchMatchesCoalescedOnMixedRevisitingStream) {
+  // A mixed insert/delete stream that REVISITS the same target node —
+  // including an insert later deleted inside the same batch — must leave
+  // ApplyBatch and ApplyBatchCoalesced in identical states (and both equal
+  // to batch recomputation on the final graph).
+  DynamicDiGraph g = TestGraph(61, 20, 60);
+  SimRankOptions options = Converged();
+
+  graph::NodeId target = -1;
+  for (graph::NodeId node = 0;
+       node < static_cast<graph::NodeId>(g.num_nodes()); ++node) {
+    if (g.InDegree(node) >= 1) {
+      target = node;
+      break;
+    }
+  }
+  ASSERT_GE(target, 0);
+  auto in = g.InNeighbors(target);
+  ASSERT_FALSE(in.empty());
+  std::vector<EdgeUpdate> stream;
+  graph::NodeId fresh_src = -1;
+  for (graph::NodeId src = 0; src < static_cast<graph::NodeId>(g.num_nodes());
+       ++src) {
+    if (src != target && !g.HasEdge(src, target)) {
+      fresh_src = src;
+      break;
+    }
+  }
+  ASSERT_GE(fresh_src, 0);
+  stream.push_back({UpdateKind::kInsert, fresh_src, target});  // new in-edge
+  // Interleave work on another target so the stream truly revisits.
+  graph::NodeId other = 9;
+  if (other == target) other = 10;
+  if (!g.HasEdge(1, other) && 1 != other) {
+    stream.push_back({UpdateKind::kInsert, 1, other});
+  }
+  stream.push_back({UpdateKind::kDelete, in[0], target});      // old in-edge
+  stream.push_back({UpdateKind::kDelete, fresh_src, target});  // net zero
+  Rng rng(77);
+  auto extra = graph::SampleInsertions(g, 2, &rng);
+  ASSERT_TRUE(extra.ok());
+  for (const EdgeUpdate& u : extra.value()) {
+    const bool dup_fresh = u.src == fresh_src && u.dst == target;
+    const bool dup_other = u.src == 1 && u.dst == other;
+    if (!dup_fresh && !dup_other) stream.push_back(u);
+  }
+
+  auto unit = DynamicSimRank::Create(g, options);
+  auto coalesced = DynamicSimRank::Create(g, options);
+  ASSERT_TRUE(unit.ok() && coalesced.ok());
+  ASSERT_TRUE(unit->ApplyBatch(stream).ok());
+  ASSERT_TRUE(coalesced->ApplyBatchCoalesced(stream).ok());
+
+  EXPECT_EQ(unit->graph().Edges(), coalesced->graph().Edges());
+  EXPECT_LT(la::MaxAbsDiff(unit->scores(), coalesced->scores()), 1e-9);
+  EXPECT_LT(la::MaxAbsDiff(coalesced->scores(),
+                           simrank::BatchMatrix(coalesced->graph(), options)),
+            1e-9);
+
+  // Both batch paths report merged affected-area stats with the touched
+  // node union the serving layer invalidates its query cache from.
+  EXPECT_FALSE(unit->last_batch_stats().touched_nodes.empty());
+  EXPECT_FALSE(coalesced->last_batch_stats().touched_nodes.empty());
+  for (std::int32_t node : coalesced->last_batch_stats().touched_nodes) {
+    EXPECT_TRUE(coalesced->graph().HasNode(node));
+  }
 }
 
 TEST(CoalescedBatchEngine, StatsAccumulateAcrossGroups) {

@@ -104,6 +104,43 @@ TEST(UpdateStreamFormat, CommentsAndBlanksIgnored) {
   EXPECT_EQ(parsed->at(1).kind, graph::UpdateKind::kDelete);
 }
 
+TEST(UpdateStreamFormat, CrlfAndTrailingWhitespaceTolerated) {
+  // Replay files produced on Windows (CRLF, possibly BOM-prefixed) or
+  // classic Mac (lone CR) must parse identically to Unix LF files.
+  const std::vector<graph::EdgeUpdate> expected = {
+      {graph::UpdateKind::kInsert, 1, 2},
+      {graph::UpdateKind::kDelete, 2, 1},
+  };
+  auto crlf = graph::ParseUpdateStream("+ 1 2\r\n- 2 1\r\n");
+  ASSERT_TRUE(crlf.ok());
+  EXPECT_EQ(crlf.value(), expected);
+
+  auto cr_only = graph::ParseUpdateStream("+ 1 2\r- 2 1\r");
+  ASSERT_TRUE(cr_only.ok());
+  EXPECT_EQ(cr_only.value(), expected);
+
+  auto bom = graph::ParseUpdateStream("\xEF\xBB\xBF+ 1 2\r\n- 2 1");
+  ASSERT_TRUE(bom.ok());
+  EXPECT_EQ(bom.value(), expected);
+
+  auto padded = graph::ParseUpdateStream("+ 1 2  \t\r\n\r\n  - 2 1 \r\n");
+  ASSERT_TRUE(padded.ok());
+  EXPECT_EQ(padded.value(), expected);
+
+  // Comments and blank lines under CRLF.
+  auto commented =
+      graph::ParseUpdateStream("# day 12\r\n\r\n+ 1 2 # new\r\n- 2 1\r\n");
+  ASSERT_TRUE(commented.ok());
+  EXPECT_EQ(commented.value(), expected);
+}
+
+TEST(UpdateStreamFormat, MalformedLinesStillRejectedUnderCrlf) {
+  EXPECT_EQ(graph::ParseUpdateStream("* 1 2\r\n").status().code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(graph::ParseUpdateStream("+ 1 2 3\r\n").status().code(),
+            StatusCode::kIoError);
+}
+
 TEST(UpdateStreamFormat, MalformedLinesRejected) {
   EXPECT_EQ(graph::ParseUpdateStream("* 1 2\n").status().code(),
             StatusCode::kIoError);

@@ -1,0 +1,382 @@
+// Tests for the concurrent serving layer: ingest/flush semantics, epoch
+// snapshot isolation, affected-area cache invalidation, backpressure, and
+// the headline multi-threaded consistency property — N writers + M readers
+// running concurrently must leave the service exactly equal (to 1e-9) to a
+// fresh batch-built index on the final graph once Flush() returns. The
+// whole suite is TSan-clean; CI runs it under -fsanitize=thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/dynamic_simrank.h"
+#include "graph/generators.h"
+#include "graph/update_stream.h"
+#include "service/query_cache.h"
+#include "service/simrank_service.h"
+
+namespace incsr::service {
+namespace {
+
+using core::DynamicSimRank;
+using core::ScoredPair;
+using graph::DynamicDiGraph;
+using graph::EdgeUpdate;
+using graph::UpdateKind;
+
+simrank::SimRankOptions Converged(double damping = 0.6) {
+  simrank::SimRankOptions options;
+  options.damping = damping;
+  options.iterations =
+      static_cast<int>(std::log(1e-13) / std::log(damping)) + 2;
+  return options;
+}
+
+DynamicDiGraph TestGraph(std::uint64_t seed = 3, std::size_t n = 16,
+                         std::size_t m = 40) {
+  auto stream = graph::ErdosRenyiGnm(n, m, seed);
+  INCSR_CHECK(stream.ok(), "generator");
+  return graph::MaterializeGraph(n, stream.value());
+}
+
+std::unique_ptr<SimRankService> MakeService(const DynamicDiGraph& graph,
+                                            ServiceOptions options = {}) {
+  auto index = DynamicSimRank::Create(graph, Converged());
+  INCSR_CHECK(index.ok(), "index build");
+  auto service = SimRankService::Create(std::move(index).value(), options);
+  INCSR_CHECK(service.ok(), "service build");
+  return std::move(service).value();
+}
+
+la::DenseMatrix OracleScores(const DynamicDiGraph& graph) {
+  auto oracle = DynamicSimRank::Create(graph, Converged());
+  INCSR_CHECK(oracle.ok(), "oracle build");
+  return oracle->scores();
+}
+
+TEST(SimRankService, CreateRejectsBadOptions) {
+  auto index = DynamicSimRank::Create(TestGraph(), Converged());
+  ASSERT_TRUE(index.ok());
+  ServiceOptions bad;
+  bad.queue_capacity = 0;
+  EXPECT_EQ(SimRankService::Create(std::move(index).value(), bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SimRankService, ServesInitialEpochBeforeAnyUpdate) {
+  DynamicDiGraph graph = TestGraph(7);
+  auto service = MakeService(graph);
+  auto snap = service->Snapshot();
+  EXPECT_EQ(snap->epoch, 0u);
+  EXPECT_EQ(snap->graph.num_edges(), graph.num_edges());
+  EXPECT_LT(la::MaxAbsDiff(snap->scores, OracleScores(graph)), 1e-11);
+
+  auto score = service->Score(0, 1);
+  ASSERT_TRUE(score.ok());
+  EXPECT_DOUBLE_EQ(score.value(), snap->scores(0, 1));
+  EXPECT_EQ(service->Score(-1, 0).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(service->TopKFor(99, 3).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SimRankService, SerialIngestMatchesOracleAfterFlush) {
+  DynamicDiGraph graph = TestGraph(11, 16, 40);
+  auto service = MakeService(graph);
+
+  Rng rng(5);
+  auto inserts = graph::SampleInsertions(graph, 8, &rng);
+  ASSERT_TRUE(inserts.ok());
+  auto deletions = graph::SampleDeletions(graph, 4, &rng);
+  ASSERT_TRUE(deletions.ok());
+  std::vector<EdgeUpdate> updates = inserts.value();
+  updates.insert(updates.end(), deletions->begin(), deletions->end());
+
+  ASSERT_TRUE(service->SubmitBatch(updates).ok());
+  ASSERT_TRUE(service->Flush().ok());
+
+  DynamicDiGraph final_graph = graph;
+  ASSERT_TRUE(graph::ApplyUpdates(updates, &final_graph).ok());
+  auto snap = service->Snapshot();
+  EXPECT_GE(snap->epoch, 1u);
+  EXPECT_EQ(snap->graph.Edges(), final_graph.Edges());
+  EXPECT_LT(la::MaxAbsDiff(snap->scores, OracleScores(final_graph)), 1e-9);
+
+  ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.submitted, updates.size());
+  EXPECT_EQ(stats.applied, updates.size());
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+// The acceptance-criteria test: N writer threads enqueue a random update
+// stream while M reader threads query concurrently; after Flush() the
+// served scores equal a fresh batch build on the final graph to 1e-9.
+TEST(SimRankService, ConcurrentWritersAndReadersMatchOracle) {
+  constexpr int kWriters = 3;
+  constexpr int kReaders = 2;
+  DynamicDiGraph graph = TestGraph(21, 24, 60);
+  ServiceOptions options;
+  options.max_batch = 8;  // force several epochs
+  auto service = MakeService(graph, options);
+
+  // Insertions of distinct non-edges stay valid under every interleaving
+  // of the writer threads (deletion validity would depend on order).
+  Rng rng(17);
+  auto sampled = graph::SampleInsertions(graph, 30, &rng);
+  ASSERT_TRUE(sampled.ok());
+  const std::vector<EdgeUpdate>& updates = sampled.value();
+
+  std::atomic<bool> writers_done{false};
+  std::atomic<std::uint64_t> reader_queries{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (std::size_t i = w; i < updates.size(); i += kWriters) {
+        Status s = service->Submit(updates[i]);
+        INCSR_CHECK(s.ok(), "submit failed: %s", s.ToString().c_str());
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      Rng reader_rng(100 + static_cast<std::uint64_t>(r));
+      // do-while: at least one query each, even if the writers finish
+      // before this thread is first scheduled.
+      do {
+        const auto node = static_cast<graph::NodeId>(
+            reader_rng.NextBounded(graph.num_nodes()));
+        auto top = service->TopKFor(node, 5);
+        INCSR_CHECK(top.ok(), "TopKFor failed");
+        INCSR_CHECK(top->size() <= 5, "TopKFor overshot k");
+        auto score = service->Score(node, 0);
+        INCSR_CHECK(score.ok(), "Score failed");
+        INCSR_CHECK(score.value() >= -1e-12 && score.value() <= 1.0 + 1e-12,
+                    "score out of [0, 1]");
+        auto pairs = service->TopKPairs(10);
+        INCSR_CHECK(pairs.size() <= 10, "TopKPairs overshot k");
+        reader_queries.fetch_add(1, std::memory_order_relaxed);
+      } while (!writers_done.load(std::memory_order_acquire));
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  writers_done.store(true, std::memory_order_release);
+  for (std::size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  ASSERT_TRUE(service->Flush().ok());
+
+  DynamicDiGraph final_graph = graph;
+  for (const EdgeUpdate& u : updates) {
+    ASSERT_TRUE(final_graph.AddEdge(u.src, u.dst).ok());
+  }
+  auto snap = service->Snapshot();
+  EXPECT_EQ(snap->graph.Edges(), final_graph.Edges());
+  EXPECT_LT(la::MaxAbsDiff(snap->scores, OracleScores(final_graph)), 1e-9);
+
+  // Post-flush queries see the final state, cache included.
+  for (graph::NodeId q = 0; q < 4; ++q) {
+    auto served = service->TopKFor(q, 5);
+    ASSERT_TRUE(served.ok());
+    EXPECT_EQ(served.value(), core::TopKForOf(snap->scores, q, 5));
+  }
+
+  ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.submitted, updates.size());
+  EXPECT_EQ(stats.applied, updates.size());
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(stats.epoch, 1u);
+  EXPECT_GT(reader_queries.load(), 0u);
+}
+
+TEST(SimRankService, SelectiveCacheInvalidationAcrossComponents) {
+  // Two disjoint 8-node components: SimRank never couples them, so an
+  // update inside component A has an affected area wholly inside A and
+  // must leave cached queries for component B warm.
+  const std::size_t half = 8;
+  auto stream_a = graph::ErdosRenyiGnm(half, 20, 3);
+  auto stream_b = graph::ErdosRenyiGnm(half, 20, 4);
+  ASSERT_TRUE(stream_a.ok() && stream_b.ok());
+  DynamicDiGraph graph(2 * half);
+  for (const auto& e : stream_a.value()) {
+    ASSERT_TRUE(graph.AddEdge(e.edge.src, e.edge.dst).ok());
+  }
+  for (const auto& e : stream_b.value()) {
+    ASSERT_TRUE(
+        graph
+            .AddEdge(e.edge.src + static_cast<graph::NodeId>(half),
+                     e.edge.dst + static_cast<graph::NodeId>(half))
+            .ok());
+  }
+  auto service = MakeService(graph);
+
+  const graph::NodeId in_b = static_cast<graph::NodeId>(half) + 2;
+  ASSERT_TRUE(service->TopKFor(in_b, 4).ok());  // warms the cache
+  QueryCacheStats before = service->stats().cache;
+
+  // An insert inside component A (nodes 0..7 only).
+  EdgeUpdate update{UpdateKind::kInsert, 0, 5};
+  if (graph.HasEdge(0, 5)) update = {UpdateKind::kDelete, 0, 5};
+  ASSERT_TRUE(service->Submit(update).ok());
+  ASSERT_TRUE(service->Flush().ok());
+
+  auto again = service->TopKFor(in_b, 4);
+  ASSERT_TRUE(again.ok());
+  QueryCacheStats after = service->stats().cache;
+  EXPECT_EQ(after.hits, before.hits + 1);  // entry survived the epoch bump
+  // And the survivor is still exact for the new epoch.
+  auto snap = service->Snapshot();
+  EXPECT_EQ(again.value(), core::TopKForOf(snap->scores, in_b, 4));
+}
+
+TEST(SimRankService, InvalidUpdatesAreSkippedNotFatal) {
+  DynamicDiGraph graph = TestGraph(31);
+  auto edges = graph.Edges();
+  ASSERT_FALSE(edges.empty());
+  auto service = MakeService(graph);
+
+  std::vector<EdgeUpdate> updates = {
+      {UpdateKind::kInsert, edges[0].src, edges[0].dst},  // duplicate
+      {UpdateKind::kDelete, 0, 0},                        // absent (no loop)
+      {UpdateKind::kInsert, 500, 1},                      // bad node id
+  };
+  ASSERT_FALSE(graph.HasEdge(0, 0));
+  ASSERT_TRUE(service->SubmitBatch(updates).ok());
+  ASSERT_TRUE(service->Flush().ok());
+
+  ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.failed, 3u);
+  EXPECT_EQ(stats.applied, 0u);
+  auto snap = service->Snapshot();
+  EXPECT_EQ(snap->graph.Edges(), graph.Edges());
+  EXPECT_LT(la::MaxAbsDiff(snap->scores, OracleScores(graph)), 1e-11);
+}
+
+TEST(SimRankService, RejectBackpressureSurfacesResourceExhausted) {
+  DynamicDiGraph graph = TestGraph(41, 20, 50);
+  ServiceOptions options;
+  options.queue_capacity = 1;
+  options.max_batch = 1;
+  options.backpressure = BackpressurePolicy::kReject;
+  auto service = MakeService(graph, options);
+
+  Rng rng(9);
+  auto inserts = graph::SampleInsertions(graph, 40, &rng);
+  ASSERT_TRUE(inserts.ok());
+  std::uint64_t rejected = 0;
+  for (const EdgeUpdate& u : inserts.value()) {
+    Status s = service->Submit(u);
+    if (!s.ok()) {
+      EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  ASSERT_TRUE(service->Flush().ok());
+  ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.submitted, inserts->size() - rejected);
+  EXPECT_EQ(stats.applied + stats.failed, stats.submitted);
+}
+
+TEST(SimRankService, StopDrainsQueueAndRefusesLateSubmits) {
+  DynamicDiGraph graph = TestGraph(51);
+  auto service = MakeService(graph);
+  Rng rng(13);
+  auto inserts = graph::SampleInsertions(graph, 6, &rng);
+  ASSERT_TRUE(inserts.ok());
+  ASSERT_TRUE(service->SubmitBatch(inserts.value()).ok());
+  service->Stop();
+
+  EXPECT_EQ(service->Submit({UpdateKind::kInsert, 0, 1}).code(),
+            StatusCode::kFailedPrecondition);
+  // All pre-stop updates were drained and published.
+  DynamicDiGraph final_graph = graph;
+  ASSERT_TRUE(graph::ApplyUpdates(inserts.value(), &final_graph).ok());
+  auto snap = service->Snapshot();
+  EXPECT_EQ(snap->graph.Edges(), final_graph.Edges());
+  EXPECT_TRUE(service->Flush().ok());  // no-op barrier after stop
+}
+
+// ---- TopKQueryCache unit tests -------------------------------------------
+
+std::vector<ScoredPair> FakeResults(graph::NodeId node, std::size_t k) {
+  std::vector<ScoredPair> results;
+  for (std::size_t i = 0; i < k; ++i) {
+    results.push_back({node, static_cast<graph::NodeId>(i + 1),
+                       1.0 / static_cast<double>(i + 1)});
+  }
+  return results;
+}
+
+TEST(TopKQueryCache, PrefixHitsAndLargerKMisses) {
+  TopKQueryCache cache(4);
+  std::vector<ScoredPair> out;
+  EXPECT_FALSE(cache.Lookup(1, 3, &out));
+  cache.Insert(1, 5, 0, FakeResults(1, 5));
+  ASSERT_TRUE(cache.Lookup(1, 3, &out));
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(out, FakeResults(1, 3));
+  EXPECT_FALSE(cache.Lookup(1, 8, &out));  // cached k too small
+}
+
+TEST(TopKQueryCache, SelectiveInvalidationEvictsOnlyTouchedNodes) {
+  TopKQueryCache cache(8);
+  cache.Insert(1, 2, 0, FakeResults(1, 2));
+  cache.Insert(2, 2, 0, FakeResults(2, 2));
+  cache.Insert(3, 2, 0, FakeResults(3, 2));
+  std::vector<std::int32_t> touched = {2, 7};
+  cache.OnPublish(1, touched);
+  std::vector<ScoredPair> out;
+  EXPECT_TRUE(cache.Lookup(1, 2, &out));
+  EXPECT_FALSE(cache.Lookup(2, 2, &out));
+  EXPECT_TRUE(cache.Lookup(3, 2, &out));
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(TopKQueryCache, StaleEpochInsertIsDropped) {
+  TopKQueryCache cache(4);
+  cache.OnPublish(2, {});
+  cache.Insert(1, 2, 1, FakeResults(1, 2));  // computed at old epoch 1
+  std::vector<ScoredPair> out;
+  EXPECT_FALSE(cache.Lookup(1, 2, &out));
+  EXPECT_EQ(cache.stats().stale_inserts, 1u);
+  cache.Insert(1, 2, 2, FakeResults(1, 2));  // current epoch: admitted
+  EXPECT_TRUE(cache.Lookup(1, 2, &out));
+}
+
+TEST(TopKQueryCache, LruEvictionAtCapacity) {
+  TopKQueryCache cache(2);
+  cache.Insert(1, 1, 0, FakeResults(1, 1));
+  cache.Insert(2, 1, 0, FakeResults(2, 1));
+  std::vector<ScoredPair> out;
+  ASSERT_TRUE(cache.Lookup(1, 1, &out));  // 1 becomes most recent
+  cache.Insert(3, 1, 0, FakeResults(3, 1));
+  EXPECT_TRUE(cache.Lookup(1, 1, &out));
+  EXPECT_FALSE(cache.Lookup(2, 1, &out));  // LRU victim
+  EXPECT_TRUE(cache.Lookup(3, 1, &out));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(TopKQueryCache, ZeroCapacityDisablesCaching) {
+  TopKQueryCache cache(0);
+  cache.Insert(1, 2, 0, FakeResults(1, 2));
+  std::vector<ScoredPair> out;
+  EXPECT_FALSE(cache.Lookup(1, 2, &out));
+  cache.InsertPairs(2, 0, FakeResults(0, 2));
+  EXPECT_FALSE(cache.LookupPairs(2, &out));
+}
+
+TEST(TopKQueryCache, PairsMemoInvalidatedByAnyTouch) {
+  TopKQueryCache cache(4);
+  cache.InsertPairs(3, 0, FakeResults(0, 3));
+  std::vector<ScoredPair> out;
+  ASSERT_TRUE(cache.LookupPairs(2, &out));
+  EXPECT_EQ(out.size(), 2u);
+  std::vector<std::int32_t> touched = {5};
+  cache.OnPublish(1, touched);
+  EXPECT_FALSE(cache.LookupPairs(2, &out));
+}
+
+}  // namespace
+}  // namespace incsr::service

@@ -7,14 +7,28 @@
 //   incsr_cli <edge_list> [--updates FILE] [--query NODE] [--topk K]
 //             [--damping C] [--iterations K] [--algorithm incsr|incusr]
 //
+//   incsr_cli serve <edge_list> --updates FILE [--writers N] [--readers M]
+//             [--topk K] [--queue-capacity Q] [--max-batch B]
+//             [--backpressure block|reject] [--damping C] [--iterations K]
+//
+// `serve` replays the update stream through the concurrent SimRankService
+// (N writer threads submitting, M reader threads issuing top-k queries
+// against published epoch snapshots), then Flush()es and prints ingest /
+// query / cache statistics. With --writers > 1 the stream is split
+// round-robin, so order-dependent updates may be skipped (reported as
+// "failed"); insert-only streams replay losslessly at any writer count.
+//
 // The updates file holds one update per line: "+ src dst" (insert) or
 // "- src dst" (delete); '#' starts a comment.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "incsr/incsr.h"
@@ -37,8 +51,13 @@ void PrintUsage(const char* prog) {
   std::fprintf(
       stderr,
       "usage: %s <edge_list> [--updates FILE] [--query NODE] [--topk K]\n"
-      "          [--damping C] [--iterations K] [--algorithm incsr|incusr]\n",
-      prog);
+      "          [--damping C] [--iterations K] [--algorithm incsr|incusr]\n"
+      "       %s serve <edge_list> --updates FILE [--writers N]\n"
+      "          [--readers M] [--topk K] [--queue-capacity Q]\n"
+      "          [--max-batch B] [--cache-capacity C]\n"
+      "          [--backpressure block|reject] [--damping C]\n"
+      "          [--iterations K]\n",
+      prog, prog);
 }
 
 Result<CliOptions> ParseArgs(int argc, char** argv) {
@@ -98,6 +117,274 @@ Result<std::vector<graph::EdgeUpdate>> ReadUpdates(const std::string& path) {
   return graph::ParseUpdateStream(contents.str());
 }
 
+// The edge-list reader remaps arbitrary node ids to dense [0, n); update
+// streams speak the ORIGINAL id space, so they must go through the same
+// map or they would silently target the wrong nodes.
+Status TranslateUpdates(const graph::EdgeListData& data,
+                        std::vector<graph::EdgeUpdate>* updates) {
+  if (data.id_map.empty()) return Status::OK();  // ids were already dense
+  for (graph::EdgeUpdate& update : *updates) {
+    auto src = data.id_map.find(update.src);
+    auto dst = data.id_map.find(update.dst);
+    if (src == data.id_map.end() || dst == data.id_map.end()) {
+      return Status::InvalidArgument(
+          "update " + graph::ToString(update) +
+          " references a node id absent from the edge list");
+    }
+    update.src = src->second;
+    update.dst = dst->second;
+  }
+  return Status::OK();
+}
+
+// Presents node ids to the user in the id space of their input files:
+// dense internal ids are mapped back to the original ids when the reader
+// remapped, and user-supplied ids (--query) are mapped forward.
+class IdSpace {
+ public:
+  explicit IdSpace(const graph::EdgeListData& data) {
+    for (const auto& [original, dense] : data.id_map) {
+      if (static_cast<std::size_t>(dense) >= reverse_.size()) {
+        reverse_.resize(static_cast<std::size_t>(dense) + 1, -1);
+      }
+      reverse_[static_cast<std::size_t>(dense)] = original;
+      forward_.emplace(original, dense);
+    }
+  }
+
+  /// Original id of a dense node (identity when no remap occurred).
+  long long ToOriginal(graph::NodeId dense) const {
+    if (reverse_.empty()) return dense;
+    const auto i = static_cast<std::size_t>(dense);
+    return i < reverse_.size() ? reverse_[i] : -1;
+  }
+
+  /// Dense id for a user-supplied original id; -1 when unknown.
+  graph::NodeId ToDense(long long original) const {
+    if (forward_.empty()) {
+      return original >= 0 ? static_cast<graph::NodeId>(original) : -1;
+    }
+    auto it = forward_.find(original);
+    return it == forward_.end() ? -1 : it->second;
+  }
+
+ private:
+  std::vector<long long> reverse_;
+  std::unordered_map<long long, graph::NodeId> forward_;
+};
+
+struct ServeOptions {
+  std::string edge_list;
+  std::string updates_file;
+  std::size_t writers = 1;
+  std::size_t readers = 2;
+  std::size_t topk = 10;
+  double damping = 0.6;
+  int iterations = 15;
+  service::ServiceOptions service;
+};
+
+Result<ServeOptions> ParseServeArgs(int argc, char** argv) {
+  // argv: serve <edge_list> [flags...]
+  if (argc < 3) return Status::InvalidArgument("serve: missing edge list");
+  ServeOptions options;
+  options.edge_list = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag " + flag + " needs a value");
+      }
+      return std::string(argv[++i]);
+    };
+    auto next_size = [&]() -> Result<std::size_t> {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      char* end = nullptr;
+      const long long parsed = std::strtoll(v->c_str(), &end, 10);
+      if (end == v->c_str() || *end != '\0' || parsed < 0) {
+        return Status::InvalidArgument("flag " + flag +
+                                       " needs a non-negative integer, got '" +
+                                       *v + "'");
+      }
+      return static_cast<std::size_t>(parsed);
+    };
+    if (flag == "--updates") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      options.updates_file = *v;
+    } else if (flag == "--writers") {
+      auto v = next_size();
+      if (!v.ok()) return v.status();
+      options.writers = *v;
+    } else if (flag == "--readers") {
+      auto v = next_size();
+      if (!v.ok()) return v.status();
+      options.readers = *v;
+    } else if (flag == "--topk") {
+      auto v = next_size();
+      if (!v.ok()) return v.status();
+      options.topk = *v;
+    } else if (flag == "--queue-capacity") {
+      auto v = next_size();
+      if (!v.ok()) return v.status();
+      options.service.queue_capacity = *v;
+    } else if (flag == "--max-batch") {
+      auto v = next_size();
+      if (!v.ok()) return v.status();
+      options.service.max_batch = *v;
+    } else if (flag == "--cache-capacity") {
+      auto v = next_size();
+      if (!v.ok()) return v.status();
+      options.service.cache_capacity = *v;
+    } else if (flag == "--backpressure") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      if (*v == "block") {
+        options.service.backpressure = service::BackpressurePolicy::kBlock;
+      } else if (*v == "reject") {
+        options.service.backpressure = service::BackpressurePolicy::kReject;
+      } else {
+        return Status::InvalidArgument("unknown backpressure '" + *v + "'");
+      }
+    } else if (flag == "--damping") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      options.damping = std::atof(v->c_str());
+    } else if (flag == "--iterations") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      options.iterations = std::atoi(v->c_str());
+    } else {
+      return Status::InvalidArgument("unknown serve flag '" + flag + "'");
+    }
+  }
+  if (options.updates_file.empty()) {
+    return Status::InvalidArgument("serve requires --updates FILE");
+  }
+  if (options.writers == 0 || options.readers == 0) {
+    return Status::InvalidArgument("serve needs >= 1 writer and reader");
+  }
+  return options;
+}
+
+int RunServe(const ServeOptions& options) {
+  auto data = graph::ReadEdgeListFile(options.edge_list);
+  if (!data.ok()) {
+    std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  auto updates = ReadUpdates(options.updates_file);
+  if (!updates.ok()) {
+    std::fprintf(stderr, "error: %s\n", updates.status().ToString().c_str());
+    return 1;
+  }
+  Status translated = TranslateUpdates(data.value(), &updates.value());
+  if (!translated.ok()) {
+    std::fprintf(stderr, "error: %s\n", translated.ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu nodes, %zu edges; replaying %zu updates\n",
+              data->graph.num_nodes(), data->graph.num_edges(),
+              updates->size());
+
+  simrank::SimRankOptions sr_options;
+  sr_options.damping = options.damping;
+  sr_options.iterations = options.iterations;
+  WallTimer timer;
+  auto index = core::DynamicSimRank::Create(data->graph, sr_options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "error: %s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("batch SimRank solve: %.2f s\n", timer.ElapsedSeconds());
+
+  auto service = service::SimRankService::Create(std::move(index).value(),
+                                                 options.service);
+  if (!service.ok()) {
+    std::fprintf(stderr, "error: %s\n", service.status().ToString().c_str());
+    return 1;
+  }
+  service::SimRankService& svc = **service;
+  const std::size_t num_nodes = data->graph.num_nodes();
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> queries{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::vector<std::thread> threads;
+  timer.Restart();
+  for (std::size_t w = 0; w < options.writers; ++w) {
+    threads.emplace_back([&, w] {
+      for (std::size_t i = w; i < updates->size(); i += options.writers) {
+        Status s = svc.Submit(updates->at(i));
+        if (s.code() == StatusCode::kResourceExhausted) {
+          // Reject backpressure: this update is dropped (and counted);
+          // keep replaying the rest of the stream.
+          dropped.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (!s.ok()) {
+          std::fprintf(stderr, "submit: %s\n", s.ToString().c_str());
+          return;
+        }
+      }
+    });
+  }
+  for (std::size_t r = 0; r < options.readers; ++r) {
+    threads.emplace_back([&, r] {
+      Rng rng(1234 + static_cast<std::uint64_t>(r));
+      while (!done.load(std::memory_order_acquire)) {
+        auto node = static_cast<graph::NodeId>(rng.NextBounded(num_nodes));
+        auto top = svc.TopKFor(node, options.topk);
+        if (top.ok()) queries.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::size_t w = 0; w < options.writers; ++w) threads[w].join();
+  Status flushed = svc.Flush();
+  const double replay_seconds = timer.ElapsedSeconds();
+  done.store(true, std::memory_order_release);
+  for (std::size_t t = options.writers; t < threads.size(); ++t) {
+    threads[t].join();
+  }
+  if (!flushed.ok()) {
+    std::fprintf(stderr, "error: %s\n", flushed.ToString().c_str());
+    return 1;
+  }
+
+  service::ServiceStats stats = svc.stats();
+  std::printf(
+      "replayed in %.3f s: %llu applied, %llu failed, %llu dropped by "
+      "backpressure, %llu epochs\n",
+      replay_seconds, static_cast<unsigned long long>(stats.applied),
+      static_cast<unsigned long long>(stats.failed),
+      static_cast<unsigned long long>(dropped.load()),
+      static_cast<unsigned long long>(stats.epoch));
+  std::printf("ingest throughput: %.0f updates/s\n",
+              static_cast<double>(stats.applied) / replay_seconds);
+  std::printf("concurrent queries served: %llu (%.0f queries/s)\n",
+              static_cast<unsigned long long>(queries.load()),
+              static_cast<double>(queries.load()) / replay_seconds);
+  std::printf(
+      "query cache: %llu hits, %llu misses, %llu invalidations, "
+      "%llu evictions\n",
+      static_cast<unsigned long long>(stats.cache.hits),
+      static_cast<unsigned long long>(stats.cache.misses),
+      static_cast<unsigned long long>(stats.cache.invalidations),
+      static_cast<unsigned long long>(stats.cache.evictions));
+
+  IdSpace ids(data.value());
+  auto snap = svc.Snapshot();
+  std::printf("final epoch %llu: %zu nodes, %zu edges; top-%zu pairs:\n",
+              static_cast<unsigned long long>(snap->epoch),
+              snap->graph.num_nodes(), snap->graph.num_edges(), options.topk);
+  for (const auto& pair : svc.TopKPairs(options.topk)) {
+    std::printf("  (%6lld, %6lld)  %.6f\n", ids.ToOriginal(pair.a),
+                ids.ToOriginal(pair.b), pair.score);
+  }
+  return 0;
+}
+
 int Run(const CliOptions& options) {
   auto data = graph::ReadEdgeListFile(options.edge_list);
   if (!data.ok()) {
@@ -128,6 +415,11 @@ int Run(const CliOptions& options) {
                    updates.status().ToString().c_str());
       return 1;
     }
+    Status translated = TranslateUpdates(data.value(), &updates.value());
+    if (!translated.ok()) {
+      std::fprintf(stderr, "error: %s\n", translated.ToString().c_str());
+      return 1;
+    }
     timer.Restart();
     Status applied = index->ApplyBatch(updates.value());
     if (!applied.ok()) {
@@ -139,21 +431,24 @@ int Run(const CliOptions& options) {
                 updates->size(), timer.ElapsedSeconds());
   }
 
+  IdSpace ids(data.value());
   if (options.query >= 0) {
-    if (!index->graph().HasNode(options.query)) {
-      std::fprintf(stderr, "error: query node %d out of range\n",
+    graph::NodeId query = ids.ToDense(options.query);
+    if (query < 0 || !index->graph().HasNode(query)) {
+      std::fprintf(stderr, "error: query node %d not in the edge list\n",
                    options.query);
       return 1;
     }
     std::printf("top-%zu most similar to node %d:\n", options.topk,
                 options.query);
-    for (const auto& pair : index->TopKFor(options.query, options.topk)) {
-      std::printf("  %6d  %.6f\n", pair.b, pair.score);
+    for (const auto& pair : index->TopKFor(query, options.topk)) {
+      std::printf("  %6lld  %.6f\n", ids.ToOriginal(pair.b), pair.score);
     }
   } else {
     std::printf("top-%zu node pairs:\n", options.topk);
     for (const auto& pair : index->TopKPairs(options.topk)) {
-      std::printf("  (%6d, %6d)  %.6f\n", pair.a, pair.b, pair.score);
+      std::printf("  (%6lld, %6lld)  %.6f\n", ids.ToOriginal(pair.a),
+                  ids.ToOriginal(pair.b), pair.score);
     }
   }
   return 0;
@@ -162,6 +457,15 @@ int Run(const CliOptions& options) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
+    auto options = ParseServeArgs(argc, argv);
+    if (!options.ok()) {
+      std::fprintf(stderr, "error: %s\n", options.status().ToString().c_str());
+      PrintUsage(argv[0]);
+      return 2;
+    }
+    return RunServe(options.value());
+  }
   auto options = ParseArgs(argc, argv);
   if (!options.ok()) {
     std::fprintf(stderr, "error: %s\n", options.status().ToString().c_str());
