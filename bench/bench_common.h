@@ -6,6 +6,7 @@
 #ifndef INCSR_BENCH_BENCH_COMMON_H_
 #define INCSR_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -64,11 +65,39 @@ TimedUpdates TimeUpdates(const std::vector<graph::EdgeUpdate>& delta,
   return result;
 }
 
+/// Zipf-skewed sampler over ranks [0, n): P(rank r) ∝ 1/(r+1)^theta.
+/// theta = 0 degenerates to uniform; theta around 0.8-1.2 models the
+/// hot-node query skew of real serving traffic. Precomputes the CDF once
+/// (O(n)) and samples by binary search (O(log n)).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double theta) : cdf_(n) {
+    INCSR_CHECK(n > 0, "ZipfSampler needs n > 0");
+    double total = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+      cdf_[r] = total;
+    }
+    for (std::size_t r = 0; r < n; ++r) cdf_[r] /= total;
+  }
+
+  std::size_t Next(Rng* rng) const {
+    const double u = rng->NextDouble();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return it == cdf_.end() ? cdf_.size() - 1
+                            : static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
 /// Fraction of entries that differ between two equally sized matrices —
 /// the "affected pairs" measure of Fig. 2d/2e (a changed entry is one the
-/// incremental update actually touched with a nonzero delta).
-inline double ChangedFraction(const la::DenseMatrix& before,
-                              const la::DenseMatrix& after) {
+/// incremental update actually touched with a nonzero delta). Generic over
+/// row-readable containers (la::DenseMatrix, la::ScoreStore, views).
+template <typename BeforeLike, typename AfterLike>
+double ChangedFraction(const BeforeLike& before, const AfterLike& after) {
   INCSR_CHECK(before.rows() == after.rows() && before.cols() == after.cols(),
               "ChangedFraction shape mismatch");
   std::size_t changed = 0;

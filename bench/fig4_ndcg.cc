@@ -66,9 +66,9 @@ void RunDataset(const DatasetConfig& config, double scale_mult) {
     INCSR_CHECK(inc_usr->ApplyBatch(delta).ok(), "inc_usr batch");
 
     std::printf("  Inc-SR  (K = %2d): NDCG30 = %.3f\n", k,
-                NdcgOf(inc_sr->scores(), exact));
+                NdcgOf(inc_sr->scores().ToDense(), exact));
     std::printf("  Inc-uSR (K = %2d): NDCG30 = %.3f\n", k,
-                NdcgOf(inc_usr->scores(), exact));
+                NdcgOf(inc_usr->scores().ToDense(), exact));
   }
 
   // Inc-SVD at r = 5 and 15.

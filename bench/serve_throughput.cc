@@ -1,13 +1,23 @@
 // serve_throughput — load generator for the concurrent serving layer.
-// Builds a synthetic link-evolving workload (ER base graph + sampled
-// insertions), replays it through SimRankService from W writer threads
+// Builds a synthetic link-evolving workload (ER base graph + a sampled
+// update stream), replays it through SimRankService from W writer threads
 // while R reader threads issue top-k queries in a closed loop, and reports
-// ingest throughput (updates/s) plus query latency percentiles (p50/p99)
-// under the mixed read/write load. Runs twice — query cache enabled and
-// disabled — so the affected-area invalidation win is visible directly.
+// ingest throughput (updates/s), query latency percentiles (p50/p99), and
+// the epoch-publish cost (rows/bytes copy-on-written per epoch) under the
+// mixed read/write load. Runs twice — query cache enabled and disabled —
+// so the affected-area invalidation win is visible directly.
+//
+// Query skew: --zipf THETA draws reader query nodes Zipf(θ)-skewed over
+// the node ids (0 = uniform), modeling hot-node traffic — which is also
+// where the affected-area cache invalidation matters most.
+//
+// Churn: --churn delete-heavy replays a 70/30 delete/insert mix (every
+// edge appears once, so the stream is valid under any writer
+// interleaving) instead of the default insert-only stream.
 //
 // Usage: bench_serve_throughput [--nodes N] [--edges M] [--updates U]
 //          [--writers W] [--readers R] [--topk K] [--max-batch B]
+//          [--zipf THETA] [--churn insert|delete-heavy]
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
@@ -30,6 +40,8 @@ struct LoadConfig {
   std::size_t readers = 2;
   std::size_t topk = 10;
   std::size_t max_batch = 64;
+  double zipf_theta = 0.0;   // 0 = uniform query nodes
+  bool delete_heavy = false; // 70/30 delete/insert churn stream
 };
 
 double Percentile(std::vector<double>* sorted_in_place, double pct) {
@@ -68,6 +80,7 @@ LoadResult RunLoad(const LoadConfig& config,
   std::atomic<bool> done{false};
   std::vector<std::vector<double>> latencies(config.readers);
   std::vector<std::thread> threads;
+  bench::ZipfSampler zipf(config.nodes, config.zipf_theta);
   WallTimer timer;
   for (std::size_t w = 0; w < config.writers; ++w) {
     threads.emplace_back([&, w] {
@@ -82,8 +95,7 @@ LoadResult RunLoad(const LoadConfig& config,
       Rng rng(999 + static_cast<std::uint64_t>(r));
       std::vector<double>& mine = latencies[r];
       while (!done.load(std::memory_order_acquire)) {
-        const auto node =
-            static_cast<graph::NodeId>(rng.NextBounded(config.nodes));
+        const auto node = static_cast<graph::NodeId>(zipf.Next(&rng));
         WallTimer query_timer;
         auto top = svc.TopKFor(node, config.topk);
         INCSR_CHECK(top.ok(), "query failed");
@@ -128,6 +140,15 @@ void Report(const char* label, const LoadConfig& config,
                          static_cast<double>(lookups),
       static_cast<unsigned long long>(result.total_queries),
       static_cast<unsigned long long>(result.stats.epoch));
+  const double epochs =
+      static_cast<double>(result.stats.epoch > 0 ? result.stats.epoch : 1);
+  std::printf(
+      "%-14s publish cost: %llu rows, %.2f MB copy-on-written "
+      "(%.1f rows/epoch; full-copy would be %zu rows/epoch)\n",
+      "", static_cast<unsigned long long>(result.stats.rows_published),
+      static_cast<double>(result.stats.bytes_published) / 1e6,
+      static_cast<double>(result.stats.rows_published) / epochs,
+      config.nodes);
   INCSR_CHECK(result.stats.applied == config.updates,
               "lost updates: applied %llu of %zu",
               static_cast<unsigned long long>(result.stats.applied),
@@ -158,6 +179,22 @@ int main(int argc, char** argv) {
       config.topk = next();
     } else if (std::strcmp(argv[i], "--max-batch") == 0) {
       config.max_batch = next();
+    } else if (std::strcmp(argv[i], "--zipf") == 0) {
+      INCSR_CHECK(i + 1 < argc, "flag %s needs a value", argv[i]);
+      const char* value = argv[++i];
+      char* end = nullptr;
+      config.zipf_theta = std::strtod(value, &end);
+      INCSR_CHECK(end != value && *end == '\0' && config.zipf_theta >= 0.0,
+                  "--zipf needs a theta >= 0, got '%s'", value);
+    } else if (std::strcmp(argv[i], "--churn") == 0) {
+      INCSR_CHECK(i + 1 < argc, "flag %s needs a value", argv[i]);
+      const char* mode = argv[++i];
+      if (std::strcmp(mode, "delete-heavy") == 0) {
+        config.delete_heavy = true;
+      } else {
+        INCSR_CHECK(std::strcmp(mode, "insert") == 0,
+                    "unknown churn mode %s", mode);
+      }
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -166,24 +203,54 @@ int main(int argc, char** argv) {
 
   bench::PrintHeader("serve_throughput — mixed read/write serving load");
   std::printf(
-      "n = %zu, |E| = %zu, |dG| = %zu insertions, %zu writers, %zu readers, "
-      "k = %zu, max_batch = %zu\n",
-      config.nodes, config.edges, config.updates, config.writers,
-      config.readers, config.topk, config.max_batch);
+      "n = %zu, |E| = %zu, |dG| = %zu (%s), %zu writers, %zu readers, "
+      "k = %zu, max_batch = %zu, zipf = %.2f\n",
+      config.nodes, config.edges, config.updates,
+      config.delete_heavy ? "70/30 delete/insert churn" : "insertions",
+      config.writers, config.readers, config.topk, config.max_batch,
+      config.zipf_theta);
 
   auto stream = graph::ErdosRenyiGnm(config.nodes, config.edges, 7);
   INCSR_CHECK(stream.ok(), "generator failed");
   graph::DynamicDiGraph graph =
       graph::MaterializeGraph(config.nodes, stream.value());
   Rng rng(11);
-  auto updates = graph::SampleInsertions(graph, config.updates, &rng);
-  INCSR_CHECK(updates.ok(), "sampling failed: %s",
-              updates.status().ToString().c_str());
+  std::vector<graph::EdgeUpdate> updates;
+  if (config.delete_heavy) {
+    // 70% deletions of existing edges, 30% insertions of non-edges; every
+    // edge appears exactly once across the stream, so any interleaving of
+    // the writer threads replays losslessly.
+    const std::size_t deletions =
+        std::min(graph.num_edges(), config.updates * 7 / 10);
+    const std::size_t insertions = config.updates - deletions;
+    auto del = graph::SampleDeletions(graph, deletions, &rng);
+    INCSR_CHECK(del.ok(), "deletion sampling failed: %s",
+                del.status().ToString().c_str());
+    auto ins = graph::SampleInsertions(graph, insertions, &rng);
+    INCSR_CHECK(ins.ok(), "insertion sampling failed: %s",
+                ins.status().ToString().c_str());
+    std::size_t a = 0;
+    std::size_t b = 0;
+    // Deterministic 7:3 interleave.
+    while (a < del->size() || b < ins->size()) {
+      for (int d = 0; d < 7 && a < del->size(); ++d) {
+        updates.push_back((*del)[a++]);
+      }
+      for (int s = 0; s < 3 && b < ins->size(); ++s) {
+        updates.push_back((*ins)[b++]);
+      }
+    }
+  } else {
+    auto ins = graph::SampleInsertions(graph, config.updates, &rng);
+    INCSR_CHECK(ins.ok(), "sampling failed: %s",
+                ins.status().ToString().c_str());
+    updates = std::move(ins).value();
+  }
 
-  LoadResult cached = RunLoad(config, graph, updates.value(),
+  LoadResult cached = RunLoad(config, graph, updates,
                               /*cache_capacity=*/4096);
   Report("cache on:", config, cached);
-  LoadResult uncached = RunLoad(config, graph, updates.value(),
+  LoadResult uncached = RunLoad(config, graph, updates,
                                 /*cache_capacity=*/0);
   Report("cache off:", config, uncached);
   return 0;

@@ -29,6 +29,7 @@
 #include "incsvd/inc_svd.h"      // IWYU pragma: export
 #include "incsvd/svd_simrank.h"  // IWYU pragma: export
 #include "la/dense_matrix.h"     // IWYU pragma: export
+#include "la/score_store.h"      // IWYU pragma: export
 #include "la/sparse_matrix.h"    // IWYU pragma: export
 #include "la/svd.h"              // IWYU pragma: export
 #include "la/vector.h"           // IWYU pragma: export

@@ -54,10 +54,12 @@ class CoalescedBatchEngine {
   /// Applies a whole batch, one rank-one solve per distinct target. On
   /// entry *graph/*q/*s are the OLD consistent state; on success the NEW.
   /// Fails (with the already-processed groups applied) if any individual
-  /// edge change is invalid.
+  /// edge change is invalid. Generic over the score container (dense
+  /// matrix or COW ScoreStore), like IncSrEngine.
+  template <typename SMatrix>
   Status ApplyBatch(const std::vector<graph::EdgeUpdate>& updates,
                     graph::DynamicDiGraph* graph, la::DynamicRowMatrix* q,
-                    la::DenseMatrix* s);
+                    SMatrix* s);
 
   /// Number of rank-one solves the last ApplyBatch performed (groups with
   /// a net-zero row change are skipped entirely).
@@ -66,9 +68,10 @@ class CoalescedBatchEngine {
   const AffectedAreaStats& last_stats() const { return stats_; }
 
  private:
+  template <typename SMatrix>
   Status ApplyGroup(const CoalescedGroup& group,
                     graph::DynamicDiGraph* graph, la::DynamicRowMatrix* q,
-                    la::DenseMatrix* s);
+                    SMatrix* s);
 
   simrank::SimRankOptions options_;
   IncSrEngine engine_;  // reused for its public unit-update path on

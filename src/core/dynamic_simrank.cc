@@ -27,7 +27,7 @@ DynamicSimRank::DynamicSimRank(graph::DynamicDiGraph graph, la::DenseMatrix s,
                                UpdateAlgorithm algorithm)
     : graph_(std::move(graph)),
       q_(graph::BuildTransition(graph_)),
-      s_(std::move(s)),
+      s_(la::ScoreStore(std::move(s))),
       options_(options),
       algorithm_(algorithm),
       engine_(options) {}
@@ -116,6 +116,8 @@ graph::NodeId DynamicSimRank::AddNode() {
   graph::NodeId fresh = graph_.AddNodes(1);
   const std::size_t n = graph_.num_nodes();
   q_.Grow(n, n);
+  // Every row gains a column, so the whole store is rebuilt; previously
+  // published views keep serving the old geometry.
   la::DenseMatrix grown(n, n);
   for (std::size_t i = 0; i + 1 < n; ++i) {
     const double* src = s_.RowPtr(i);
@@ -123,65 +125,8 @@ graph::NodeId DynamicSimRank::AddNode() {
     std::copy(src, src + n - 1, dst);
   }
   grown(n - 1, n - 1) = 1.0 - options_.damping;
-  s_ = std::move(grown);
+  s_.Assign(std::move(grown));
   return fresh;
-}
-
-std::vector<ScoredPair> TopKPairsOf(const la::DenseMatrix& s, std::size_t k) {
-  const std::size_t n = s.rows();
-  std::vector<ScoredPair> heap;  // min-heap on score
-  auto cmp = [](const ScoredPair& x, const ScoredPair& y) {
-    if (x.score != y.score) return x.score > y.score;
-    return std::pair(x.a, x.b) < std::pair(y.a, y.b);
-  };
-  for (std::size_t a = 0; a < n; ++a) {
-    const double* row = s.RowPtr(a);
-    for (std::size_t b = a + 1; b < n; ++b) {
-      ScoredPair cand{static_cast<graph::NodeId>(a),
-                      static_cast<graph::NodeId>(b), row[b]};
-      if (heap.size() < k) {
-        heap.push_back(cand);
-        std::push_heap(heap.begin(), heap.end(), cmp);
-      } else if (!heap.empty() && cmp(cand, heap.front())) {
-        std::pop_heap(heap.begin(), heap.end(), cmp);
-        heap.back() = cand;
-        std::push_heap(heap.begin(), heap.end(), cmp);
-      }
-    }
-  }
-  // sort_heap yields ascending order w.r.t. cmp, i.e. best pair first.
-  std::sort_heap(heap.begin(), heap.end(), cmp);
-  return heap;
-}
-
-std::vector<ScoredPair> TopKForOf(const la::DenseMatrix& s,
-                                  graph::NodeId query, std::size_t k) {
-  const std::size_t n = s.rows();
-  const std::size_t q = static_cast<std::size_t>(query);
-  const double* row = s.RowPtr(q);
-  // Bounded min-heap over the k best seen so far: O(n log k) instead of
-  // the former full materialize-and-sort — this is the hot read path the
-  // serving layer multiplies by every query.
-  auto cmp = [](const ScoredPair& x, const ScoredPair& y) {
-    if (x.score != y.score) return x.score > y.score;
-    return x.b < y.b;
-  };
-  std::vector<ScoredPair> heap;
-  heap.reserve(std::min(k, n));
-  for (std::size_t b = 0; b < n; ++b) {
-    if (b == q) continue;
-    ScoredPair cand{query, static_cast<graph::NodeId>(b), row[b]};
-    if (heap.size() < k) {
-      heap.push_back(cand);
-      std::push_heap(heap.begin(), heap.end(), cmp);
-    } else if (!heap.empty() && cmp(cand, heap.front())) {
-      std::pop_heap(heap.begin(), heap.end(), cmp);
-      heap.back() = cand;
-      std::push_heap(heap.begin(), heap.end(), cmp);
-    }
-  }
-  std::sort_heap(heap.begin(), heap.end(), cmp);
-  return heap;
 }
 
 std::vector<ScoredPair> DynamicSimRank::TopKPairs(std::size_t k) const {

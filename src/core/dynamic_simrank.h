@@ -14,6 +14,7 @@
 #ifndef INCSR_CORE_DYNAMIC_SIMRANK_H_
 #define INCSR_CORE_DYNAMIC_SIMRANK_H_
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "graph/digraph.h"
 #include "graph/update_stream.h"
 #include "la/dense_matrix.h"
+#include "la/score_store.h"
 #include "la/sparse_matrix.h"
 #include "simrank/options.h"
 
@@ -47,13 +49,69 @@ struct ScoredPair {
 
 /// Top-k highest-scoring distinct pairs (a < b) of a similarity matrix,
 /// ties broken by (a, b). Bounded min-heap: O(n² log k), O(k) extra space.
-/// Free function so the serving layer can run it on pinned snapshots.
-std::vector<ScoredPair> TopKPairsOf(const la::DenseMatrix& s, std::size_t k);
+/// Generic over any row-readable score container (la::DenseMatrix,
+/// la::ScoreStore, or a pinned la::ScoreStore::View) so the serving layer
+/// can run it on published snapshots without materializing S.
+template <typename SLike>
+std::vector<ScoredPair> TopKPairsOf(const SLike& s, std::size_t k) {
+  const std::size_t n = s.rows();
+  std::vector<ScoredPair> heap;  // min-heap on score
+  auto cmp = [](const ScoredPair& x, const ScoredPair& y) {
+    if (x.score != y.score) return x.score > y.score;
+    return std::pair(x.a, x.b) < std::pair(y.a, y.b);
+  };
+  for (std::size_t a = 0; a < n; ++a) {
+    const double* row = s.RowPtr(a);
+    for (std::size_t b = a + 1; b < n; ++b) {
+      ScoredPair cand{static_cast<graph::NodeId>(a),
+                      static_cast<graph::NodeId>(b), row[b]};
+      if (heap.size() < k) {
+        heap.push_back(cand);
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      } else if (!heap.empty() && cmp(cand, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), cmp);
+        heap.back() = cand;
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      }
+    }
+  }
+  // sort_heap yields ascending order w.r.t. cmp, i.e. best pair first.
+  std::sort_heap(heap.begin(), heap.end(), cmp);
+  return heap;
+}
 
 /// Top-k most similar nodes to `query` (excluding itself) read off row
 /// `query` of `s`, ties broken by node id. Bounded min-heap: O(n log k).
-std::vector<ScoredPair> TopKForOf(const la::DenseMatrix& s,
-                                  graph::NodeId query, std::size_t k);
+template <typename SLike>
+std::vector<ScoredPair> TopKForOf(const SLike& s, graph::NodeId query,
+                                  std::size_t k) {
+  const std::size_t n = s.rows();
+  const std::size_t q = static_cast<std::size_t>(query);
+  const double* row = s.RowPtr(q);
+  // Bounded min-heap over the k best seen so far: O(n log k) instead of
+  // the former full materialize-and-sort — this is the hot read path the
+  // serving layer multiplies by every query.
+  auto cmp = [](const ScoredPair& x, const ScoredPair& y) {
+    if (x.score != y.score) return x.score > y.score;
+    return x.b < y.b;
+  };
+  std::vector<ScoredPair> heap;
+  heap.reserve(std::min(k, n));
+  for (std::size_t b = 0; b < n; ++b) {
+    if (b == q) continue;
+    ScoredPair cand{query, static_cast<graph::NodeId>(b), row[b]};
+    if (heap.size() < k) {
+      heap.push_back(cand);
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    } else if (!heap.empty() && cmp(cand, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      heap.back() = cand;
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), cmp);
+  return heap;
+}
 
 /// Incrementally maintained all-pairs SimRank index (matrix form, Eq. 2).
 class DynamicSimRank {
@@ -75,7 +133,14 @@ class DynamicSimRank {
       UpdateAlgorithm algorithm = UpdateAlgorithm::kIncSR);
 
   const graph::DynamicDiGraph& graph() const { return graph_; }
-  const la::DenseMatrix& scores() const { return s_; }
+  /// The maintained similarity matrix, behind the copy-on-write row store.
+  /// Read entries with scores()(a, b) / scores().RowPtr(a); materialize
+  /// with scores().ToDense() when a dense matrix is genuinely needed.
+  const la::ScoreStore& scores() const { return s_; }
+  /// Mutable access to the score store for the serving layer, which calls
+  /// Publish() on it to snapshot an epoch in O(rows touched). The caller
+  /// must be the same thread that applies updates.
+  la::ScoreStore* mutable_score_store() { return &s_; }
   const simrank::SimRankOptions& options() const { return options_; }
   UpdateAlgorithm algorithm() const { return algorithm_; }
 
@@ -127,7 +192,7 @@ class DynamicSimRank {
 
   graph::DynamicDiGraph graph_;
   la::DynamicRowMatrix q_;
-  la::DenseMatrix s_;
+  la::ScoreStore s_;
   simrank::SimRankOptions options_;
   UpdateAlgorithm algorithm_;
   IncSrEngine engine_;

@@ -34,10 +34,11 @@ void IncSrEngine::Workspace::SortIndices() {
   std::sort(indices.begin(), indices.end());
 }
 
+template <typename SMatrix>
 Status IncSrEngine::ComputeSparseSeed(const graph::EdgeUpdate& update,
                                       const graph::DynamicDiGraph& graph,
                                       const la::DynamicRowMatrix& q,
-                                      const la::DenseMatrix& s,
+                                      const SMatrix& s,
                                       RankOneUpdate* rank_one,
                                       Workspace* theta) {
   Result<RankOneUpdate> decomposition = ComputeRankOneUpdate(q, update);
@@ -139,14 +140,15 @@ void IncSrEngine::AdvanceSparse(const graph::DynamicDiGraph& new_graph,
   next->SortIndices();
 }
 
+template <typename SMatrix>
 void IncSrEngine::ScatterOuter(const Workspace& xi, const Workspace& eta,
-                               la::DenseMatrix* s) {
+                               SMatrix* s) {
   // S += ξ·ηᵀ + η·ξᵀ in two row-major passes (one per term) so every
   // write lands in the current row — a strided (b, a) write per element
   // would dominate the scatter once the supports grow.
   for (std::int32_t a : xi.indices) {
     const double xa = xi.values[static_cast<std::size_t>(a)];
-    double* __restrict row = s->RowPtr(static_cast<std::size_t>(a));
+    double* __restrict row = s->MutableRowPtr(static_cast<std::size_t>(a));
     for (std::int32_t b : eta.indices) {
       row[static_cast<std::size_t>(b)] +=
           xa * eta.values[static_cast<std::size_t>(b)];
@@ -154,7 +156,7 @@ void IncSrEngine::ScatterOuter(const Workspace& xi, const Workspace& eta,
   }
   for (std::int32_t b : eta.indices) {
     const double eb = eta.values[static_cast<std::size_t>(b)];
-    double* __restrict row = s->RowPtr(static_cast<std::size_t>(b));
+    double* __restrict row = s->MutableRowPtr(static_cast<std::size_t>(b));
     for (std::int32_t a : xi.indices) {
       row[static_cast<std::size_t>(a)] +=
           eb * xi.values[static_cast<std::size_t>(a)];
@@ -172,9 +174,10 @@ void IncSrEngine::RecordTouched(const Workspace& ws) {
   }
 }
 
+template <typename SMatrix>
 Status IncSrEngine::ApplyUpdate(const graph::EdgeUpdate& update,
                                 graph::DynamicDiGraph* graph,
-                                la::DynamicRowMatrix* q, la::DenseMatrix* s) {
+                                la::DynamicRowMatrix* q, SMatrix* s) {
   INCSR_CHECK(graph != nullptr && q != nullptr && s != nullptr,
               "IncSrEngine::ApplyUpdate: null output");
   if (s->rows() != q->rows() || s->cols() != q->cols() ||
@@ -199,9 +202,10 @@ Status IncSrEngine::ApplyUpdate(const graph::EdgeUpdate& update,
   return Status::OK();
 }
 
+template <typename SMatrix>
 void IncSrEngine::RunPrunedIterations(graph::NodeId target,
                                       const graph::DynamicDiGraph& new_graph,
-                                      la::DenseMatrix* s) {
+                                      SMatrix* s) {
   // Per iteration the supports of ξ, η are the affected sets A_k, B_k of
   // Theorem 4; everything outside them stays untouched in S.
   const double c = options_.damping;
@@ -233,11 +237,11 @@ void IncSrEngine::RunPrunedIterations(graph::NodeId target,
   std::sort(stats_.touched_nodes.begin(), stats_.touched_nodes.end());
 }
 
+template <typename SMatrix>
 Status IncSrEngine::ApplyRowUpdate(graph::NodeId target,
                                    std::span<const graph::EdgeUpdate> changes,
                                    graph::DynamicDiGraph* graph,
-                                   la::DynamicRowMatrix* q,
-                                   la::DenseMatrix* s) {
+                                   la::DynamicRowMatrix* q, SMatrix* s) {
   INCSR_CHECK(graph != nullptr && q != nullptr && s != nullptr,
               "ApplyRowUpdate: null output");
   const std::size_t n = graph->num_nodes();
@@ -358,5 +362,22 @@ Status IncSrEngine::ApplyRowUpdate(graph::NodeId target,
   RunPrunedIterations(target, *graph, s);
   return Status::OK();
 }
+
+// The engine is used with exactly two score containers: the plain dense
+// matrix (tests, benches, reference paths) and the serving layer's
+// copy-on-write ScoreStore. Instantiate both here so callers only need the
+// declarations.
+template Status IncSrEngine::ApplyUpdate<la::DenseMatrix>(
+    const graph::EdgeUpdate&, graph::DynamicDiGraph*, la::DynamicRowMatrix*,
+    la::DenseMatrix*);
+template Status IncSrEngine::ApplyUpdate<la::ScoreStore>(
+    const graph::EdgeUpdate&, graph::DynamicDiGraph*, la::DynamicRowMatrix*,
+    la::ScoreStore*);
+template Status IncSrEngine::ApplyRowUpdate<la::DenseMatrix>(
+    graph::NodeId, std::span<const graph::EdgeUpdate>, graph::DynamicDiGraph*,
+    la::DynamicRowMatrix*, la::DenseMatrix*);
+template Status IncSrEngine::ApplyRowUpdate<la::ScoreStore>(
+    graph::NodeId, std::span<const graph::EdgeUpdate>, graph::DynamicDiGraph*,
+    la::DynamicRowMatrix*, la::ScoreStore*);
 
 }  // namespace incsr::core

@@ -23,6 +23,7 @@
 #include "graph/digraph.h"
 #include "graph/update_stream.h"
 #include "la/dense_matrix.h"
+#include "la/score_store.h"
 #include "la/sparse_matrix.h"
 #include "simrank/options.h"
 
@@ -31,6 +32,15 @@ namespace incsr::core {
 /// Reusable pruned-update engine. One engine per maintained similarity
 /// matrix; its scratch buffers are recycled across updates so steady-state
 /// unit updates allocate nothing of O(n).
+///
+/// The update entry points are generic over the score container SMatrix —
+/// la::DenseMatrix (in-place, the tests' reference path) or la::ScoreStore
+/// (row-granular copy-on-write, the serving path). SMatrix must provide
+/// rows()/cols(), operator()(i, j) and RowPtr(i) for reads, Col(j), and
+/// MutableRowPtr(i) as the sole write entry point — the engine only ever
+/// takes MutableRowPtr for rows it actually scatters into, which is what
+/// keeps the ScoreStore's COW cost at O(affected rows). Definitions live
+/// in inc_sr.cc with explicit instantiations for both containers.
 class IncSrEngine {
  public:
   explicit IncSrEngine(simrank::SimRankOptions options)
@@ -41,9 +51,10 @@ class IncSrEngine {
   /// Applies one unit update. On entry *graph, *q, *s must be mutually
   /// consistent OLD state; on success they hold the NEW state. On failure
   /// nothing is modified.
+  template <typename SMatrix>
   Status ApplyUpdate(const graph::EdgeUpdate& update,
                      graph::DynamicDiGraph* graph, la::DynamicRowMatrix* q,
-                     la::DenseMatrix* s);
+                     SMatrix* s);
 
   /// Generalized (coalesced) rank-one update: absorbs EVERY change in
   /// `changes` — all of which must target node `target` — with a single
@@ -52,10 +63,11 @@ class IncSrEngine {
   /// γ = vᵀz, w = Q·z + (γ/2)u) instead of the per-case Eqs. (27)-(28).
   /// All changes are validated against the old state before anything is
   /// mutated; on failure nothing is modified.
+  template <typename SMatrix>
   Status ApplyRowUpdate(graph::NodeId target,
                         std::span<const graph::EdgeUpdate> changes,
                         graph::DynamicDiGraph* graph, la::DynamicRowMatrix* q,
-                        la::DenseMatrix* s);
+                        SMatrix* s);
 
   /// Affected-area measurements of the most recent successful update.
   const AffectedAreaStats& last_stats() const { return stats_; }
@@ -74,11 +86,11 @@ class IncSrEngine {
   };
 
   // θ on its support B₀, computed from the OLD graph/Q/S.
+  template <typename SMatrix>
   Status ComputeSparseSeed(const graph::EdgeUpdate& update,
                            const graph::DynamicDiGraph& graph,
-                           const la::DynamicRowMatrix& q,
-                           const la::DenseMatrix& s, RankOneUpdate* rank_one,
-                           Workspace* theta);
+                           const la::DynamicRowMatrix& q, const SMatrix& s,
+                           RankOneUpdate* rank_one, Workspace* theta);
 
   // next ← scale · Q̃ · cur, where Q̃ is read off the NEW graph
   // (Q̃_{a,b} = 1/indeg(a) for b ∈ I(a)). Supports expand by out-neighbor
@@ -87,15 +99,17 @@ class IncSrEngine {
                      const Workspace& cur, Workspace* next);
 
   // S += ξ·ηᵀ + η·ξᵀ restricted to the touched supports.
+  template <typename SMatrix>
   static void ScatterOuter(const Workspace& xi, const Workspace& eta,
-                           la::DenseMatrix* s);
+                           SMatrix* s);
 
   // Shared tail of both update paths: seeds ξ₀ = C·e_target, η₀ = θ
   // (already in eta_), runs the K pruned iterations against the NEW
   // graph, scattering into S and recording stats.
+  template <typename SMatrix>
   void RunPrunedIterations(graph::NodeId target,
                            const graph::DynamicDiGraph& new_graph,
-                           la::DenseMatrix* s);
+                           SMatrix* s);
 
   // Adds every index of `ws` not yet in stats_.touched_nodes (dedup via
   // touched_seen_, which mirrors stats_.touched_nodes membership).

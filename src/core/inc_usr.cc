@@ -4,8 +4,9 @@
 
 namespace incsr::core {
 
+template <typename SMatrix>
 Result<la::DenseMatrix> IncUsrAuxiliaryM(
-    const la::DynamicRowMatrix& q, const la::DenseMatrix& s,
+    const la::DynamicRowMatrix& q, const SMatrix& s,
     const graph::EdgeUpdate& update, const simrank::SimRankOptions& options) {
   Result<UpdateSeed> seed = ComputeUpdateSeed(q, s, update, options);
   if (!seed.ok()) return seed.status();
@@ -54,10 +55,11 @@ Result<la::DenseMatrix> IncUsrDelta(const la::DynamicRowMatrix& q,
   return delta;
 }
 
+template <typename SMatrix>
 Status IncUsrApplyUpdate(const graph::EdgeUpdate& update,
                          const simrank::SimRankOptions& options,
                          graph::DynamicDiGraph* graph,
-                         la::DynamicRowMatrix* q, la::DenseMatrix* s) {
+                         la::DynamicRowMatrix* q, SMatrix* s) {
   INCSR_CHECK(graph != nullptr && q != nullptr && s != nullptr,
               "IncUsrApplyUpdate: null output");
   Result<la::DenseMatrix> m = IncUsrAuxiliaryM(*q, *s, update, options);
@@ -69,22 +71,42 @@ Status IncUsrApplyUpdate(const graph::EdgeUpdate& update,
   if (!applied.ok()) return applied;
   graph::RefreshTransitionRow(*graph, update.dst, q);
   // S += M + Mᵀ without materializing the transpose: row pass for M, then
-  // a blocked pass for Mᵀ (cache-friendly tiles).
-  s->AddScaled(1.0, m.value());
+  // a blocked pass for Mᵀ (cache-friendly tiles). All writes go through
+  // MutableRowPtr — Inc-uSR has no pruning, so with a COW ScoreStore every
+  // shard is (correctly) cloned on the first post-publish update.
   const std::size_t n = s->rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    double* __restrict row = s->MutableRowPtr(i);
+    const double* mi = m->RowPtr(i);
+    for (std::size_t j = 0; j < n; ++j) row[j] += mi[j];
+  }
   constexpr std::size_t kBlock = 64;
   for (std::size_t ib = 0; ib < n; ib += kBlock) {
     const std::size_t imax = std::min(n, ib + kBlock);
     for (std::size_t jb = 0; jb < n; jb += kBlock) {
       const std::size_t jmax = std::min(n, jb + kBlock);
       for (std::size_t i = ib; i < imax; ++i) {
+        double* row = s->MutableRowPtr(i);
         for (std::size_t j = jb; j < jmax; ++j) {
-          (*s)(i, j) += (*m)(j, i);
+          row[j] += (*m)(j, i);
         }
       }
     }
   }
   return Status::OK();
 }
+
+template Result<la::DenseMatrix> IncUsrAuxiliaryM<la::DenseMatrix>(
+    const la::DynamicRowMatrix&, const la::DenseMatrix&,
+    const graph::EdgeUpdate&, const simrank::SimRankOptions&);
+template Result<la::DenseMatrix> IncUsrAuxiliaryM<la::ScoreStore>(
+    const la::DynamicRowMatrix&, const la::ScoreStore&,
+    const graph::EdgeUpdate&, const simrank::SimRankOptions&);
+template Status IncUsrApplyUpdate<la::DenseMatrix>(
+    const graph::EdgeUpdate&, const simrank::SimRankOptions&,
+    graph::DynamicDiGraph*, la::DynamicRowMatrix*, la::DenseMatrix*);
+template Status IncUsrApplyUpdate<la::ScoreStore>(
+    const graph::EdgeUpdate&, const simrank::SimRankOptions&,
+    graph::DynamicDiGraph*, la::DynamicRowMatrix*, la::ScoreStore*);
 
 }  // namespace incsr::core

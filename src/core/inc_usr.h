@@ -18,15 +18,19 @@
 #include "graph/digraph.h"
 #include "graph/update_stream.h"
 #include "la/dense_matrix.h"
+#include "la/score_store.h"
 #include "la/sparse_matrix.h"
 #include "simrank/options.h"
 
 namespace incsr::core {
 
 /// Computes the K-truncated auxiliary matrix M_K for a unit update from
-/// the OLD Q and S (Algorithm 1, lines 1-17); ΔS = M_K + M_Kᵀ.
+/// the OLD Q and S (Algorithm 1, lines 1-17); ΔS = M_K + M_Kᵀ. Generic
+/// over the score container (reads only); instantiated for la::DenseMatrix
+/// and la::ScoreStore in inc_usr.cc.
+template <typename SMatrix>
 Result<la::DenseMatrix> IncUsrAuxiliaryM(const la::DynamicRowMatrix& q,
-                                         const la::DenseMatrix& s,
+                                         const SMatrix& s,
                                          const graph::EdgeUpdate& update,
                                          const simrank::SimRankOptions& options);
 
@@ -41,10 +45,11 @@ Result<la::DenseMatrix> IncUsrDelta(const la::DynamicRowMatrix& q,
 /// ΔS from the old state, applies the edge change to *graph, refreshes the
 /// touched row of *q, and adds ΔS into *s. All three outputs are left
 /// unmodified on failure.
+template <typename SMatrix>
 Status IncUsrApplyUpdate(const graph::EdgeUpdate& update,
                          const simrank::SimRankOptions& options,
                          graph::DynamicDiGraph* graph,
-                         la::DynamicRowMatrix* q, la::DenseMatrix* s);
+                         la::DynamicRowMatrix* q, SMatrix* s);
 
 }  // namespace incsr::core
 

@@ -2,8 +2,9 @@
 
 namespace incsr::core {
 
+template <typename SMatrix>
 Result<UpdateSeed> ComputeUpdateSeed(const la::DynamicRowMatrix& q,
-                                     const la::DenseMatrix& s,
+                                     const SMatrix& s,
                                      const graph::EdgeUpdate& update,
                                      const simrank::SimRankOptions& options) {
   if (s.rows() != q.rows() || s.cols() != q.cols()) {
@@ -63,5 +64,12 @@ Result<UpdateSeed> ComputeUpdateSeed(const la::DynamicRowMatrix& q,
   }
   return seed;
 }
+
+template Result<UpdateSeed> ComputeUpdateSeed<la::DenseMatrix>(
+    const la::DynamicRowMatrix&, const la::DenseMatrix&,
+    const graph::EdgeUpdate&, const simrank::SimRankOptions&);
+template Result<UpdateSeed> ComputeUpdateSeed<la::ScoreStore>(
+    const la::DynamicRowMatrix&, const la::ScoreStore&,
+    const graph::EdgeUpdate&, const simrank::SimRankOptions&);
 
 }  // namespace incsr::core

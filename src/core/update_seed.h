@@ -24,6 +24,7 @@
 #include "common/status.h"
 #include "core/rank_one_update.h"
 #include "la/dense_matrix.h"
+#include "la/score_store.h"
 #include "la/sparse_matrix.h"
 #include "la/vector.h"
 #include "simrank/options.h"
@@ -39,9 +40,12 @@ struct UpdateSeed {
 };
 
 /// Computes the dense seed from the OLD transition matrix and OLD scores
-/// (Algorithm 1, lines 1-12).
+/// (Algorithm 1, lines 1-12). Generic over the score container (dense
+/// matrix or copy-on-write ScoreStore — reads only); instantiated for both
+/// in update_seed.cc.
+template <typename SMatrix>
 Result<UpdateSeed> ComputeUpdateSeed(const la::DynamicRowMatrix& q,
-                                     const la::DenseMatrix& s,
+                                     const SMatrix& s,
                                      const graph::EdgeUpdate& update,
                                      const simrank::SimRankOptions& options);
 

@@ -51,6 +51,9 @@ class DenseMatrix {
   /// Raw pointer to row i (contiguous, cols() entries).
   const double* RowPtr(std::size_t i) const { return &data_[i * cols_]; }
   double* RowPtr(std::size_t i) { return &data_[i * cols_]; }
+  /// Write entry point shared with la::ScoreStore (which copy-on-writes
+  /// here); for a plain dense matrix it is just the mutable row pointer.
+  double* MutableRowPtr(std::size_t i) { return RowPtr(i); }
 
   /// Copies row i into a Vector.
   Vector Row(std::size_t i) const;

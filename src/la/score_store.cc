@@ -1,0 +1,148 @@
+#include "la/score_store.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace incsr::la {
+
+namespace {
+
+bool IsPowerOfTwo(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+// Materializes any row-readable container (store or view) bitwise.
+template <typename RowsLike>
+DenseMatrix MaterializeRows(const RowsLike& m) {
+  DenseMatrix out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* src = m.RowPtr(i);
+    std::copy(src, src + m.cols(), out.RowPtr(i));
+  }
+  return out;
+}
+
+std::size_t Log2(std::size_t pow2) {
+  std::size_t shift = 0;
+  while ((std::size_t{1} << shift) < pow2) ++shift;
+  return shift;
+}
+
+}  // namespace
+
+DenseMatrix ScoreStore::View::ToDense() const { return MaterializeRows(*this); }
+
+ScoreStore::ScoreStore(DenseMatrix dense, std::size_t rows_per_shard) {
+  INCSR_CHECK(IsPowerOfTwo(rows_per_shard),
+              "rows_per_shard %zu is not a power of two", rows_per_shard);
+  rows_ = dense.rows();
+  cols_ = dense.cols();
+  shard_shift_ = Log2(rows_per_shard);
+  shard_mask_ = rows_per_shard - 1;
+  BuildShards(dense);
+}
+
+std::size_t ScoreStore::RowsInShard(std::size_t shard) const {
+  const std::size_t first = shard << shard_shift_;
+  return std::min(rows_ - first, std::size_t{1} << shard_shift_);
+}
+
+void ScoreStore::BuildShards(const DenseMatrix& dense) {
+  const std::size_t num_shards =
+      rows_ == 0 ? 0 : ((rows_ + shard_mask_) >> shard_shift_);
+  shards_.assign(num_shards, nullptr);
+  shared_.assign(num_shards, 0);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_shared<Shard>();
+    const std::size_t first = s << shard_shift_;
+    const std::size_t count = RowsInShard(s);
+    shard->data.resize(count * cols_);
+    const double* src = dense.RowPtr(first);
+    std::copy(src, src + count * cols_, shard->data.data());
+    shards_[s] = std::move(shard);
+  }
+}
+
+double* ScoreStore::MutableRowPtr(std::size_t i) {
+  INCSR_DCHECK(i < rows_, "row %zu out of %zu", i, rows_);
+  const std::size_t s = i >> shard_shift_;
+  if (shared_[s]) {
+    // First write into a shard some published View references: clone it.
+    // The old shard stays alive (and byte-stable) for as long as any View
+    // holds it; this clone IS the incremental publish cost.
+    auto clone = std::make_shared<Shard>();
+    clone->data = shards_[s]->data;
+    stats_.rows_copied += RowsInShard(s);
+    stats_.bytes_copied += clone->data.size() * sizeof(double);
+    shards_[s] = std::move(clone);
+    shared_[s] = 0;
+  }
+  // const_cast is sound: an unshared shard is exclusively owned by this
+  // store, and only the single writer thread reaches this path.
+  auto* shard = const_cast<Shard*>(shards_[s].get());
+  return &shard->data[(i & shard_mask_) * cols_];
+}
+
+Vector ScoreStore::Col(std::size_t j) const {
+  INCSR_DCHECK(j < cols_, "col %zu out of %zu", j, cols_);
+  Vector out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = RowPtr(i)[j];
+  return out;
+}
+
+DenseMatrix ScoreStore::ToDense() const { return MaterializeRows(*this); }
+
+ScoreStore::View ScoreStore::Publish() {
+  View view;
+  view.rows_ = rows_;
+  view.cols_ = cols_;
+  view.shard_shift_ = shard_shift_;
+  view.shard_mask_ = shard_mask_;
+  view.shards_ = shards_;  // O(#shards) pointer copies — the whole cost
+  std::fill(shared_.begin(), shared_.end(), std::uint8_t{1});
+  ++stats_.publishes;
+  return view;
+}
+
+void ScoreStore::Assign(DenseMatrix dense) {
+  rows_ = dense.rows();
+  cols_ = dense.cols();
+  BuildShards(dense);
+}
+
+namespace {
+
+template <typename A, typename B>
+double MaxAbsDiffRows(const A& a, const B& b) {
+  INCSR_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+              "MaxAbsDiff shape mismatch (%zu,%zu) vs (%zu,%zu)", a.rows(),
+              a.cols(), b.rows(), b.cols());
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* pa = a.RowPtr(i);
+    const double* pb = b.RowPtr(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const double diff = pa[j] > pb[j] ? pa[j] - pb[j] : pb[j] - pa[j];
+      if (diff > max_diff) max_diff = diff;
+    }
+  }
+  return max_diff;
+}
+
+}  // namespace
+
+double MaxAbsDiff(const ScoreStore& a, const DenseMatrix& b) {
+  return MaxAbsDiffRows(a, b);
+}
+double MaxAbsDiff(const DenseMatrix& a, const ScoreStore& b) {
+  return MaxAbsDiffRows(a, b);
+}
+double MaxAbsDiff(const ScoreStore& a, const ScoreStore& b) {
+  return MaxAbsDiffRows(a, b);
+}
+double MaxAbsDiff(const ScoreStore::View& a, const DenseMatrix& b) {
+  return MaxAbsDiffRows(a, b);
+}
+double MaxAbsDiff(const ScoreStore::View& a, const ScoreStore::View& b) {
+  return MaxAbsDiffRows(a, b);
+}
+
+}  // namespace incsr::la

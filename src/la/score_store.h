@@ -1,0 +1,166 @@
+// ScoreStore — a row-sharded copy-on-write similarity matrix. The paper's
+// central observation is that an edge update perturbs only a small affected
+// area of S; the serving layer therefore should not pay O(n²) to publish an
+// epoch snapshot when a batch touched only a few rows. ScoreStore makes the
+// touched-row structure explicit in storage:
+//
+//   - Rows live in immutable, reference-counted row blocks (shards) behind
+//     a row-pointer table. A shard is `rows_per_shard` consecutive rows
+//     (power of two; default 1, i.e. a pure per-row table).
+//   - Publish() snapshots the matrix by copying the POINTER TABLE only —
+//     O(n / rows_per_shard) shared_ptr bumps, never the O(n²) payload —
+//     and marks every shard as shared with that View.
+//   - MutableRowPtr(i) is the single write entry point: the first write
+//     into a shard that is shared with a live or past View clones it
+//     (copy-on-write), so a pinned View stays byte-stable forever while
+//     the writer keeps mutating. Rows a batch never touches are never
+//     copied; the cumulative clone cost is the publish cost, and it is
+//     O(rows touched), exactly the affected-area bound.
+//
+// Threading model (matches the serving layer): ONE writer thread calls the
+// mutating methods (MutableRowPtr, Publish, Assign); any number of reader
+// threads read through Views they obtained via a synchronizing handoff
+// (e.g. a shared_ptr swap under a mutex). Shards are immutable once shared
+// and freed by shared_ptr refcounting, so no reader ever races a write —
+// the COW decision uses a writer-private "shared since last clone" flag,
+// not shared_ptr::use_count(), keeping the store TSan-clean by design.
+#ifndef INCSR_LA_SCORE_STORE_H_
+#define INCSR_LA_SCORE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "la/dense_matrix.h"
+#include "la/vector.h"
+
+namespace incsr::la {
+
+/// Cumulative copy-on-write accounting (written by the writer thread only;
+/// read it from the writer thread or after a synchronizing handoff).
+struct ScoreStoreStats {
+  /// Rows cloned by copy-on-write since construction. This is the true
+  /// incremental publish cost: rows copied so that published Views stay
+  /// immutable while the writer mutates.
+  std::uint64_t rows_copied = 0;
+  /// Bytes of row payload cloned by copy-on-write.
+  std::uint64_t bytes_copied = 0;
+  /// Publish() calls.
+  std::uint64_t publishes = 0;
+};
+
+/// Row-sharded copy-on-write score matrix. See file comment.
+class ScoreStore {
+  struct Shard {
+    TrackedDoubles data;  // rows_in_shard × cols, row-major
+  };
+  using ShardTable = std::vector<std::shared_ptr<const Shard>>;
+
+ public:
+  /// Immutable snapshot of the row-pointer table. Copying a View copies
+  /// the table (O(#shards)); pinning an existing View via shared_ptr is
+  /// O(1). Reads are valid and byte-stable for the View's lifetime.
+  class View {
+   public:
+    View() = default;
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+    double operator()(std::size_t i, std::size_t j) const {
+      INCSR_DCHECK(i < rows_ && j < cols_, "view index (%zu,%zu) out of (%zu,%zu)",
+                   i, j, rows_, cols_);
+      return RowPtr(i)[j];
+    }
+
+    /// Raw pointer to row i (contiguous, cols() entries).
+    const double* RowPtr(std::size_t i) const {
+      INCSR_DCHECK(i < rows_, "view row %zu out of %zu", i, rows_);
+      return &shards_[i >> shard_shift_]->data[(i & shard_mask_) * cols_];
+    }
+
+    /// Materializes the viewed matrix (bitwise-exact copy).
+    DenseMatrix ToDense() const;
+
+   private:
+    friend class ScoreStore;
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::size_t shard_shift_ = 0;
+    std::size_t shard_mask_ = 0;
+    ShardTable shards_;
+  };
+
+  ScoreStore() = default;
+  /// Takes ownership of a dense matrix; rows_per_shard must be a power of
+  /// two (1 = one shard per row).
+  explicit ScoreStore(DenseMatrix dense, std::size_t rows_per_shard = 1);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  std::size_t rows_per_shard() const { return std::size_t{1} << shard_shift_; }
+
+  double operator()(std::size_t i, std::size_t j) const {
+    INCSR_DCHECK(i < rows_ && j < cols_, "index (%zu,%zu) out of (%zu,%zu)", i,
+                 j, rows_, cols_);
+    return RowPtr(i)[j];
+  }
+
+  /// Raw pointer to row i for READS (contiguous, cols() entries). Never
+  /// triggers a copy; do not write through it.
+  const double* RowPtr(std::size_t i) const {
+    INCSR_DCHECK(i < rows_, "row %zu out of %zu", i, rows_);
+    return &shards_[i >> shard_shift_]->data[(i & shard_mask_) * cols_];
+  }
+
+  /// Raw pointer to row i for WRITES. Clones the containing shard first if
+  /// it is shared with any published View (copy-on-write). Writer thread
+  /// only.
+  double* MutableRowPtr(std::size_t i);
+
+  /// Copies column j into a Vector (column scan across shards).
+  Vector Col(std::size_t j) const;
+
+  /// Materializes the current matrix (bitwise-exact copy).
+  DenseMatrix ToDense() const;
+
+  /// Snapshots the current matrix as an immutable View: copies the row
+  /// pointer table and marks every shard shared, so subsequent writes COW.
+  /// O(#shards) — never touches the O(n²) payload. Writer thread only.
+  View Publish();
+
+  /// Replaces the whole matrix (e.g. after a node-count change). Every
+  /// shard is rebuilt unshared; previously published Views keep serving
+  /// the old content. Writer thread only.
+  void Assign(DenseMatrix dense);
+
+  const ScoreStoreStats& stats() const { return stats_; }
+
+ private:
+  void BuildShards(const DenseMatrix& dense);
+  std::size_t RowsInShard(std::size_t shard) const;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t shard_shift_ = 0;
+  std::size_t shard_mask_ = 0;
+  ShardTable shards_;
+  // Writer-private COW flags: shared_[s] is true iff shard s is referenced
+  // by at least one Publish()ed table and must be cloned before mutation.
+  std::vector<std::uint8_t> shared_;
+  ScoreStoreStats stats_;
+};
+
+/// Largest |a - b| entry, mixed-representation overloads (shape-checked).
+double MaxAbsDiff(const ScoreStore& a, const DenseMatrix& b);
+double MaxAbsDiff(const DenseMatrix& a, const ScoreStore& b);
+double MaxAbsDiff(const ScoreStore& a, const ScoreStore& b);
+double MaxAbsDiff(const ScoreStore::View& a, const DenseMatrix& b);
+double MaxAbsDiff(const ScoreStore::View& a, const ScoreStore::View& b);
+
+}  // namespace incsr::la
+
+#endif  // INCSR_LA_SCORE_STORE_H_

@@ -25,7 +25,9 @@ SimRankService::SimRankService(core::DynamicSimRank index,
   auto initial = std::make_shared<EpochSnapshot>();
   initial->epoch = 0;
   initial->graph = index_.graph();
-  initial->scores = index_.scores();
+  // Pointer-table bump, not a matrix copy; marks every row shared so the
+  // first batch copy-on-writes exactly the rows it touches.
+  initial->scores = index_.mutable_score_store()->Publish();
   snapshot_ = std::move(initial);
   applier_ = std::thread(&SimRankService::ApplierLoop, this);
 }
@@ -134,6 +136,8 @@ ServiceStats SimRankService::stats() const {
   out.rejected = rejected_.load(std::memory_order_relaxed);
   out.failed = failed_.load(std::memory_order_relaxed);
   out.batches = batches_.load(std::memory_order_relaxed);
+  out.rows_published = rows_published_.load(std::memory_order_relaxed);
+  out.bytes_published = bytes_published_.load(std::memory_order_relaxed);
   out.cache = cache_.stats();
   return out;
 }
@@ -229,7 +233,12 @@ void SimRankService::Publish(std::vector<std::int32_t> touched,
                                    bool invalidate_all) {
   auto next = std::make_shared<EpochSnapshot>();
   next->graph = index_.graph();
-  next->scores = index_.scores();
+  // O(rows touched): the batch's writes already COW-cloned exactly the
+  // affected rows; publishing is a row-pointer-table copy.
+  next->scores = index_.mutable_score_store()->Publish();
+  const la::ScoreStoreStats& cow = index_.scores().stats();
+  rows_published_.store(cow.rows_copied, std::memory_order_relaxed);
+  bytes_published_.store(cow.bytes_copied, std::memory_order_relaxed);
   std::uint64_t epoch;
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);

@@ -12,9 +12,14 @@
 //      updates cluster per target.
 //
 //   2. Epoch snapshots: after each batch the applier publishes an immutable
-//      EpochSnapshot (a copy of G and S) via shared_ptr swap. Readers pin a
-//      snapshot with one pointer copy under a short mutex — they never
-//      block behind an in-flight update and can never observe a torn S.
+//      EpochSnapshot via shared_ptr swap. S is NOT copied: the snapshot
+//      holds a la::ScoreStore::View — a pinned row-pointer table over the
+//      index's copy-on-write score store — so publishing costs O(rows the
+//      batch touched), not O(n²). The applier's next writes COW exactly
+//      the touched rows; a pinned snapshot stays byte-stable forever.
+//      Readers pin a snapshot with one pointer copy under a short mutex —
+//      they never block behind an in-flight update and can never observe
+//      a torn S.
 //
 //   3. Affected-area query cache: TopKFor/TopKPairs results are memoized
 //      and invalidated selectively from each batch's
@@ -41,7 +46,7 @@
 #include "core/dynamic_simrank.h"
 #include "graph/digraph.h"
 #include "graph/update_stream.h"
-#include "la/dense_matrix.h"
+#include "la/score_store.h"
 #include "service/query_cache.h"
 
 namespace incsr::service {
@@ -69,10 +74,12 @@ struct ServiceOptions {
 
 /// Immutable published state; readers hold it via shared_ptr, so a pinned
 /// snapshot stays valid (and unchanging) while newer epochs are published.
+/// `scores` is a copy-on-write view: publishing it cost O(rows touched by
+/// the batch), and its bytes never change while the snapshot is pinned.
 struct EpochSnapshot {
   std::uint64_t epoch = 0;
   graph::DynamicDiGraph graph;
-  la::DenseMatrix scores;
+  la::ScoreStore::View scores;
 };
 
 /// Counter snapshot of service activity (all counters are cumulative).
@@ -84,6 +91,12 @@ struct ServiceStats {
   std::uint64_t failed = 0;          ///< updates skipped as invalid
   std::uint64_t batches = 0;         ///< apply/publish cycles
   std::size_t queue_depth = 0;       ///< updates currently queued
+  /// Cumulative publish cost: score rows (and their bytes) the applier
+  /// copy-on-wrote so snapshots stay immutable. rows_published / applied
+  /// is the publish amplification; the full-copy design this replaces
+  /// paid n rows per batch regardless of the affected area.
+  std::uint64_t rows_published = 0;
+  std::uint64_t bytes_published = 0;
   QueryCacheStats cache;
 };
 
@@ -172,6 +185,10 @@ class SimRankService {
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> batches_{0};
+  // Mirrors of the score store's COW accounting, refreshed by the applier
+  // at each publish so stats() can read them from any thread.
+  std::atomic<std::uint64_t> rows_published_{0};
+  std::atomic<std::uint64_t> bytes_published_{0};
 
   std::mutex stop_mu_;   // serializes Stop() callers around the join
   std::thread applier_;  // last: joins in Stop()

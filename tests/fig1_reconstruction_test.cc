@@ -71,9 +71,9 @@ TEST(Fig1Reconstruction, InsertionChangesAndPreservesTheRightPairs) {
   SimRankOptions options = PaperOptions();
   auto index = DynamicSimRank::Create(Fig1Graph(), options);
   ASSERT_TRUE(index.ok());
-  la::DenseMatrix before = index->scores();
+  la::DenseMatrix before = index->scores().ToDense();
   ASSERT_TRUE(index->InsertEdge(Id('i'), Id('j')).ok());
-  const la::DenseMatrix& after = index->scores();
+  const la::ScoreStore& after = index->scores();
 
   // Unchanged pairs (gray rows): bitwise identical.
   for (auto [x, y] : {std::pair{'i', 'f'}, std::pair{'k', 'g'},

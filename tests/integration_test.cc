@@ -111,7 +111,7 @@ TEST(Integration, IncSvdTracksButDoesNotMatchTruthOnRealisticGraphs) {
   ASSERT_TRUE(baseline_scores.ok());
 
   la::DenseMatrix truth = simrank::BatchMatrix(series->GraphAt(1), options);
-  auto ours_ndcg = eval::NdcgAtK(ours->scores(), truth, 30);
+  auto ours_ndcg = eval::NdcgAtK(ours->scores().ToDense(), truth, 30);
   auto base_ndcg = eval::NdcgAtK(baseline_scores.value(), truth, 30);
   ASSERT_TRUE(ours_ndcg.ok());
   ASSERT_TRUE(base_ndcg.ok());
@@ -133,7 +133,7 @@ TEST(Integration, InsertDeleteRoundTripAcrossAlgorithms) {
        {UpdateAlgorithm::kIncSR, UpdateAlgorithm::kIncUSR}) {
     auto index = DynamicSimRank::Create(g, options, algorithm);
     ASSERT_TRUE(index.ok());
-    la::DenseMatrix before = index->scores();
+    la::DenseMatrix before = index->scores().ToDense();
 
     auto delta = series->DeltaBetween(0, 1);
     ASSERT_TRUE(index->ApplyBatch(delta).ok());

@@ -55,7 +55,7 @@ std::unique_ptr<SimRankService> MakeService(const DynamicDiGraph& graph,
 la::DenseMatrix OracleScores(const DynamicDiGraph& graph) {
   auto oracle = DynamicSimRank::Create(graph, Converged());
   INCSR_CHECK(oracle.ok(), "oracle build");
-  return oracle->scores();
+  return oracle->scores().ToDense();
 }
 
 TEST(SimRankService, CreateRejectsBadOptions) {
@@ -228,6 +228,60 @@ TEST(SimRankService, SelectiveCacheInvalidationAcrossComponents) {
   // And the survivor is still exact for the new epoch.
   auto snap = service->Snapshot();
   EXPECT_EQ(again.value(), core::TopKForOf(snap->scores, in_b, 4));
+}
+
+TEST(SimRankService, PublishCostIsTouchedRowsNotN) {
+  // Two disjoint 8-node components: an update inside component A has an
+  // affected area wholly inside A, so the COW publish must copy at most
+  // |A| rows — not the full n rows the old full-copy snapshot paid.
+  const std::size_t half = 8;
+  auto stream_a = graph::ErdosRenyiGnm(half, 20, 5);
+  auto stream_b = graph::ErdosRenyiGnm(half, 20, 6);
+  ASSERT_TRUE(stream_a.ok() && stream_b.ok());
+  DynamicDiGraph graph(2 * half);
+  for (const auto& e : stream_a.value()) {
+    ASSERT_TRUE(graph.AddEdge(e.edge.src, e.edge.dst).ok());
+  }
+  for (const auto& e : stream_b.value()) {
+    ASSERT_TRUE(
+        graph
+            .AddEdge(e.edge.src + static_cast<graph::NodeId>(half),
+                     e.edge.dst + static_cast<graph::NodeId>(half))
+            .ok());
+  }
+  auto service = MakeService(graph);
+  EXPECT_EQ(service->stats().rows_published, 0u);  // epoch 0 copies nothing
+
+  EdgeUpdate update{UpdateKind::kInsert, 0, 5};
+  if (graph.HasEdge(0, 5)) update = {UpdateKind::kDelete, 0, 5};
+  ASSERT_TRUE(service->Submit(update).ok());
+  ASSERT_TRUE(service->Flush().ok());
+
+  ServiceStats stats = service->stats();
+  EXPECT_GT(stats.rows_published, 0u);
+  EXPECT_LE(stats.rows_published, half);  // affected area stayed inside A
+  EXPECT_EQ(stats.bytes_published,
+            stats.rows_published * 2 * half * sizeof(double));
+}
+
+TEST(SimRankService, PinnedSnapshotStaysByteStableAcrossEpochs) {
+  DynamicDiGraph graph = TestGraph(61, 16, 40);
+  auto service = MakeService(graph);
+  auto pinned = service->Snapshot();
+  la::DenseMatrix pinned_bytes = pinned->scores.ToDense();
+
+  Rng rng(19);
+  auto inserts = graph::SampleInsertions(graph, 10, &rng);
+  ASSERT_TRUE(inserts.ok());
+  ASSERT_TRUE(service->SubmitBatch(inserts.value()).ok());
+  ASSERT_TRUE(service->Flush().ok());
+
+  // New epochs exist and the live snapshot moved on...
+  auto latest = service->Snapshot();
+  EXPECT_GT(latest->epoch, pinned->epoch);
+  EXPECT_GT(la::MaxAbsDiff(latest->scores, pinned_bytes), 0.0);
+  // ...but the pinned snapshot's bytes are exactly what they were.
+  EXPECT_EQ(la::MaxAbsDiff(pinned->scores, pinned_bytes), 0.0);
 }
 
 TEST(SimRankService, InvalidUpdatesAreSkippedNotFatal) {

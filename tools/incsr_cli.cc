@@ -372,6 +372,21 @@ int RunServe(const ServeOptions& options) {
       static_cast<unsigned long long>(stats.cache.misses),
       static_cast<unsigned long long>(stats.cache.invalidations),
       static_cast<unsigned long long>(stats.cache.evictions));
+  // Publish amplification: rows copy-on-written per applied update. The
+  // full-copy design this replaced paid n rows per EPOCH regardless of
+  // the affected area.
+  std::printf(
+      "snapshot publish: %llu rows (%.2f MB) copy-on-written over %llu "
+      "epochs — %.1f rows/update amplification (full-copy baseline: %zu "
+      "rows/epoch)\n",
+      static_cast<unsigned long long>(stats.rows_published),
+      static_cast<double>(stats.bytes_published) / 1e6,
+      static_cast<unsigned long long>(stats.epoch),
+      stats.applied > 0
+          ? static_cast<double>(stats.rows_published) /
+                static_cast<double>(stats.applied)
+          : 0.0,
+      data->graph.num_nodes());
 
   IdSpace ids(data.value());
   auto snap = svc.Snapshot();
