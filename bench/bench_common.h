@@ -9,7 +9,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "incsr/incsr.h"
@@ -63,6 +65,116 @@ TimedUpdates TimeUpdates(const std::vector<graph::EdgeUpdate>& delta,
   result.seconds = timer.ElapsedSeconds();
   result.applied = count;
   return result;
+}
+
+/// Minimal JSON emitter for the BENCH_*.json trajectory files: an object
+/// of scalar fields (insertion order preserved) plus named arrays of
+/// child objects. Covers exactly what the harnesses need — workload
+/// params and metrics — without a JSON dependency.
+///
+///   JsonObject root;
+///   root.Set("bench", "serve_throughput").Set("nodes", config.nodes);
+///   JsonObject* run = root.AddObject("runs");
+///   run->Set("updates_per_sec", 123.4);
+///   WriteJsonFile(path, root);
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, const std::string& value) {
+    return SetRaw(key, "\"" + Escape(value) + "\"");
+  }
+  JsonObject& Set(const std::string& key, const char* value) {
+    return Set(key, std::string(value));
+  }
+  JsonObject& Set(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return SetRaw(key, buf);
+  }
+  JsonObject& Set(const std::string& key, unsigned long value) {  // NOLINT
+    return SetRaw(key, std::to_string(value));
+  }
+  JsonObject& Set(const std::string& key, unsigned long long value) {  // NOLINT
+    return SetRaw(key, std::to_string(value));
+  }
+  JsonObject& Set(const std::string& key, int value) {
+    return SetRaw(key, std::to_string(value));
+  }
+  JsonObject& Set(const std::string& key, bool value) {
+    return SetRaw(key, value ? "true" : "false");
+  }
+
+  /// Appends a fresh object to the array `key` (created on first use) and
+  /// returns it; the pointer stays valid for this JsonObject's lifetime.
+  JsonObject* AddObject(const std::string& key) {
+    for (Entry& entry : entries_) {
+      if (entry.is_array && entry.key == key) {
+        entry.children.push_back(std::make_unique<JsonObject>());
+        return entry.children.back().get();
+      }
+    }
+    entries_.push_back(Entry{key, "", true, {}});
+    entries_.back().children.push_back(std::make_unique<JsonObject>());
+    return entries_.back().children.back().get();
+  }
+
+  std::string ToString(int indent = 0) const {
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    const std::string inner(static_cast<std::size_t>(indent + 1) * 2, ' ');
+    std::string out = "{\n";
+    for (std::size_t e = 0; e < entries_.size(); ++e) {
+      const Entry& entry = entries_[e];
+      out += inner + "\"" + Escape(entry.key) + "\": ";
+      if (entry.is_array) {
+        out += "[\n";
+        for (std::size_t c = 0; c < entry.children.size(); ++c) {
+          out += inner + "  " + entry.children[c]->ToString(indent + 2);
+          if (c + 1 < entry.children.size()) out += ",";
+          out += "\n";
+        }
+        out += inner + "]";
+      } else {
+        out += entry.value;
+      }
+      if (e + 1 < entries_.size()) out += ",";
+      out += "\n";
+    }
+    out += pad + "}";
+    return out;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;  // pre-rendered scalar (unused for arrays)
+    bool is_array = false;
+    std::vector<std::unique_ptr<JsonObject>> children;
+  };
+
+  static std::string Escape(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (char ch : raw) {
+      if (ch == '"' || ch == '\\') out.push_back('\\');
+      out.push_back(ch);
+    }
+    return out;
+  }
+
+  JsonObject& SetRaw(const std::string& key, std::string rendered) {
+    entries_.push_back(Entry{key, std::move(rendered), false, {}});
+    return *this;
+  }
+
+  std::vector<Entry> entries_;
+};
+
+/// Writes `root` to `path` (overwriting). Returns false on I/O failure.
+inline bool WriteJsonFile(const std::string& path, const JsonObject& root) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = root.ToString() + "\n";
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
 }
 
 /// Zipf-skewed sampler over ranks [0, n): P(rank r) ∝ 1/(r+1)^theta.

@@ -120,6 +120,80 @@ void BM_IncSrUnitUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_IncSrUnitUpdate)->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000);
 
+// Before/after of the seed-scan memory-layout fix on the COW ScoreStore
+// the serving path uses. The old ComputeSparseSeed walked column i via
+// s(y, i): one shard resolve per element and a stride-n walk over the
+// n×n payload. The fix reads the SYMMETRIC row i instead — a single
+// contiguous resolve. These two kernels isolate exactly that access
+// pattern (same data, same reduction, only the layout differs).
+void BM_SeedColumnScanStrided(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(17);
+  la::DenseMatrix dense(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double* row = dense.RowPtr(i);
+    for (std::size_t j = 0; j < n; ++j) row[j] = rng.NextDouble();
+  }
+  la::ScoreStore store(std::move(dense));
+  const std::size_t i = n / 2;
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (std::size_t y = 0; y < n; ++y) sum += store(y, i);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SeedColumnScanStrided)->Arg(1000)->Arg(4000);
+
+void BM_SeedColumnScanSymmetricRow(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(17);
+  la::DenseMatrix dense(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double* row = dense.RowPtr(i);
+    for (std::size_t j = 0; j < n; ++j) row[j] = rng.NextDouble();
+  }
+  la::ScoreStore store(std::move(dense));
+  const std::size_t i = n / 2;
+  for (auto _ : state) {
+    const double* row = store.RowPtr(i);
+    double sum = 0.0;
+    for (std::size_t y = 0; y < n; ++y) sum += row[y];
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SeedColumnScanSymmetricRow)->Arg(1000)->Arg(4000);
+
+// One full unit update through the COW ScoreStore at a given thread
+// count — the serving applier's exact write path. Args: {n, threads}.
+void BM_IncSrUnitUpdateThreads(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  graph::DynamicDiGraph g = MakeGraph(n, 8.0);
+  simrank::SimRankOptions options = Options();
+  options.num_threads = static_cast<int>(state.range(1));
+  la::ScoreStore s{simrank::BatchMatrix(g, options)};
+  la::DynamicRowMatrix q = graph::BuildTransition(g);
+  core::IncSrEngine engine(options);
+  Rng rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto ins = graph::SampleInsertions(g, 1, &rng);
+    INCSR_CHECK(ins.ok(), "sample");
+    state.ResumeTiming();
+    INCSR_CHECK(engine.ApplyUpdate(ins.value()[0], &g, &q, &s).ok(),
+                "update");
+  }
+}
+BENCHMARK(BM_IncSrUnitUpdateThreads)
+    ->Args({2000, 1})
+    ->Args({2000, 2})
+    ->Args({2000, 4})
+    ->Args({4000, 1})
+    ->Args({4000, 4});
+
 void BM_UpdateSeed(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   graph::DynamicDiGraph g = MakeGraph(n, 8.0);

@@ -15,9 +15,15 @@
 // edge appears once, so the stream is valid under any writer
 // interleaving) instead of the default insert-only stream.
 //
+// Kernel parallelism: --threads T runs the applier's update kernels
+// (seed scan, support expansion, scatter) T-way parallel on the shared
+// pool (0 = INCSR_THREADS / hardware default). Results are bitwise
+// independent of T; only the applied-updates/s changes.
+//
 // Usage: bench_serve_throughput [--nodes N] [--edges M] [--updates U]
 //          [--writers W] [--readers R] [--topk K] [--max-batch B]
-//          [--zipf THETA] [--churn insert|delete-heavy]
+//          [--zipf THETA] [--churn insert|delete-heavy] [--threads T]
+//          [--json PATH]
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
@@ -42,6 +48,8 @@ struct LoadConfig {
   std::size_t max_batch = 64;
   double zipf_theta = 0.0;   // 0 = uniform query nodes
   bool delete_heavy = false; // 70/30 delete/insert churn stream
+  int threads = 0;           // update-kernel parallelism (0 = default)
+  std::string json_path;     // when set, emit a BENCH json trajectory file
 };
 
 double Percentile(std::vector<double>* sorted_in_place, double pct) {
@@ -66,6 +74,7 @@ LoadResult RunLoad(const LoadConfig& config,
                    const std::vector<graph::EdgeUpdate>& updates,
                    std::size_t cache_capacity) {
   simrank::SimRankOptions options;  // paper defaults: C = 0.6, K = 15
+  options.num_threads = config.threads;
   auto index = core::DynamicSimRank::Create(graph, options);
   INCSR_CHECK(index.ok(), "index build failed");
 
@@ -155,6 +164,28 @@ void Report(const char* label, const LoadConfig& config,
               config.updates);
 }
 
+void RecordRun(bench::JsonObject* root, const char* label,
+               const LoadConfig& config, const LoadResult& result) {
+  const std::uint64_t lookups =
+      result.stats.cache.hits + result.stats.cache.misses;
+  bench::JsonObject* run = root->AddObject("runs");
+  run->Set("label", label)
+      .Set("updates_per_sec", static_cast<double>(result.stats.applied) /
+                                  result.ingest_seconds)
+      .Set("queries_per_sec",
+           static_cast<double>(result.total_queries) / result.ingest_seconds)
+      .Set("p50_us", result.p50_us)
+      .Set("p99_us", result.p99_us)
+      .Set("cache_hit_rate",
+           lookups == 0 ? 0.0
+                        : static_cast<double>(result.stats.cache.hits) /
+                              static_cast<double>(lookups))
+      .Set("epochs", result.stats.epoch)
+      .Set("rows_published", result.stats.rows_published)
+      .Set("bytes_published", result.stats.bytes_published)
+      .Set("rows_per_epoch_full_copy_equivalent", config.nodes);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -186,6 +217,11 @@ int main(int argc, char** argv) {
       config.zipf_theta = std::strtod(value, &end);
       INCSR_CHECK(end != value && *end == '\0' && config.zipf_theta >= 0.0,
                   "--zipf needs a theta >= 0, got '%s'", value);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      config.threads = static_cast<int>(next());
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      INCSR_CHECK(i + 1 < argc, "flag %s needs a value", argv[i]);
+      config.json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--churn") == 0) {
       INCSR_CHECK(i + 1 < argc, "flag %s needs a value", argv[i]);
       const char* mode = argv[++i];
@@ -204,11 +240,11 @@ int main(int argc, char** argv) {
   bench::PrintHeader("serve_throughput — mixed read/write serving load");
   std::printf(
       "n = %zu, |E| = %zu, |dG| = %zu (%s), %zu writers, %zu readers, "
-      "k = %zu, max_batch = %zu, zipf = %.2f\n",
+      "k = %zu, max_batch = %zu, zipf = %.2f, kernel threads = %zu\n",
       config.nodes, config.edges, config.updates,
       config.delete_heavy ? "70/30 delete/insert churn" : "insertions",
       config.writers, config.readers, config.topk, config.max_batch,
-      config.zipf_theta);
+      config.zipf_theta, ThreadPool::EffectiveNumThreads(config.threads));
 
   auto stream = graph::ErdosRenyiGnm(config.nodes, config.edges, 7);
   INCSR_CHECK(stream.ok(), "generator failed");
@@ -253,5 +289,25 @@ int main(int argc, char** argv) {
   LoadResult uncached = RunLoad(config, graph, updates,
                                 /*cache_capacity=*/0);
   Report("cache off:", config, uncached);
+
+  if (!config.json_path.empty()) {
+    bench::JsonObject root;
+    root.Set("bench", "serve_throughput")
+        .Set("nodes", config.nodes)
+        .Set("edges", config.edges)
+        .Set("updates", config.updates)
+        .Set("writers", config.writers)
+        .Set("readers", config.readers)
+        .Set("topk", config.topk)
+        .Set("max_batch", config.max_batch)
+        .Set("zipf_theta", config.zipf_theta)
+        .Set("churn", config.delete_heavy ? "delete-heavy" : "insert")
+        .Set("threads", ThreadPool::EffectiveNumThreads(config.threads));
+    RecordRun(&root, "cache_on", config, cached);
+    RecordRun(&root, "cache_off", config, uncached);
+    INCSR_CHECK(bench::WriteJsonFile(config.json_path, root),
+                "failed to write %s", config.json_path.c_str());
+    std::printf("wrote %s\n", config.json_path.c_str());
+  }
   return 0;
 }

@@ -13,6 +13,7 @@
 //
 // Usage: bench_snapshot_publish [--sizes 1000,4000,16000]
 //          [--touched 64] [--fractions 0.01,0.1,1.0] [--epochs E]
+//          [--json PATH]
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -31,6 +32,7 @@ struct Config {
   std::size_t touched = 64;                        // fixed-count series
   std::vector<double> fractions = {0.01, 0.10, 1.0};  // fraction-of-n series
   std::size_t epochs = 5;
+  std::string json_path;  // when set, emit a BENCH json trajectory file
 };
 
 std::vector<std::string> SplitCommas(const std::string& csv) {
@@ -126,7 +128,8 @@ PublishCost CowPublish(la::ScoreStore* store, std::size_t touched,
   return cost;
 }
 
-void RunSize(const Config& config, std::size_t n) {
+void RunSize(const Config& config, std::size_t n,
+             bench::JsonObject* json) {
   std::printf("\nn = %zu (S is %.1f MB)\n", n,
               static_cast<double>(n) * n * sizeof(double) / 1e6);
   std::printf("  %-22s %14s %14s %9s %14s\n", "touched rows / epoch",
@@ -146,13 +149,23 @@ void RunSize(const Config& config, std::size_t n) {
     la::ScoreStore store(FillMatrix(n));
     PublishCost cow = CowPublish(&store, touched, config.epochs);
 
+    const double speedup = cow.seconds_per_epoch > 0.0
+                               ? full.seconds_per_epoch / cow.seconds_per_epoch
+                               : 0.0;
+    const double cow_rows_per_epoch = static_cast<double>(cow.rows_copied) /
+                                      static_cast<double>(config.epochs);
     std::printf("  %-22zu %11.3f ms %11.3f ms %8.1fx %14.0f\n", touched,
                 full.seconds_per_epoch * 1e3, cow.seconds_per_epoch * 1e3,
-                cow.seconds_per_epoch > 0.0
-                    ? full.seconds_per_epoch / cow.seconds_per_epoch
-                    : 0.0,
-                static_cast<double>(cow.rows_copied) /
-                    static_cast<double>(config.epochs));
+                speedup, cow_rows_per_epoch);
+    if (json != nullptr) {
+      json->AddObject("results")
+          ->Set("nodes", n)
+          .Set("touched_rows", touched)
+          .Set("full_copy_ms_per_epoch", full.seconds_per_epoch * 1e3)
+          .Set("cow_ms_per_epoch", cow.seconds_per_epoch * 1e3)
+          .Set("speedup", speedup)
+          .Set("cow_rows_per_epoch", cow_rows_per_epoch);
+    }
   }
 }
 
@@ -181,6 +194,8 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--epochs") == 0) {
       config.epochs = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      config.json_path = next();
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -193,6 +208,15 @@ int main(int argc, char** argv) {
       "per epoch: touch T distinct rows, then publish an immutable "
       "snapshot (%zu epochs averaged)\n",
       config.epochs);
-  for (std::size_t n : config.sizes) RunSize(config, n);
+  bench::JsonObject root;
+  root.Set("bench", "snapshot_publish").Set("epochs", config.epochs);
+  bench::JsonObject* json =
+      config.json_path.empty() ? nullptr : &root;
+  for (std::size_t n : config.sizes) RunSize(config, n, json);
+  if (json != nullptr) {
+    INCSR_CHECK(bench::WriteJsonFile(config.json_path, root),
+                "failed to write %s", config.json_path.c_str());
+    std::printf("wrote %s\n", config.json_path.c_str());
+  }
   return 0;
 }

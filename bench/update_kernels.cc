@@ -1,0 +1,205 @@
+// update_kernels — the applier-side kernel bench behind the parallel
+// update path: replays one fixed insertion stream through IncSrEngine
+// (unit updates, ScoreStore with periodic epoch publishes — exactly the
+// serving applier's write path) at each thread count in --threads-list,
+// and reports applied-updates/s per thread count plus the speedup over
+// the single-thread run.
+//
+// Determinism is checked, not assumed: the final S of every run must be
+// bitwise identical to the 1-thread run (the kernels' chunk geometry is
+// independent of the thread count), and a view pinned before the replay
+// must stay byte-stable (the scatter pre-materializes COW clones before
+// going parallel).
+//
+// Usage: bench_update_kernels [--nodes N] [--degree D] [--updates U]
+//          [--iterations K] [--threads-list 1,2,4] [--publish-every P]
+//          [--json PATH]
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "incsr/incsr.h"
+
+namespace {
+
+using namespace incsr;
+
+struct Config {
+  std::size_t nodes = 1000;
+  double degree = 8.0;
+  std::size_t updates = 200;
+  int iterations = 15;
+  std::vector<int> threads_list = {1, 2, 4};
+  std::size_t publish_every = 64;  // epoch cadence, like the applier
+  std::string json_path;
+};
+
+graph::DynamicDiGraph MakeClusteredGraph(const Config& config) {
+  // Clustered like the real datasets so the affected area HAS prunable
+  // structure (cf. bench/micro_kernels.cc on the dense-reach artifact).
+  auto stream = graph::EvolvingLinkage(
+      {.num_nodes = config.nodes,
+       .num_edges = static_cast<std::size_t>(config.degree *
+                                             static_cast<double>(config.nodes)),
+       .num_communities = std::max<std::size_t>(1, config.nodes / 65),
+       .intra_community_prob = 1.0,
+       .seed = 11});
+  INCSR_CHECK(stream.ok(), "generator failed");
+  return graph::MaterializeGraph(config.nodes, stream.value());
+}
+
+struct RunResult {
+  int threads = 0;
+  double seconds = 0.0;
+  la::DenseMatrix final_s;
+  bool pinned_view_stable = false;
+};
+
+RunResult RunStream(const Config& config, const graph::DynamicDiGraph& base,
+                    const la::DenseMatrix& s0,
+                    const std::vector<graph::EdgeUpdate>& stream,
+                    int threads) {
+  simrank::SimRankOptions options;
+  options.iterations = config.iterations;
+  options.num_threads = threads;
+
+  graph::DynamicDiGraph g = base;
+  la::DynamicRowMatrix q = graph::BuildTransition(g);
+  la::ScoreStore store{la::DenseMatrix(s0)};
+  core::IncSrEngine engine(options);
+
+  // A reader pinned this epoch before the replay; it must stay
+  // byte-stable while the parallel kernels COW past it.
+  la::ScoreStore::View pinned = store.Publish();
+  la::DenseMatrix pinned_before = pinned.ToDense();
+
+  RunResult result;
+  result.threads = threads;
+  WallTimer timer;
+  for (std::size_t k = 0; k < stream.size(); ++k) {
+    Status s = engine.ApplyUpdate(stream[k], &g, &q, &store);
+    INCSR_CHECK(s.ok(), "update failed: %s", s.ToString().c_str());
+    if ((k + 1) % config.publish_every == 0) store.Publish();
+  }
+  result.seconds = timer.ElapsedSeconds();
+  result.final_s = store.ToDense();
+  result.pinned_view_stable =
+      la::MaxAbsDiff(pinned, pinned_before) == 0.0;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::InitBench();
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> std::string {
+      INCSR_CHECK(i + 1 < argc, "flag %s needs a value", argv[i]);
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--nodes") == 0) {
+      config.nodes = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (std::strcmp(argv[i], "--degree") == 0) {
+      config.degree = std::atof(next().c_str());
+    } else if (std::strcmp(argv[i], "--updates") == 0) {
+      config.updates = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (std::strcmp(argv[i], "--iterations") == 0) {
+      config.iterations = std::atoi(next().c_str());
+    } else if (std::strcmp(argv[i], "--publish-every") == 0) {
+      config.publish_every =
+          static_cast<std::size_t>(std::atoll(next().c_str()));
+      INCSR_CHECK(config.publish_every > 0, "--publish-every needs >= 1");
+    } else if (std::strcmp(argv[i], "--threads-list") == 0) {
+      config.threads_list.clear();
+      std::string csv = next();
+      std::size_t start = 0;
+      while (start <= csv.size()) {
+        const std::size_t comma = csv.find(',', start);
+        const std::string part =
+            csv.substr(start, comma == std::string::npos ? std::string::npos
+                                                         : comma - start);
+        const int t = std::atoi(part.c_str());
+        INCSR_CHECK(t > 0, "--threads-list needs positive ints, got '%s'",
+                    part.c_str());
+        config.threads_list.push_back(t);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      config.json_path = next();
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  INCSR_CHECK(!config.threads_list.empty(), "--threads-list is empty");
+
+  bench::PrintHeader("update_kernels — parallel Inc-SR update path");
+  std::printf(
+      "n = %zu, degree = %.1f, |dG| = %zu insertions, K = %d, "
+      "publish every %zu (pool default = %zu threads)\n",
+      config.nodes, config.degree, config.updates, config.iterations,
+      config.publish_every, ThreadPool::EffectiveNumThreads(0));
+
+  graph::DynamicDiGraph base = MakeClusteredGraph(config);
+  simrank::SimRankOptions batch_options;
+  batch_options.iterations = config.iterations;
+  WallTimer build_timer;
+  la::DenseMatrix s0 = simrank::BatchMatrix(base, batch_options);
+  std::printf("initial batch solve: %.2f s\n", build_timer.ElapsedSeconds());
+
+  Rng rng(23);
+  auto sampled = graph::SampleInsertions(base, config.updates, &rng);
+  INCSR_CHECK(sampled.ok(), "sampling failed: %s",
+              sampled.status().ToString().c_str());
+  const std::vector<graph::EdgeUpdate>& stream = sampled.value();
+
+  std::vector<RunResult> results;
+  std::printf("  %8s %12s %14s %9s %10s %8s\n", "threads", "seconds",
+              "updates/s", "speedup", "bitwise", "view");
+  for (int threads : config.threads_list) {
+    results.push_back(RunStream(config, base, s0, stream, threads));
+    const RunResult& run = results.back();
+    const bool identical =
+        la::BitwiseEqual(run.final_s, results.front().final_s);
+    INCSR_CHECK(identical,
+                "S at %d threads differs from %d threads — the kernels "
+                "broke the determinism contract",
+                run.threads, results.front().threads);
+    INCSR_CHECK(run.pinned_view_stable,
+                "pinned view mutated at %d threads — COW pre-clone broke",
+                run.threads);
+    std::printf("  %8d %10.3f s %14.0f %8.2fx %10s %8s\n", run.threads,
+                run.seconds,
+                static_cast<double>(config.updates) / run.seconds,
+                results.front().seconds / run.seconds, "ok", "stable");
+  }
+
+  if (!config.json_path.empty()) {
+    bench::JsonObject root;
+    root.Set("bench", "update_kernels")
+        .Set("nodes", config.nodes)
+        .Set("degree", config.degree)
+        .Set("updates", config.updates)
+        .Set("iterations", config.iterations)
+        .Set("publish_every", config.publish_every)
+        .Set("pool_default_threads", ThreadPool::EffectiveNumThreads(0));
+    for (const RunResult& run : results) {
+      root.AddObject("results")
+          ->Set("threads", run.threads)
+          .Set("seconds", run.seconds)
+          .Set("updates_per_sec",
+               static_cast<double>(config.updates) / run.seconds)
+          .Set("speedup_vs_serial", results.front().seconds / run.seconds)
+          .Set("bitwise_identical_to_serial", true)
+          .Set("pinned_view_stable", run.pinned_view_stable);
+    }
+    INCSR_CHECK(bench::WriteJsonFile(config.json_path, root),
+                "failed to write %s", config.json_path.c_str());
+    std::printf("wrote %s\n", config.json_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,175 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace incsr {
+
+namespace {
+
+// Set for the lifetime of every pool worker: a region submitted from a
+// worker (nested parallelism) runs inline instead of deadlocking on the
+// pool it is already part of.
+thread_local bool tls_in_pool_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t workers = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::PlanChunks(std::size_t count, std::size_t grain,
+                                   std::size_t max_chunks) {
+  if (count == 0) return 0;
+  grain = std::max<std::size_t>(grain, 1);
+  max_chunks = std::max<std::size_t>(max_chunks, 1);
+  return std::min(max_chunks, (count + grain - 1) / grain);
+}
+
+void ThreadPool::ParallelForChunks(std::size_t begin, std::size_t end,
+                                   std::size_t num_chunks,
+                                   std::size_t max_threads,
+                                   const ChunkFn& fn) {
+  if (begin >= end || num_chunks == 0) return;
+  const std::size_t count = end - begin;
+  const std::size_t chunk_size = (count + num_chunks - 1) / num_chunks;
+  auto run_inline = [&] {
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::size_t lo = begin + c * chunk_size;
+      if (lo >= end) break;
+      fn(c, lo, std::min(end, lo + chunk_size));
+    }
+  };
+  if (num_chunks == 1 || max_threads <= 1 || workers_.empty() ||
+      tls_in_pool_worker) {
+    run_inline();
+    return;
+  }
+  // One region at a time; a busy pool means another engine is mid-region,
+  // so run inline rather than convoy behind it (same chunk geometry, same
+  // results).
+  if (!submit_mu_.try_lock()) {
+    run_inline();
+    return;
+  }
+  std::lock_guard<std::mutex> submit_lock(submit_mu_, std::adopt_lock);
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->begin = begin;
+  job->end = end;
+  job->chunk_size = chunk_size;
+  job->num_chunks = num_chunks;
+  job->max_participants = std::min(max_threads, workers_.size() + 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  RunChunks(job.get(), /*is_submitter=*/true);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&job] {
+    return job->done_chunks.load(std::memory_order_acquire) ==
+           job->num_chunks;
+  });
+  job_ = nullptr;
+}
+
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             std::size_t grain, std::size_t max_threads,
+                             const RangeFn& fn) {
+  if (begin >= end) return;
+  const std::size_t chunks = PlanChunks(
+      end - begin, grain, std::min(max_threads, workers_.size() + 1));
+  if (chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  ChunkFn body = [&fn](std::size_t, std::size_t lo, std::size_t hi) {
+    fn(lo, hi);
+  };
+  ParallelForChunks(begin, end, chunks, max_threads, body);
+}
+
+void ThreadPool::RunChunks(Job* job, bool is_submitter) {
+  if (!is_submitter) {
+    const std::size_t slot =
+        job->participants.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= job->max_participants) return;
+  }
+  for (;;) {
+    const std::size_t c =
+        job->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job->num_chunks) return;
+    const std::size_t lo = job->begin + c * job->chunk_size;
+    const std::size_t hi = std::min(job->end, lo + job->chunk_size);
+    if (lo < hi) (*job->fn)(c, lo, hi);
+    // acq_rel: the submitter's acquire read of done_chunks must observe
+    // every write this chunk made.
+    if (job->done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job->num_chunks) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_pool_worker = true;
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen] {
+        return shutdown_ || (job_ != nullptr && epoch_ != seen);
+      });
+      if (shutdown_) return;
+      seen = epoch_;
+      job = job_;
+    }
+    RunChunks(job.get(), /*is_submitter=*/false);
+  }
+}
+
+std::size_t ThreadPool::ResolveNumThreads(int requested) {
+  if (requested > 0) return static_cast<std::size_t>(requested);
+  static const std::size_t kDefault = [] {
+    if (const char* env = std::getenv("INCSR_THREADS")) {
+      char* end = nullptr;
+      const long parsed = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && parsed > 0) {
+        return static_cast<std::size_t>(parsed);
+      }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? std::size_t{1} : static_cast<std::size_t>(hw);
+  }();
+  return kDefault;
+}
+
+std::size_t ThreadPool::EffectiveNumThreads(int requested) {
+  return std::min(ResolveNumThreads(requested), Global().num_threads());
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool =
+      new ThreadPool(std::max<std::size_t>(ResolveNumThreads(0), 4));
+  return *pool;
+}
+
+}  // namespace incsr

@@ -1,0 +1,137 @@
+// ThreadPool — the repo's single parallelism primitive: a persistent
+// fixed-size worker pool with static range partitioning. It replaces the
+// per-call std::thread spawning the parallel batch solver used to do and
+// backs the row-parallel update kernels in core/.
+//
+// Determinism contract: ParallelForChunks runs a caller-chosen number of
+// contiguous chunks whose geometry depends only on (begin, end,
+// num_chunks) — never on the thread count or on scheduling. Kernels that
+// merge per-chunk accumulators therefore produce bitwise-identical
+// results at any parallelism, including the serial fallback, as long as
+// they derive num_chunks from the data shape alone (see PlanChunks).
+// Which worker executes which chunk is unspecified; only the chunk
+// geometry and the caller's merge order are.
+//
+// Concurrency contract: any thread may submit a region. Regions never
+// nest and never block each other — a submission that finds the pool busy
+// (or is made from inside a worker) simply runs its chunks inline on the
+// caller, which keeps the pool deadlock-free when several engines (e.g.
+// two SimRankService appliers) share it. Workers idle on a condition
+// variable between regions, so an idle pool costs nothing.
+#ifndef INCSR_COMMON_THREAD_POOL_H_
+#define INCSR_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace incsr {
+
+/// Persistent worker pool. See file comment for the determinism and
+/// concurrency contracts.
+class ThreadPool {
+ public:
+  /// fn(chunk, begin, end) over one contiguous chunk of the range.
+  using ChunkFn =
+      std::function<void(std::size_t, std::size_t, std::size_t)>;
+  /// fn(begin, end) over one contiguous sub-range.
+  using RangeFn = std::function<void(std::size_t, std::size_t)>;
+
+  /// A pool with `num_threads` total parallelism: the submitting thread
+  /// participates, so num_threads - 1 workers are spawned (0 workers for
+  /// num_threads <= 1 — every region then runs inline).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + the submitting thread).
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Deterministic chunk plan: ceil(count / grain) chunks, clamped to
+  /// [1, max_chunks] (0 for an empty range). Depends only on the
+  /// arguments — use it to fix a kernel's merge tree independently of the
+  /// thread count.
+  static std::size_t PlanChunks(std::size_t count, std::size_t grain,
+                                std::size_t max_chunks);
+
+  /// Runs fn over `num_chunks` contiguous chunks of [begin, end), using
+  /// at most `max_threads` threads (including the caller). Chunk c covers
+  /// [begin + c·s, begin + (c+1)·s) with s = ceil(count / num_chunks);
+  /// fn is never invoked for an empty chunk. Returns after every chunk
+  /// has finished.
+  void ParallelForChunks(std::size_t begin, std::size_t end,
+                         std::size_t num_chunks, std::size_t max_threads,
+                         const ChunkFn& fn);
+
+  /// Convenience wrapper for kernels with disjoint writes (no merge, so
+  /// chunk identity is irrelevant): partitions [begin, end) into chunks
+  /// of at least `grain` elements, at most min(max_threads,
+  /// num_threads()) of them.
+  void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                   std::size_t max_threads, const RangeFn& fn);
+
+  /// Thread count for a `num_threads` knob: `requested` if positive, else
+  /// the INCSR_THREADS environment variable if set to a positive integer,
+  /// else std::thread::hardware_concurrency() (at least 1).
+  static std::size_t ResolveNumThreads(int requested);
+
+  /// The parallelism a kernel ACTUALLY gets for a `num_threads` knob:
+  /// ResolveNumThreads clamped to the Global pool's size (a region can
+  /// never have more participants than workers + the caller). Reporting
+  /// surfaces (CLI, benches) must print this, not the request, or
+  /// thread-sweep numbers above the pool size get attributed to the
+  /// wrong thread count.
+  static std::size_t EffectiveNumThreads(int requested);
+
+  /// The process-wide shared pool every kernel submits to. Sized once at
+  /// first use to max(ResolveNumThreads(0), 4) — the floor keeps
+  /// determinism and sanitizer tests exercising real cross-thread
+  /// execution on small machines, and idle workers cost nothing.
+  /// Deliberately leaked so worker shutdown never races static
+  /// destruction in user code.
+  static ThreadPool& Global();
+
+ private:
+  // One parallel region. Workers hold the Job via shared_ptr, so a late
+  // worker that wakes after the region completed claims nothing and never
+  // touches a newer region's state.
+  struct Job {
+    const ChunkFn* fn = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t chunk_size = 0;
+    std::size_t num_chunks = 0;
+    std::size_t max_participants = 0;
+    std::atomic<std::size_t> participants{1};  // the submitter
+    std::atomic<std::size_t> next_chunk{0};
+    std::atomic<std::size_t> done_chunks{0};
+  };
+
+  void WorkerLoop();
+  // Claims and runs chunks until none remain; the last finisher signals
+  // done_cv_. Workers first claim a participation slot so max_threads is
+  // honored.
+  void RunChunks(Job* job, bool is_submitter);
+
+  std::mutex mu_;                  // job_, epoch_, shutdown_
+  std::condition_variable work_cv_;  // workers: a new region was published
+  std::condition_variable done_cv_;  // submitter: all chunks finished
+  std::shared_ptr<Job> job_;
+  std::uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+
+  std::mutex submit_mu_;  // one region at a time; busy => inline fallback
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace incsr
+
+#endif  // INCSR_COMMON_THREAD_POOL_H_

@@ -41,6 +41,9 @@ Result<DynamicSimRank> DynamicSimRank::Create(
   if (options.iterations < 1) {
     return Status::InvalidArgument("iterations must be >= 1");
   }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
   simrank::SimRankOptions batch = options;
   batch.iterations = batch_iterations > 0
                          ? batch_iterations
@@ -54,6 +57,9 @@ Result<DynamicSimRank> DynamicSimRank::FromState(
     const simrank::SimRankOptions& options, UpdateAlgorithm algorithm) {
   if (options.damping <= 0.0 || options.damping >= 1.0) {
     return Status::InvalidArgument("damping must be in (0, 1)");
+  }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
   }
   if (s.rows() != graph.num_nodes() || s.cols() != graph.num_nodes()) {
     return Status::InvalidArgument("FromState: S shape does not match graph");

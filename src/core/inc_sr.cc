@@ -1,10 +1,27 @@
 #include "core/inc_sr.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "graph/transition.h"
 
 namespace incsr::core {
+
+namespace {
+
+// Chunk geometry for the merged-accumulator expansion kernels. These are
+// deliberately functions of the DATA SHAPE only — never of the thread
+// count — so the FP merge tree, and therefore S, is bitwise identical at
+// any parallelism (including serial).
+constexpr std::size_t kDenseExpandGrain = 256;   // source rows per chunk
+constexpr std::size_t kSparseExpandGrain = 128;  // support entries per chunk
+constexpr std::size_t kMaxExpandChunks = 16;     // caps accumulator memory
+
+// Minimum useful work (fused multiply-adds) per scatter chunk; rows are
+// written disjointly, so scatter geometry needs no determinism.
+constexpr std::size_t kScatterGrainFlops = 4096;
+
+}  // namespace
 
 void IncSrEngine::Workspace::EnsureSize(std::size_t n) {
   if (values.size() < n) {
@@ -30,8 +47,43 @@ void IncSrEngine::Workspace::Accumulate(std::int32_t index, double delta) {
   values[i] += delta;
 }
 
+void IncSrEngine::Workspace::MergeFrom(const Workspace& other) {
+  for (std::int32_t idx : other.indices) {
+    Accumulate(idx, other.values[static_cast<std::size_t>(idx)]);
+  }
+}
+
 void IncSrEngine::Workspace::SortIndices() {
   std::sort(indices.begin(), indices.end());
+}
+
+void IncSrEngine::RunChunkedExpansion(std::size_t count, std::size_t n,
+                                      std::size_t grain,
+                                      const ExpandFn& expand,
+                                      Workspace* out) {
+  const std::size_t chunks =
+      ThreadPool::PlanChunks(count, grain, kMaxExpandChunks);
+  if (chunks <= 1) {
+    if (count > 0) expand(out, 0, count);
+    return;
+  }
+  if (chunk_ws_.size() < chunks) chunk_ws_.resize(chunks);
+  ThreadPool::Global().ParallelForChunks(
+      0, count, chunks, threads_,
+      [this, n, &expand](std::size_t c, std::size_t lo, std::size_t hi) {
+        Workspace* ws = &chunk_ws_[c];
+        ws->EnsureSize(n);
+        ws->Clear();
+        expand(ws, lo, hi);
+      });
+  // Merge only chunks the pool actually invoked: ParallelForChunks skips
+  // empty trailing chunks (possible if the plan ever over-chunks), whose
+  // workspaces would still hold a PREVIOUS update's subtotals.
+  const std::size_t chunk_size = (count + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    if (c * chunk_size >= count) break;
+    out->MergeFrom(chunk_ws_[c]);
+  }
 }
 
 template <typename SMatrix>
@@ -53,17 +105,29 @@ Status IncSrEngine::ComputeSparseSeed(const graph::EdgeUpdate& update,
   theta->EnsureSize(n);
   theta->Clear();
 
+  // S is symmetric, so the columns [S]_{·,i} and [S]_{·,j} the seed needs
+  // are the CONTIGUOUS rows i and j: one ScoreStore row resolve per scan
+  // instead of n strided shard probes.
+  const double* si = s.RowPtr(i);
+  const double* sj = s.RowPtr(j);
+
   // w = Q·[S]_{·,i} on its support: only rows a reachable by one OLD-graph
   // hop from T = {y : [S]_{y,i} ≠ 0} can be nonzero (these out-neighbor
-  // hops are exactly the F₁ set of Eq. 38). Accumulate the raw in-sums and
-  // rescale by 1/|I(a)| afterwards.
-  for (std::size_t y = 0; y < n; ++y) {
-    const double s_yi = s(y, i);
-    if (s_yi == 0.0) continue;
-    for (graph::NodeId a : graph.OutNeighbors(static_cast<graph::NodeId>(y))) {
-      theta->Accumulate(a, s_yi);
-    }
-  }
+  // hops are exactly the F₁ set of Eq. 38). Accumulate the raw in-sums
+  // chunk-parallel over the source rows and rescale by 1/|I(a)| afterwards.
+  RunChunkedExpansion(
+      n, n, kDenseExpandGrain,
+      [&graph, si](Workspace* ws, std::size_t lo, std::size_t hi) {
+        for (std::size_t y = lo; y < hi; ++y) {
+          const double s_yi = si[y];
+          if (s_yi == 0.0) continue;
+          for (graph::NodeId a :
+               graph.OutNeighbors(static_cast<graph::NodeId>(y))) {
+            ws->Accumulate(a, s_yi);
+          }
+        }
+      },
+      theta);
   for (std::int32_t a : theta->indices) {
     const std::size_t deg = graph.InDegree(a);
     INCSR_DCHECK(deg > 0, "node %d gained a w-entry without in-edges", a);
@@ -75,21 +139,21 @@ Status IncSrEngine::ComputeSparseSeed(const graph::EdgeUpdate& update,
       (update.kind == graph::UpdateKind::kInsert && dj == 0) ||
       (update.kind == graph::UpdateKind::kDelete && dj == 1);
   const double gamma =
-      trivial_degree ? s(i, i)
-                     : s(i, i) + s(j, j) / c - 2.0 * w_j - 1.0 / c + 1.0;
+      trivial_degree ? si[i]
+                     : si[i] + sj[j] / c - 2.0 * w_j - 1.0 / c + 1.0;
 
   // Assemble θ in place over w (Eqs. 27-28), touching only B₀ =
   // supp(w) ∪ supp([S]_{·,j}) ∪ {j}.
   if (update.kind == graph::UpdateKind::kInsert) {
     if (dj == 0) {
-      theta->Accumulate(update.dst, 0.5 * s(i, i));
+      theta->Accumulate(update.dst, 0.5 * si[i]);
     } else {
       const double inv = 1.0 / static_cast<double>(dj + 1);
       for (std::int32_t idx : theta->indices) {
         theta->values[static_cast<std::size_t>(idx)] *= inv;
       }
       for (std::size_t y = 0; y < n; ++y) {
-        const double s_yj = s(y, j);
+        const double s_yj = sj[y];
         if (s_yj == 0.0) continue;
         theta->Accumulate(static_cast<std::int32_t>(y), -inv / c * s_yj);
       }
@@ -101,14 +165,14 @@ Status IncSrEngine::ComputeSparseSeed(const graph::EdgeUpdate& update,
       for (std::int32_t idx : theta->indices) {
         theta->values[static_cast<std::size_t>(idx)] *= -1.0;
       }
-      theta->Accumulate(update.dst, 0.5 * s(i, i));
+      theta->Accumulate(update.dst, 0.5 * si[i]);
     } else {
       const double inv = 1.0 / static_cast<double>(dj - 1);
       for (std::int32_t idx : theta->indices) {
         theta->values[static_cast<std::size_t>(idx)] *= -inv;
       }
       for (std::size_t y = 0; y < n; ++y) {
-        const double s_yj = s(y, j);
+        const double s_yj = sj[y];
         if (s_yj == 0.0) continue;
         theta->Accumulate(static_cast<std::int32_t>(y), inv / c * s_yj);
       }
@@ -125,12 +189,18 @@ void IncSrEngine::AdvanceSparse(const graph::DynamicDiGraph& new_graph,
                                 Workspace* next) {
   next->EnsureSize(cur.values.size());
   next->Clear();
-  for (std::int32_t b : cur.indices) {
-    const double xb = cur.values[static_cast<std::size_t>(b)];
-    for (graph::NodeId a : new_graph.OutNeighbors(b)) {
-      next->Accumulate(a, xb);
-    }
-  }
+  RunChunkedExpansion(
+      cur.indices.size(), cur.values.size(), kSparseExpandGrain,
+      [&new_graph, &cur](Workspace* ws, std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) {
+          const std::int32_t b = cur.indices[k];
+          const double xb = cur.values[static_cast<std::size_t>(b)];
+          for (graph::NodeId a : new_graph.OutNeighbors(b)) {
+            ws->Accumulate(a, xb);
+          }
+        }
+      },
+      next);
   for (std::int32_t a : next->indices) {
     const std::size_t deg = new_graph.InDegree(a);
     INCSR_DCHECK(deg > 0, "node %d reached without in-edges", a);
@@ -143,25 +213,46 @@ void IncSrEngine::AdvanceSparse(const graph::DynamicDiGraph& new_graph,
 template <typename SMatrix>
 void IncSrEngine::ScatterOuter(const Workspace& xi, const Workspace& eta,
                                SMatrix* s) {
-  // S += ξ·ηᵀ + η·ξᵀ in two row-major passes (one per term) so every
-  // write lands in the current row — a strided (b, a) write per element
-  // would dominate the scatter once the supports grow.
-  for (std::int32_t a : xi.indices) {
-    const double xa = xi.values[static_cast<std::size_t>(a)];
-    double* __restrict row = s->MutableRowPtr(static_cast<std::size_t>(a));
-    for (std::int32_t b : eta.indices) {
-      row[static_cast<std::size_t>(b)] +=
-          xa * eta.values[static_cast<std::size_t>(b)];
-    }
+  // S += ξ·ηᵀ + η·ξᵀ, row-parallel over supp(ξ) ∪ supp(η). Each touched
+  // row gets its ξ-term writes and then its η-term writes — the exact
+  // serial sequence — and rows are disjoint, so the result is bitwise
+  // identical to the serial kernel at any thread count. COW clones are
+  // materialized serially up front: MutableRowPtr may clone a shard and
+  // is writer-thread-only, so workers must only ever stream into rows
+  // the store already owns exclusively.
+  scatter_rows_.clear();
+  std::set_union(xi.indices.begin(), xi.indices.end(), eta.indices.begin(),
+                 eta.indices.end(), std::back_inserter(scatter_rows_));
+  scatter_ptrs_.resize(scatter_rows_.size());
+  for (std::size_t k = 0; k < scatter_rows_.size(); ++k) {
+    scatter_ptrs_[k] =
+        s->MutableRowPtr(static_cast<std::size_t>(scatter_rows_[k]));
   }
-  for (std::int32_t b : eta.indices) {
-    const double eb = eta.values[static_cast<std::size_t>(b)];
-    double* __restrict row = s->MutableRowPtr(static_cast<std::size_t>(b));
-    for (std::int32_t a : xi.indices) {
-      row[static_cast<std::size_t>(a)] +=
-          eb * xi.values[static_cast<std::size_t>(a)];
-    }
-  }
+  const std::size_t per_row = xi.indices.size() + eta.indices.size();
+  const std::size_t grain = std::max<std::size_t>(
+      1, kScatterGrainFlops / std::max<std::size_t>(per_row, 1));
+  ThreadPool::Global().ParallelFor(
+      0, scatter_rows_.size(), grain, threads_,
+      [this, &xi, &eta](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) {
+          const auto r = static_cast<std::size_t>(scatter_rows_[k]);
+          double* __restrict row = scatter_ptrs_[k];
+          if (xi.seen[r]) {
+            const double xr = xi.values[r];
+            for (std::int32_t b : eta.indices) {
+              row[static_cast<std::size_t>(b)] +=
+                  xr * eta.values[static_cast<std::size_t>(b)];
+            }
+          }
+          if (eta.seen[r]) {
+            const double er = eta.values[r];
+            for (std::int32_t a : xi.indices) {
+              row[static_cast<std::size_t>(a)] +=
+                  er * xi.values[static_cast<std::size_t>(a)];
+            }
+          }
+        }
+      });
 }
 
 void IncSrEngine::RecordTouched(const Workspace& ws) {
@@ -322,14 +413,22 @@ Status IncSrEngine::ApplyRowUpdate(graph::NodeId target,
 
   // Generalized Theorem 2 seed with u = e_target:
   //   z = S·v, γ = vᵀ·z, y = Q_old·z, θ = w = y + (γ/2)·e_target.
-  // z via symmetric rows of S (contiguous reads): z = Σ coeff·S_{c,·}.
+  // z via symmetric rows of S (contiguous reads): z = Σ coeff·S_{c,·},
+  // column-parallel — every z entry keeps the serial k-order, so any
+  // partition is bitwise identical.
   la::Vector z(n);
-  for (std::size_t k = 0; k < v.nnz(); ++k) {
-    const auto c = static_cast<std::size_t>(v.indices()[k]);
-    const double coeff = v.values()[k];
-    const double* row = s->RowPtr(c);
-    double* __restrict zp = z.data();
-    for (std::size_t y = 0; y < n; ++y) zp[y] += coeff * row[y];
+  {
+    double* zp = z.data();
+    ThreadPool::Global().ParallelFor(
+        0, n, /*grain=*/2048, threads_,
+        [&v, s, zp](std::size_t lo, std::size_t hi) {
+          for (std::size_t k = 0; k < v.nnz(); ++k) {
+            const auto c = static_cast<std::size_t>(v.indices()[k]);
+            const double coeff = v.values()[k];
+            const double* __restrict row = s->RowPtr(c);
+            for (std::size_t y = lo; y < hi; ++y) zp[y] += coeff * row[y];
+          }
+        });
   }
   const double gamma = v.DotDense(z);
 
@@ -338,12 +437,21 @@ Status IncSrEngine::ApplyRowUpdate(graph::NodeId target,
   // in-degrees are the old ones, matching Q_old.
   eta_.EnsureSize(n);
   eta_.Clear();
-  for (std::size_t c = 0; c < n; ++c) {
-    if (z[c] == 0.0) continue;
-    for (graph::NodeId a :
-         graph->OutNeighbors(static_cast<graph::NodeId>(c))) {
-      eta_.Accumulate(a, z[c]);
-    }
+  {
+    const double* zp = z.data();
+    const graph::DynamicDiGraph* g = graph;
+    RunChunkedExpansion(
+        n, n, kDenseExpandGrain,
+        [g, zp](Workspace* ws, std::size_t lo, std::size_t hi) {
+          for (std::size_t c = lo; c < hi; ++c) {
+            if (zp[c] == 0.0) continue;
+            for (graph::NodeId a :
+                 g->OutNeighbors(static_cast<graph::NodeId>(c))) {
+              ws->Accumulate(a, zp[c]);
+            }
+          }
+        },
+        &eta_);
   }
   for (std::int32_t a : eta_.indices) {
     const std::size_t deg = graph->InDegree(a);

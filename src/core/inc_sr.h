@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/affected_area.h"
 #include "core/rank_one_update.h"
 #include "graph/digraph.h"
@@ -41,10 +42,17 @@ namespace incsr::core {
 /// takes MutableRowPtr for rows it actually scatters into, which is what
 /// keeps the ScoreStore's COW cost at O(affected rows). Definitions live
 /// in inc_sr.cc with explicit instantiations for both containers.
+/// The hot loops — seed scan, support expansion, outer-product scatter —
+/// run on the shared ThreadPool with options.num_threads-way parallelism.
+/// S is bitwise identical at every thread count: rows are scattered
+/// disjointly (each row's write sequence is the serial one), and the
+/// expansion kernels accumulate into per-chunk workspaces whose chunk
+/// geometry depends only on the data shape, merged in chunk order.
 class IncSrEngine {
  public:
   explicit IncSrEngine(simrank::SimRankOptions options)
-      : options_(options) {}
+      : options_(options),
+        threads_(ThreadPool::ResolveNumThreads(options.num_threads)) {}
 
   const simrank::SimRankOptions& options() const { return options_; }
 
@@ -82,8 +90,26 @@ class IncSrEngine {
     void EnsureSize(std::size_t n);
     void Clear();  // resets touched entries only — O(nnz)
     void Accumulate(std::int32_t index, double delta);
+    /// Accumulates every entry of `other` (chunk subtotals, in `other`'s
+    /// first-touch order) into this workspace.
+    void MergeFrom(const Workspace& other);
     void SortIndices();
   };
+
+  // Chunked-expansion body: fills `ws` from source positions [lo, hi).
+  using ExpandFn =
+      std::function<void(Workspace* ws, std::size_t lo, std::size_t hi)>;
+
+  // Runs `expand` over a deterministic chunking of [0, count) — geometry
+  // a function of (count, grain) only, NEVER of threads_ — with one
+  // accumulator workspace (of dimension n) per chunk, then merges the
+  // chunk subtotals into `out` in chunk order. This fixes the FP merge
+  // tree, so the result is bitwise identical at any thread count. With a
+  // single chunk, expands straight into `out` (same tree: merging one
+  // subtotal into a fresh entry is the subtotal itself).
+  void RunChunkedExpansion(std::size_t count, std::size_t n,
+                           std::size_t grain, const ExpandFn& expand,
+                           Workspace* out);
 
   // θ on its support B₀, computed from the OLD graph/Q/S.
   template <typename SMatrix>
@@ -98,10 +124,12 @@ class IncSrEngine {
   void AdvanceSparse(const graph::DynamicDiGraph& new_graph, double scale,
                      const Workspace& cur, Workspace* next);
 
-  // S += ξ·ηᵀ + η·ξᵀ restricted to the touched supports.
+  // S += ξ·ηᵀ + η·ξᵀ restricted to the touched supports, row-parallel
+  // over supp(ξ) ∪ supp(η). COW clones are pre-materialized serially
+  // (MutableRowPtr is single-threaded); each row's write sequence equals
+  // the serial kernel's, so the result is bitwise identical to serial.
   template <typename SMatrix>
-  static void ScatterOuter(const Workspace& xi, const Workspace& eta,
-                           SMatrix* s);
+  void ScatterOuter(const Workspace& xi, const Workspace& eta, SMatrix* s);
 
   // Shared tail of both update paths: seeds ξ₀ = C·e_target, η₀ = θ
   // (already in eta_), runs the K pruned iterations against the NEW
@@ -116,11 +144,15 @@ class IncSrEngine {
   void RecordTouched(const Workspace& ws);
 
   simrank::SimRankOptions options_;
+  std::size_t threads_;  // resolved once from options/env/hardware
   AffectedAreaStats stats_;
   Workspace xi_;
   Workspace eta_;
   Workspace xi_next_;
   Workspace eta_next_;
+  std::vector<Workspace> chunk_ws_;  // per-chunk expansion accumulators
+  std::vector<std::int32_t> scatter_rows_;  // supp(ξ) ∪ supp(η) scratch
+  std::vector<double*> scatter_ptrs_;  // pre-materialized row pointers
   std::vector<std::uint8_t> touched_seen_;
 };
 

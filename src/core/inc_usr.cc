@@ -1,5 +1,9 @@
 #include "core/inc_usr.h"
 
+#include <algorithm>
+#include <vector>
+
+#include "common/thread_pool.h"
 #include "graph/transition.h"
 
 namespace incsr::core {
@@ -70,29 +74,38 @@ Status IncUsrApplyUpdate(const graph::EdgeUpdate& update,
                        : graph->RemoveEdge(update.src, update.dst);
   if (!applied.ok()) return applied;
   graph::RefreshTransitionRow(*graph, update.dst, q);
-  // S += M + Mᵀ without materializing the transpose: row pass for M, then
-  // a blocked pass for Mᵀ (cache-friendly tiles). All writes go through
-  // MutableRowPtr — Inc-uSR has no pruning, so with a COW ScoreStore every
-  // shard is (correctly) cloned on the first post-publish update.
+  // S += M + Mᵀ without materializing the transpose: per row, the M-term
+  // row pass then a blocked pass for the Mᵀ term (cache-friendly tiles).
+  // Inc-uSR has no pruning, so the update touches every row; the COW
+  // clones are pre-materialized serially (MutableRowPtr is writer-thread-
+  // only), then the rows are streamed in parallel. Rows are disjoint and
+  // each keeps the serial M-then-Mᵀ write order, so the result is bitwise
+  // identical at any thread count.
   const std::size_t n = s->rows();
-  for (std::size_t i = 0; i < n; ++i) {
-    double* __restrict row = s->MutableRowPtr(i);
-    const double* mi = m->RowPtr(i);
-    for (std::size_t j = 0; j < n; ++j) row[j] += mi[j];
-  }
+  const std::size_t threads = ThreadPool::ResolveNumThreads(options.num_threads);
+  std::vector<double*> rows(n);
+  for (std::size_t i = 0; i < n; ++i) rows[i] = s->MutableRowPtr(i);
   constexpr std::size_t kBlock = 64;
-  for (std::size_t ib = 0; ib < n; ib += kBlock) {
-    const std::size_t imax = std::min(n, ib + kBlock);
-    for (std::size_t jb = 0; jb < n; jb += kBlock) {
-      const std::size_t jmax = std::min(n, jb + kBlock);
-      for (std::size_t i = ib; i < imax; ++i) {
-        double* row = s->MutableRowPtr(i);
-        for (std::size_t j = jb; j < jmax; ++j) {
-          row[j] += (*m)(j, i);
+  ThreadPool::Global().ParallelFor(
+      0, n, kBlock, threads, [&rows, &m, n](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          double* __restrict row = rows[i];
+          const double* mi = m->RowPtr(i);
+          for (std::size_t j = 0; j < n; ++j) row[j] += mi[j];
         }
-      }
-    }
-  }
+        for (std::size_t ib = lo; ib < hi; ib += kBlock) {
+          const std::size_t imax = std::min(hi, ib + kBlock);
+          for (std::size_t jb = 0; jb < n; jb += kBlock) {
+            const std::size_t jmax = std::min(n, jb + kBlock);
+            for (std::size_t i = ib; i < imax; ++i) {
+              double* row = rows[i];
+              for (std::size_t j = jb; j < jmax; ++j) {
+                row[j] += (*m)(j, i);
+              }
+            }
+          }
+        }
+      });
   return Status::OK();
 }
 

@@ -1,6 +1,23 @@
 #include "core/update_seed.h"
 
+#include <algorithm>
+
 namespace incsr::core {
+
+namespace {
+
+// S is symmetric, so column i is row i: one contiguous row resolve
+// instead of n strided probes (on a ScoreStore, s.Col(i) pays a shard
+// lookup per element — this is the seed path's dominant memory cost).
+template <typename SMatrix>
+la::Vector SymmetricColumn(const SMatrix& s, std::size_t i) {
+  la::Vector out(s.cols());
+  const double* row = s.RowPtr(i);
+  std::copy(row, row + s.cols(), out.data());
+  return out;
+}
+
+}  // namespace
 
 template <typename SMatrix>
 Result<UpdateSeed> ComputeUpdateSeed(const la::DynamicRowMatrix& q,
@@ -19,7 +36,7 @@ Result<UpdateSeed> ComputeUpdateSeed(const la::DynamicRowMatrix& q,
   const std::size_t dj = rank_one->old_in_degree;
 
   // w := Q · [S]_{·,i}   (Algorithm 1, line 3).
-  la::Vector w = q.Multiply(s.Col(i));
+  la::Vector w = q.Multiply(SymmetricColumn(s, i));
 
   UpdateSeed seed;
   seed.rank_one = std::move(rank_one).value();
@@ -42,7 +59,7 @@ Result<UpdateSeed> ComputeUpdateSeed(const la::DynamicRowMatrix& q,
       // θ = (w − (1/C)[S]_{·,j} + (γ/(2(d_j+1)) + 1/C − 1)·e_j) / (d_j+1)
       const double inv = 1.0 / static_cast<double>(dj + 1);
       seed.theta = std::move(w);
-      seed.theta.Axpy(-1.0 / c, s.Col(j));
+      seed.theta.Axpy(-1.0 / c, SymmetricColumn(s, j));
       seed.theta[j] += 0.5 * seed.gamma * inv + 1.0 / c - 1.0;
       seed.theta.Scale(inv);
     }
@@ -57,7 +74,7 @@ Result<UpdateSeed> ComputeUpdateSeed(const la::DynamicRowMatrix& q,
       const double inv = 1.0 / static_cast<double>(dj - 1);
       seed.theta = std::move(w);
       seed.theta.Scale(-1.0);
-      seed.theta.Axpy(1.0 / c, s.Col(j));
+      seed.theta.Axpy(1.0 / c, SymmetricColumn(s, j));
       seed.theta[j] += 0.5 * seed.gamma * inv - 1.0 / c + 1.0;
       seed.theta.Scale(inv);
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 namespace incsr::la {
 
@@ -246,6 +247,17 @@ double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b) {
     }
   }
   return best;
+}
+
+bool BitwiseEqual(const DenseMatrix& a, const DenseMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    if (std::memcmp(a.RowPtr(i), b.RowPtr(i),
+                    a.cols() * sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace incsr::la

@@ -117,6 +117,12 @@ DenseMatrix MultiplyTransposeA(const DenseMatrix& a, const DenseMatrix& b);
 /// Largest |a - b| entry over two equally shaped matrices.
 double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b);
 
+/// True iff the matrices have the same shape and byte-identical payloads
+/// (memcmp — distinguishes ±0.0 and compares NaNs by representation).
+/// The determinism tests and benches use this to enforce the parallel
+/// kernels' bitwise-reproducibility contract.
+bool BitwiseEqual(const DenseMatrix& a, const DenseMatrix& b);
+
 }  // namespace incsr::la
 
 #endif  // INCSR_LA_DENSE_MATRIX_H_

@@ -1,34 +1,13 @@
 #include "simrank/batch_matrix_parallel.h"
 
 #include <algorithm>
-#include <functional>
-#include <thread>
-#include <vector>
 
+#include "common/thread_pool.h"
 #include "graph/transition.h"
 
 namespace incsr::simrank {
 
 namespace {
-
-// Runs fn(row_begin, row_end) over a row partition of [0, rows).
-void ParallelRows(std::size_t rows, std::size_t num_threads,
-                  const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (num_threads <= 1 || rows < 2 * num_threads) {
-    fn(0, rows);
-    return;
-  }
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  const std::size_t chunk = (rows + num_threads - 1) / num_threads;
-  for (std::size_t t = 0; t < num_threads; ++t) {
-    const std::size_t begin = t * chunk;
-    const std::size_t end = std::min(rows, begin + chunk);
-    if (begin >= end) break;
-    workers.emplace_back(fn, begin, end);
-  }
-  for (std::thread& worker : workers) worker.join();
-}
 
 // out[rows begin..end) = Q·in over the given row range (row-axpy kernel).
 void SpmmRows(const la::CsrMatrix& q, const la::DenseMatrix& in,
@@ -53,8 +32,16 @@ la::DenseMatrix BatchMatrixParallelFromTransition(const la::CsrMatrix& q,
                                                   std::size_t num_threads) {
   INCSR_CHECK(q.rows() == q.cols(), "BatchMatrixParallel: Q must be square");
   if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
+    num_threads =
+        ThreadPool::ResolveNumThreads(options.num_threads);
   }
+  // All row passes go through the shared persistent pool instead of
+  // spawning (and joining) num_threads fresh std::threads per pass.
+  ThreadPool& pool = ThreadPool::Global();
+  auto parallel_rows = [&pool, num_threads](
+                           std::size_t rows, const ThreadPool::RangeFn& fn) {
+    pool.ParallelFor(0, rows, /*grain=*/2, num_threads, fn);
+  };
   const std::size_t n = q.rows();
   const double c = options.damping;
   la::DenseMatrix s(n, n);
@@ -64,11 +51,11 @@ la::DenseMatrix BatchMatrixParallelFromTransition(const la::CsrMatrix& q,
   la::DenseMatrix r(n, n);
   for (int k = 0; k < options.iterations; ++k) {
     // t = Q·S
-    ParallelRows(n, num_threads, [&](std::size_t lo, std::size_t hi) {
+    parallel_rows(n, [&](std::size_t lo, std::size_t hi) {
       SpmmRows(q, s, &t, lo, hi);
     });
     // tt = tᵀ (blocked, row-partitioned on the destination)
-    ParallelRows(n, num_threads, [&](std::size_t lo, std::size_t hi) {
+    parallel_rows(n, [&](std::size_t lo, std::size_t hi) {
       constexpr std::size_t kBlock = 64;
       for (std::size_t ib = lo; ib < hi; ib += kBlock) {
         const std::size_t imax = std::min(hi, ib + kBlock);
@@ -82,10 +69,10 @@ la::DenseMatrix BatchMatrixParallelFromTransition(const la::CsrMatrix& q,
     });
     // r = Q·tt = Q·Sᵀ·Qᵀ; then S = C·rᵀ + (1−C)·I. S is symmetric, so rᵀ
     // keeps the result symmetric to rounding, like the serial kernel.
-    ParallelRows(n, num_threads, [&](std::size_t lo, std::size_t hi) {
+    parallel_rows(n, [&](std::size_t lo, std::size_t hi) {
       SpmmRows(q, tt, &r, lo, hi);
     });
-    ParallelRows(n, num_threads, [&](std::size_t lo, std::size_t hi) {
+    parallel_rows(n, [&](std::size_t lo, std::size_t hi) {
       constexpr std::size_t kBlock = 64;
       for (std::size_t ib = lo; ib < hi; ib += kBlock) {
         const std::size_t imax = std::min(hi, ib + kBlock);

@@ -1,7 +1,8 @@
 // Multithreaded matrix-form batch SimRank. The iteration
 // S ← C·Q·S·Qᵀ + (1−C)·I is embarrassingly parallel across output rows:
-// each of the two sparse×dense passes partitions its row range over a
-// thread pool. This is an engineering extension beyond the paper (whose
+// each of the two sparse×dense passes partitions its row range over the
+// shared persistent pool (common/thread_pool.h) — no per-pass thread
+// spawning. This is an engineering extension beyond the paper (whose
 // experiments are single-threaded; cf. He et al. [8] for the GPU take) —
 // the bench suite uses it as an ablation of how much a parallel Batch
 // shifts the incremental-vs-batch crossover.
@@ -15,9 +16,12 @@
 
 namespace incsr::simrank {
 
-/// All-pairs matrix-form SimRank with `num_threads` workers (0 = all
-/// hardware threads). Bit-compatible results with BatchMatrix: the row
-/// partition does not change any summation order within a row.
+/// All-pairs matrix-form SimRank with `num_threads` workers (0 defers to
+/// options.num_threads, then INCSR_THREADS, then the hardware thread
+/// count; requests above the shared pool's size are capped to it — see
+/// ThreadPool::EffectiveNumThreads). Bit-compatible results with
+/// BatchMatrix: the row partition does not change any summation order
+/// within a row.
 la::DenseMatrix BatchMatrixParallel(const graph::DynamicDiGraph& graph,
                                     const SimRankOptions& options = {},
                                     std::size_t num_threads = 0);

@@ -12,6 +12,13 @@ struct SimRankOptions {
   /// Iteration count K. The paper uses K = 15 (K = 5 on the largest
   /// dataset); accuracy after K iterations is bounded by damping^(K+1).
   int iterations = 15;
+  /// Worker threads for the parallel kernels (update-path scatter and
+  /// support expansion, parallel batch solves): n > 0 uses exactly n,
+  /// 0 defers to the INCSR_THREADS environment variable and then to the
+  /// hardware thread count (common/thread_pool.h). Results are bitwise
+  /// identical at every setting — the kernels' chunk geometry is fixed
+  /// independently of the thread count.
+  int num_threads = 0;
 };
 
 /// A-priori accuracy bound after K iterations: |s_K − s| ≤ C^(K+1)

@@ -45,17 +45,6 @@ DenseMatrix TestMatrix(std::size_t rows, std::size_t cols,
   return m;
 }
 
-bool BitwiseEqual(const DenseMatrix& a, const DenseMatrix& b) {
-  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    if (std::memcmp(a.RowPtr(i), b.RowPtr(i), a.cols() * sizeof(double)) !=
-        0) {
-      return false;
-    }
-  }
-  return true;
-}
-
 TEST(ScoreStore, RoundTripsDenseContent) {
   DenseMatrix dense = TestMatrix(9, 9);
   ScoreStore store(dense);

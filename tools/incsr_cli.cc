@@ -10,6 +10,7 @@
 //   incsr_cli serve <edge_list> --updates FILE [--writers N] [--readers M]
 //             [--topk K] [--queue-capacity Q] [--max-batch B]
 //             [--backpressure block|reject] [--damping C] [--iterations K]
+//             [--threads T]
 //
 // `serve` replays the update stream through the concurrent SimRankService
 // (N writer threads submitting, M reader threads issuing top-k queries
@@ -56,7 +57,7 @@ void PrintUsage(const char* prog) {
       "          [--readers M] [--topk K] [--queue-capacity Q]\n"
       "          [--max-batch B] [--cache-capacity C]\n"
       "          [--backpressure block|reject] [--damping C]\n"
-      "          [--iterations K]\n",
+      "          [--iterations K] [--threads T]\n",
       prog, prog);
 }
 
@@ -181,6 +182,9 @@ struct ServeOptions {
   std::size_t topk = 10;
   double damping = 0.6;
   int iterations = 15;
+  // Applier kernel parallelism (0 = INCSR_THREADS / hardware default).
+  // Results are bitwise independent of the setting.
+  int num_threads = 0;
   service::ServiceOptions service;
 };
 
@@ -255,6 +259,10 @@ Result<ServeOptions> ParseServeArgs(int argc, char** argv) {
       auto v = next();
       if (!v.ok()) return v.status();
       options.iterations = std::atoi(v->c_str());
+    } else if (flag == "--threads") {
+      auto v = next_size();
+      if (!v.ok()) return v.status();
+      options.num_threads = static_cast<int>(*v);
     } else {
       return Status::InvalidArgument("unknown serve flag '" + flag + "'");
     }
@@ -291,6 +299,9 @@ int RunServe(const ServeOptions& options) {
   simrank::SimRankOptions sr_options;
   sr_options.damping = options.damping;
   sr_options.iterations = options.iterations;
+  sr_options.num_threads = options.num_threads;
+  std::printf("update kernels: %zu thread(s)\n",
+              ThreadPool::EffectiveNumThreads(options.num_threads));
   WallTimer timer;
   auto index = core::DynamicSimRank::Create(data->graph, sr_options);
   if (!index.ok()) {
