@@ -7,6 +7,15 @@
 // mixed read/write load. Runs twice — query cache enabled and disabled —
 // so the affected-area invalidation win is visible directly.
 //
+// Sharding: --components C builds the base graph as C disjoint ER blocks
+// (a multi-component graph, the shape that shards cleanly) with the
+// update stream confined to blocks and interleaved round-robin across
+// them; --shards K replays the workload through a ShardedSimRankService
+// with K shards instead of a single service — K appliers absorb updates
+// concurrently, which is the scale-out path of src/shard/. Per-shard
+// stats land in the --json trajectory as arrays. --shards 0 (default)
+// keeps the single-service path even for multi-component graphs.
+//
 // Query skew: --zipf THETA draws reader query nodes Zipf(θ)-skewed over
 // the node ids (0 = uniform), modeling hot-node traffic — which is also
 // where the affected-area cache invalidation matters most.
@@ -23,7 +32,7 @@
 // Usage: bench_serve_throughput [--nodes N] [--edges M] [--updates U]
 //          [--writers W] [--readers R] [--topk K] [--max-batch B]
 //          [--zipf THETA] [--churn insert|delete-heavy] [--threads T]
-//          [--json PATH]
+//          [--components C] [--shards K] [--json PATH]
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
@@ -49,6 +58,8 @@ struct LoadConfig {
   double zipf_theta = 0.0;   // 0 = uniform query nodes
   bool delete_heavy = false; // 70/30 delete/insert churn stream
   int threads = 0;           // update-kernel parallelism (0 = default)
+  std::size_t components = 1; // disjoint ER blocks in the base graph
+  std::size_t shards = 0;     // 0 = single service; K = sharded service
   std::string json_path;     // when set, emit a BENCH json trajectory file
 };
 
@@ -66,26 +77,91 @@ struct LoadResult {
   std::uint64_t total_queries = 0;
   double p50_us = 0.0;
   double p99_us = 0.0;
-  service::ServiceStats stats;
+  service::ServiceStats stats;          // single-service or sharded total
+  shard::ShardedStats sharded_stats;    // populated when config.shards > 0
 };
 
-LoadResult RunLoad(const LoadConfig& config,
-                   const graph::DynamicDiGraph& graph,
-                   const std::vector<graph::EdgeUpdate>& updates,
-                   std::size_t cache_capacity) {
-  simrank::SimRankOptions options;  // paper defaults: C = 0.6, K = 15
-  options.num_threads = config.threads;
-  auto index = core::DynamicSimRank::Create(graph, options);
-  INCSR_CHECK(index.ok(), "index build failed");
+// One churn stream per component block (deletions of existing edges,
+// insertions of non-edges; disjoint sets, so valid in any interleaving),
+// offset to global ids and interleaved round-robin across blocks.
+void BuildWorkload(const LoadConfig& config, graph::DynamicDiGraph* graph,
+                   std::vector<graph::EdgeUpdate>* updates) {
+  const std::size_t blocks = std::max<std::size_t>(1, config.components);
+  *graph = graph::DynamicDiGraph(config.nodes);
+  std::vector<std::vector<graph::EdgeUpdate>> per_block;
+  Rng rng(11);
+  std::size_t base = 0;
+  for (std::size_t c = 0; c < blocks; ++c) {
+    const std::size_t bn =
+        config.nodes / blocks + (c + 1 == blocks ? config.nodes % blocks : 0);
+    const std::size_t bm =
+        config.edges / blocks + (c + 1 == blocks ? config.edges % blocks : 0);
+    const std::size_t bu =
+        config.updates / blocks +
+        (c + 1 == blocks ? config.updates % blocks : 0);
+    auto stream = graph::ErdosRenyiGnm(bn, bm, 7 + c);
+    INCSR_CHECK(stream.ok(), "generator failed");
+    graph::DynamicDiGraph block = graph::MaterializeGraph(bn, stream.value());
+    for (const graph::Edge& e : block.Edges()) {
+      INCSR_CHECK(graph
+                      ->AddEdge(static_cast<graph::NodeId>(base + e.src),
+                                static_cast<graph::NodeId>(base + e.dst))
+                      .ok(),
+                  "block edge insert failed");
+    }
+    std::vector<graph::EdgeUpdate> block_updates;
+    if (config.delete_heavy) {
+      const std::size_t deletions = std::min(block.num_edges(), bu * 7 / 10);
+      const std::size_t insertions = bu - deletions;
+      auto del = graph::SampleDeletions(block, deletions, &rng);
+      INCSR_CHECK(del.ok(), "deletion sampling failed: %s",
+                  del.status().ToString().c_str());
+      auto ins = graph::SampleInsertions(block, insertions, &rng);
+      INCSR_CHECK(ins.ok(), "insertion sampling failed: %s",
+                  ins.status().ToString().c_str());
+      std::size_t a = 0;
+      std::size_t b = 0;
+      // Deterministic 7:3 interleave.
+      while (a < del->size() || b < ins->size()) {
+        for (int d = 0; d < 7 && a < del->size(); ++d) {
+          block_updates.push_back((*del)[a++]);
+        }
+        for (int s = 0; s < 3 && b < ins->size(); ++s) {
+          block_updates.push_back((*ins)[b++]);
+        }
+      }
+    } else {
+      auto ins = graph::SampleInsertions(block, bu, &rng);
+      INCSR_CHECK(ins.ok(), "sampling failed: %s",
+                  ins.status().ToString().c_str());
+      block_updates = std::move(ins).value();
+    }
+    for (graph::EdgeUpdate& u : block_updates) {
+      u.src = static_cast<graph::NodeId>(base + u.src);
+      u.dst = static_cast<graph::NodeId>(base + u.dst);
+    }
+    per_block.push_back(std::move(block_updates));
+    base += bn;
+  }
+  updates->clear();
+  for (std::size_t k = 0;; ++k) {
+    bool any = false;
+    for (const auto& stream : per_block) {
+      if (k < stream.size()) {
+        updates->push_back(stream[k]);
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+}
 
-  service::ServiceOptions service_options;
-  service_options.max_batch = config.max_batch;
-  service_options.cache_capacity = cache_capacity;
-  auto service = service::SimRankService::Create(std::move(index).value(),
-                                                 service_options);
-  INCSR_CHECK(service.ok(), "service build failed");
-  service::SimRankService& svc = **service;
-
+// Drives the writer/reader load against any service exposing Submit /
+// Flush / TopKFor (service::SimRankService or shard::ShardedSimRankService).
+template <typename Service>
+void DriveLoad(const LoadConfig& config,
+               const std::vector<graph::EdgeUpdate>& updates, Service* svc,
+               LoadResult* result) {
   std::atomic<bool> done{false};
   std::vector<std::vector<double>> latencies(config.readers);
   std::vector<std::thread> threads;
@@ -94,7 +170,7 @@ LoadResult RunLoad(const LoadConfig& config,
   for (std::size_t w = 0; w < config.writers; ++w) {
     threads.emplace_back([&, w] {
       for (std::size_t i = w; i < updates.size(); i += config.writers) {
-        Status s = svc.Submit(updates[i]);
+        Status s = svc->Submit(updates[i]);
         INCSR_CHECK(s.ok(), "submit failed: %s", s.ToString().c_str());
       }
     });
@@ -106,34 +182,63 @@ LoadResult RunLoad(const LoadConfig& config,
       while (!done.load(std::memory_order_acquire)) {
         const auto node = static_cast<graph::NodeId>(zipf.Next(&rng));
         WallTimer query_timer;
-        auto top = svc.TopKFor(node, config.topk);
+        auto top = svc->TopKFor(node, config.topk);
         INCSR_CHECK(top.ok(), "query failed");
         mine.push_back(query_timer.ElapsedSeconds() * 1e6);
       }
     });
   }
   for (std::size_t w = 0; w < config.writers; ++w) threads[w].join();
-  INCSR_CHECK(svc.Flush().ok(), "flush failed");
-  LoadResult result;
-  result.ingest_seconds = timer.ElapsedSeconds();
+  INCSR_CHECK(svc->Flush().ok(), "flush failed");
+  result->ingest_seconds = timer.ElapsedSeconds();
   done.store(true, std::memory_order_release);
   for (std::size_t t = config.writers; t < threads.size(); ++t) {
     threads[t].join();
   }
-
   std::vector<double> merged;
   for (const auto& per_reader : latencies) {
     merged.insert(merged.end(), per_reader.begin(), per_reader.end());
   }
-  result.total_queries = merged.size();
-  result.p50_us = Percentile(&merged, 0.50);
-  result.p99_us = Percentile(&merged, 0.99);
-  result.stats = svc.stats();
+  result->total_queries = merged.size();
+  result->p50_us = Percentile(&merged, 0.50);
+  result->p99_us = Percentile(&merged, 0.99);
+}
+
+LoadResult RunLoad(const LoadConfig& config,
+                   const graph::DynamicDiGraph& graph,
+                   const std::vector<graph::EdgeUpdate>& updates,
+                   std::size_t cache_capacity) {
+  simrank::SimRankOptions options;  // paper defaults: C = 0.6, K = 15
+  options.num_threads = config.threads;
+  service::ServiceOptions service_options;
+  service_options.max_batch = config.max_batch;
+  service_options.cache_capacity = cache_capacity;
+
+  LoadResult result;
+  if (config.shards > 0) {
+    shard::ShardedServiceOptions sharded_options;
+    sharded_options.num_shards = config.shards;
+    sharded_options.per_shard = service_options;
+    auto service =
+        shard::ShardedSimRankService::Create(graph, options, sharded_options);
+    INCSR_CHECK(service.ok(), "sharded service build failed");
+    DriveLoad(config, updates, service->get(), &result);
+    result.sharded_stats = (*service)->stats();
+    result.stats = result.sharded_stats.total;
+  } else {
+    auto index = core::DynamicSimRank::Create(graph, options);
+    INCSR_CHECK(index.ok(), "index build failed");
+    auto service = service::SimRankService::Create(std::move(index).value(),
+                                                   service_options);
+    INCSR_CHECK(service.ok(), "service build failed");
+    DriveLoad(config, updates, service->get(), &result);
+    result.stats = (*service)->stats();
+  }
   return result;
 }
 
 void Report(const char* label, const LoadConfig& config,
-            const LoadResult& result) {
+            std::size_t total_updates, const LoadResult& result) {
   const double updates_per_sec =
       static_cast<double>(result.stats.applied) / result.ingest_seconds;
   const double queries_per_sec =
@@ -158,10 +263,21 @@ void Report(const char* label, const LoadConfig& config,
       static_cast<double>(result.stats.bytes_published) / 1e6,
       static_cast<double>(result.stats.rows_published) / epochs,
       config.nodes);
-  INCSR_CHECK(result.stats.applied == config.updates,
+  if (config.shards > 0) {
+    std::printf("%-14s shards:", "");
+    for (const auto& entry : result.sharded_stats.per_shard) {
+      std::printf("  [%zu] %zu nodes, %llu applied, %llu epochs", entry.slot,
+                  entry.nodes,
+                  static_cast<unsigned long long>(entry.stats.applied),
+                  static_cast<unsigned long long>(entry.stats.epoch));
+    }
+    std::printf("  (%llu merges)\n",
+                static_cast<unsigned long long>(result.sharded_stats.merges));
+  }
+  INCSR_CHECK(result.stats.applied == total_updates,
               "lost updates: applied %llu of %zu",
               static_cast<unsigned long long>(result.stats.applied),
-              config.updates);
+              total_updates);
 }
 
 void RecordRun(bench::JsonObject* root, const char* label,
@@ -184,6 +300,21 @@ void RecordRun(bench::JsonObject* root, const char* label,
       .Set("rows_published", result.stats.rows_published)
       .Set("bytes_published", result.stats.bytes_published)
       .Set("rows_per_epoch_full_copy_equivalent", config.nodes);
+  if (config.shards > 0) {
+    // Per-shard trajectories as parallel scalar arrays (index = position
+    // in the live-shard list).
+    run->Set("active_shards", result.sharded_stats.active_shards)
+        .Set("merges", result.sharded_stats.merges)
+        .Set("merge_rebuild_rows", result.sharded_stats.merge_rebuild_rows);
+    for (const auto& entry : result.sharded_stats.per_shard) {
+      run->Append("shard_slot", entry.slot)
+          .Append("shard_nodes", entry.nodes)
+          .Append("shard_applied", entry.stats.applied)
+          .Append("shard_epochs", entry.stats.epoch)
+          .Append("shard_rows_published", entry.stats.rows_published)
+          .Append("shard_cache_hits", entry.stats.cache.hits);
+    }
+  }
 }
 
 }  // namespace
@@ -210,6 +341,11 @@ int main(int argc, char** argv) {
       config.topk = next();
     } else if (std::strcmp(argv[i], "--max-batch") == 0) {
       config.max_batch = next();
+    } else if (std::strcmp(argv[i], "--components") == 0) {
+      config.components = next();
+      INCSR_CHECK(config.components >= 1, "--components needs >= 1");
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      config.shards = next();
     } else if (std::strcmp(argv[i], "--zipf") == 0) {
       INCSR_CHECK(i + 1 < argc, "flag %s needs a value", argv[i]);
       const char* value = argv[++i];
@@ -239,56 +375,25 @@ int main(int argc, char** argv) {
 
   bench::PrintHeader("serve_throughput — mixed read/write serving load");
   std::printf(
-      "n = %zu, |E| = %zu, |dG| = %zu (%s), %zu writers, %zu readers, "
-      "k = %zu, max_batch = %zu, zipf = %.2f, kernel threads = %zu\n",
+      "n = %zu, |E| = %zu, |dG| = %zu (%s), %zu components, %zu shard(s), "
+      "%zu writers, %zu readers, k = %zu, max_batch = %zu, zipf = %.2f, "
+      "kernel threads = %zu\n",
       config.nodes, config.edges, config.updates,
       config.delete_heavy ? "70/30 delete/insert churn" : "insertions",
+      config.components, config.shards == 0 ? std::size_t{1} : config.shards,
       config.writers, config.readers, config.topk, config.max_batch,
       config.zipf_theta, ThreadPool::EffectiveNumThreads(config.threads));
 
-  auto stream = graph::ErdosRenyiGnm(config.nodes, config.edges, 7);
-  INCSR_CHECK(stream.ok(), "generator failed");
-  graph::DynamicDiGraph graph =
-      graph::MaterializeGraph(config.nodes, stream.value());
-  Rng rng(11);
+  graph::DynamicDiGraph graph;
   std::vector<graph::EdgeUpdate> updates;
-  if (config.delete_heavy) {
-    // 70% deletions of existing edges, 30% insertions of non-edges; every
-    // edge appears exactly once across the stream, so any interleaving of
-    // the writer threads replays losslessly.
-    const std::size_t deletions =
-        std::min(graph.num_edges(), config.updates * 7 / 10);
-    const std::size_t insertions = config.updates - deletions;
-    auto del = graph::SampleDeletions(graph, deletions, &rng);
-    INCSR_CHECK(del.ok(), "deletion sampling failed: %s",
-                del.status().ToString().c_str());
-    auto ins = graph::SampleInsertions(graph, insertions, &rng);
-    INCSR_CHECK(ins.ok(), "insertion sampling failed: %s",
-                ins.status().ToString().c_str());
-    std::size_t a = 0;
-    std::size_t b = 0;
-    // Deterministic 7:3 interleave.
-    while (a < del->size() || b < ins->size()) {
-      for (int d = 0; d < 7 && a < del->size(); ++d) {
-        updates.push_back((*del)[a++]);
-      }
-      for (int s = 0; s < 3 && b < ins->size(); ++s) {
-        updates.push_back((*ins)[b++]);
-      }
-    }
-  } else {
-    auto ins = graph::SampleInsertions(graph, config.updates, &rng);
-    INCSR_CHECK(ins.ok(), "sampling failed: %s",
-                ins.status().ToString().c_str());
-    updates = std::move(ins).value();
-  }
+  BuildWorkload(config, &graph, &updates);
 
   LoadResult cached = RunLoad(config, graph, updates,
                               /*cache_capacity=*/4096);
-  Report("cache on:", config, cached);
+  Report("cache on:", config, updates.size(), cached);
   LoadResult uncached = RunLoad(config, graph, updates,
                                 /*cache_capacity=*/0);
-  Report("cache off:", config, uncached);
+  Report("cache off:", config, updates.size(), uncached);
 
   if (!config.json_path.empty()) {
     bench::JsonObject root;
@@ -300,6 +405,8 @@ int main(int argc, char** argv) {
         .Set("readers", config.readers)
         .Set("topk", config.topk)
         .Set("max_batch", config.max_batch)
+        .Set("components", config.components)
+        .Set("shards", config.shards)
         .Set("zipf_theta", config.zipf_theta)
         .Set("churn", config.delete_heavy ? "delete-heavy" : "insert")
         .Set("threads", ThreadPool::EffectiveNumThreads(config.threads));

@@ -21,6 +21,7 @@
 #include "core/update_seed.h"    // IWYU pragma: export
 #include "datasets/datasets.h"   // IWYU pragma: export
 #include "eval/metrics.h"        // IWYU pragma: export
+#include "graph/components.h"    // IWYU pragma: export
 #include "graph/digraph.h"       // IWYU pragma: export
 #include "graph/edge_list_io.h"  // IWYU pragma: export
 #include "graph/generators.h"    // IWYU pragma: export
@@ -36,6 +37,8 @@
 #include "la/vector.h"           // IWYU pragma: export
 #include "service/query_cache.h"     // IWYU pragma: export
 #include "service/simrank_service.h" // IWYU pragma: export
+#include "shard/shard_plan.h"        // IWYU pragma: export
+#include "shard/sharded_service.h"   // IWYU pragma: export
 #include "simrank/batch_matrix.h"        // IWYU pragma: export
 #include "simrank/batch_naive.h"         // IWYU pragma: export
 #include "simrank/batch_partial_sums.h"  // IWYU pragma: export

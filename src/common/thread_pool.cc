@@ -7,10 +7,14 @@ namespace incsr {
 
 namespace {
 
-// Set for the lifetime of every pool worker: a region submitted from a
-// worker (nested parallelism) runs inline instead of deadlocking on the
-// pool it is already part of.
-thread_local bool tls_in_pool_worker = false;
+// True while this thread is executing chunks of a region — for the
+// lifetime of every pool worker, and scoped around the submitter's own
+// chunk participation. A region submitted from inside either (nested
+// parallelism) runs inline instead of deadlocking on the pool it is
+// already part of; for the submitter the flag is also what prevents a
+// nested ParallelForChunks from calling submit_mu_.try_lock() on a mutex
+// the thread already owns (undefined behavior for std::mutex).
+thread_local bool tls_in_pool_region = false;
 
 }  // namespace
 
@@ -54,7 +58,7 @@ void ThreadPool::ParallelForChunks(std::size_t begin, std::size_t end,
     }
   };
   if (num_chunks == 1 || max_threads <= 1 || workers_.empty() ||
-      tls_in_pool_worker) {
+      tls_in_pool_region) {
     run_inline();
     return;
   }
@@ -80,7 +84,9 @@ void ThreadPool::ParallelForChunks(std::size_t begin, std::size_t end,
     ++epoch_;
   }
   work_cv_.notify_all();
+  tls_in_pool_region = true;  // nested submissions from fn run inline
   RunChunks(job.get(), /*is_submitter=*/true);
+  tls_in_pool_region = false;
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&job] {
     return job->done_chunks.load(std::memory_order_acquire) ==
@@ -129,7 +135,7 @@ void ThreadPool::RunChunks(Job* job, bool is_submitter) {
 }
 
 void ThreadPool::WorkerLoop() {
-  tls_in_pool_worker = true;
+  tls_in_pool_region = true;
   std::uint64_t seen = 0;
   for (;;) {
     std::shared_ptr<Job> job;

@@ -47,19 +47,32 @@ struct ScoredPair {
   bool operator==(const ScoredPair&) const = default;
 };
 
-/// Top-k highest-scoring distinct pairs (a < b) of a similarity matrix,
-/// ties broken by (a, b). Bounded min-heap: O(n² log k), O(k) extra space.
-/// Generic over any row-readable score container (la::DenseMatrix,
-/// la::ScoreStore, or a pinned la::ScoreStore::View) so the serving layer
-/// can run it on published snapshots without materializing S.
+/// THE top-k total order, used by every ranked surface in the repo
+/// (TopKPairsOf, TopKForOf, and the sharded cross-shard merges):
+/// descending score, ties broken by ascending (a, b). True iff x ranks
+/// before y. One definition on purpose — the sharded serving layer's
+/// bitwise shard-count invariance depends on all sites agreeing.
+inline bool ScoredPairRanksBefore(const ScoredPair& x, const ScoredPair& y) {
+  if (x.score != y.score) return x.score > y.score;
+  return std::pair(x.a, x.b) < std::pair(y.a, y.b);
+}
+
+/// Top-k highest-scoring distinct pairs (a < b) of a similarity matrix.
+/// Ordering CONTRACT (load-bearing, do not change): descending score,
+/// ties broken by ascending (a, b). The sharded serving layer's k-way
+/// cross-shard merge (src/shard/) relies on this total order being the
+/// same within a shard (in local ids) and globally — shard-local ids are
+/// assigned in ascending global order precisely so the tie-break
+/// translates — which is what makes top-k results invariant to the shard
+/// count. Bounded min-heap: O(n² log k), O(k) extra space. Generic over
+/// any row-readable score container (la::DenseMatrix, la::ScoreStore, or
+/// a pinned la::ScoreStore::View) so the serving layer can run it on
+/// published snapshots without materializing S.
 template <typename SLike>
 std::vector<ScoredPair> TopKPairsOf(const SLike& s, std::size_t k) {
   const std::size_t n = s.rows();
   std::vector<ScoredPair> heap;  // min-heap on score
-  auto cmp = [](const ScoredPair& x, const ScoredPair& y) {
-    if (x.score != y.score) return x.score > y.score;
-    return std::pair(x.a, x.b) < std::pair(y.a, y.b);
-  };
+  const auto cmp = &ScoredPairRanksBefore;
   for (std::size_t a = 0; a < n; ++a) {
     const double* row = s.RowPtr(a);
     for (std::size_t b = a + 1; b < n; ++b) {
@@ -81,7 +94,9 @@ std::vector<ScoredPair> TopKPairsOf(const SLike& s, std::size_t k) {
 }
 
 /// Top-k most similar nodes to `query` (excluding itself) read off row
-/// `query` of `s`, ties broken by node id. Bounded min-heap: O(n log k).
+/// `query` of `s`. Same ordering contract as TopKPairsOf: descending
+/// score, ties broken by ascending node id — required for
+/// shard-count-invariant results. Bounded min-heap: O(n log k).
 template <typename SLike>
 std::vector<ScoredPair> TopKForOf(const SLike& s, graph::NodeId query,
                                   std::size_t k) {
@@ -90,11 +105,9 @@ std::vector<ScoredPair> TopKForOf(const SLike& s, graph::NodeId query,
   const double* row = s.RowPtr(q);
   // Bounded min-heap over the k best seen so far: O(n log k) instead of
   // the former full materialize-and-sort — this is the hot read path the
-  // serving layer multiplies by every query.
-  auto cmp = [](const ScoredPair& x, const ScoredPair& y) {
-    if (x.score != y.score) return x.score > y.score;
-    return x.b < y.b;
-  };
+  // serving layer multiplies by every query. Every candidate shares the
+  // same `a` (= query), so the shared order reduces to ascending b ties.
+  const auto cmp = &ScoredPairRanksBefore;
   std::vector<ScoredPair> heap;
   heap.reserve(std::min(k, n));
   for (std::size_t b = 0; b < n; ++b) {

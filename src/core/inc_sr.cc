@@ -10,10 +10,14 @@ namespace incsr::core {
 namespace {
 
 // Chunk geometry for the merged-accumulator expansion kernels. These are
-// deliberately functions of the DATA SHAPE only — never of the thread
-// count — so the FP merge tree, and therefore S, is bitwise identical at
-// any parallelism (including serial).
-constexpr std::size_t kDenseExpandGrain = 256;   // source rows per chunk
+// deliberately functions of the SUPPORT SIZE only — never of the thread
+// count, and never of the ambient node count n — so the FP merge tree,
+// and therefore S, is bitwise identical at any parallelism (including
+// serial) AND invariant to the ambient id space: a shard-local run over a
+// component (src/shard/) performs the same additions in the same order as
+// the corresponding subsequence of a full-graph run. Dense scans
+// therefore gather their nonzero sources first and chunk the gathered
+// list, not [0, n).
 constexpr std::size_t kSparseExpandGrain = 128;  // support entries per chunk
 constexpr std::size_t kMaxExpandChunks = 16;     // caps accumulator memory
 
@@ -107,20 +111,31 @@ Status IncSrEngine::ComputeSparseSeed(const graph::EdgeUpdate& update,
 
   // S is symmetric, so the columns [S]_{·,i} and [S]_{·,j} the seed needs
   // are the CONTIGUOUS rows i and j: one ScoreStore row resolve per scan
-  // instead of n strided shard probes.
+  // instead of n strided shard probes. Caveat: ScatterOuter keeps S
+  // symmetric only to rounding (entry (a,b) sums its two products in the
+  // opposite order from (b,a)), so row-as-column can differ from the
+  // true column in the last ulp — well inside the C^(K+1) accuracy
+  // envelope, and deterministic: every run (any thread count, any shard
+  // layout) reads the same bytes.
   const double* si = s.RowPtr(i);
   const double* sj = s.RowPtr(j);
 
   // w = Q·[S]_{·,i} on its support: only rows a reachable by one OLD-graph
   // hop from T = {y : [S]_{y,i} ≠ 0} can be nonzero (these out-neighbor
-  // hops are exactly the F₁ set of Eq. 38). Accumulate the raw in-sums
-  // chunk-parallel over the source rows and rescale by 1/|I(a)| afterwards.
+  // hops are exactly the F₁ set of Eq. 38). Gather T first, then
+  // accumulate the raw in-sums chunk-parallel over the gathered sources
+  // (chunk geometry a function of |T| only — see the grain comment) and
+  // rescale by 1/|I(a)| afterwards.
+  expand_sources_.clear();
+  for (std::size_t y = 0; y < n; ++y) {
+    if (si[y] != 0.0) expand_sources_.push_back(static_cast<std::int32_t>(y));
+  }
   RunChunkedExpansion(
-      n, n, kDenseExpandGrain,
-      [&graph, si](Workspace* ws, std::size_t lo, std::size_t hi) {
-        for (std::size_t y = lo; y < hi; ++y) {
+      expand_sources_.size(), n, kSparseExpandGrain,
+      [this, &graph, si](Workspace* ws, std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) {
+          const auto y = static_cast<std::size_t>(expand_sources_[k]);
           const double s_yi = si[y];
-          if (s_yi == 0.0) continue;
           for (graph::NodeId a :
                graph.OutNeighbors(static_cast<graph::NodeId>(y))) {
             ws->Accumulate(a, s_yi);
@@ -432,19 +447,24 @@ Status IncSrEngine::ApplyRowUpdate(graph::NodeId target,
   }
   const double gamma = v.DotDense(z);
 
-  // y = Q_old·z on its support: expand supp(z) through the out-neighbors.
-  // The graph still holds the OLD adjacency here, so the expansion and the
+  // y = Q_old·z on its support: gather supp(z), then expand it through the
+  // out-neighbors (chunk geometry a function of |supp(z)| only). The graph
+  // still holds the OLD adjacency here, so the expansion and the
   // in-degrees are the old ones, matching Q_old.
   eta_.EnsureSize(n);
   eta_.Clear();
   {
     const double* zp = z.data();
     const graph::DynamicDiGraph* g = graph;
+    expand_sources_.clear();
+    for (std::size_t c = 0; c < n; ++c) {
+      if (zp[c] != 0.0) expand_sources_.push_back(static_cast<std::int32_t>(c));
+    }
     RunChunkedExpansion(
-        n, n, kDenseExpandGrain,
-        [g, zp](Workspace* ws, std::size_t lo, std::size_t hi) {
-          for (std::size_t c = lo; c < hi; ++c) {
-            if (zp[c] == 0.0) continue;
+        expand_sources_.size(), n, kSparseExpandGrain,
+        [this, g, zp](Workspace* ws, std::size_t lo, std::size_t hi) {
+          for (std::size_t k = lo; k < hi; ++k) {
+            const auto c = static_cast<std::size_t>(expand_sources_[k]);
             for (graph::NodeId a :
                  g->OutNeighbors(static_cast<graph::NodeId>(c))) {
               ws->Accumulate(a, zp[c]);

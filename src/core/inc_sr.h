@@ -151,6 +151,11 @@ class IncSrEngine {
   Workspace xi_next_;
   Workspace eta_next_;
   std::vector<Workspace> chunk_ws_;  // per-chunk expansion accumulators
+  // Gathered nonzero sources of a dense scan, so expansion chunk geometry
+  // depends on the support size rather than the ambient node count — this
+  // is what makes S bitwise invariant to the ambient id space (a sharded
+  // component-local run matches the full-graph run, see src/shard/).
+  std::vector<std::int32_t> expand_sources_;
   std::vector<std::int32_t> scatter_rows_;  // supp(ξ) ∪ supp(η) scratch
   std::vector<double*> scatter_ptrs_;  // pre-materialized row pointers
   std::vector<std::uint8_t> touched_seen_;

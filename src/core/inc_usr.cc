@@ -21,12 +21,17 @@ Result<la::DenseMatrix> IncUsrAuxiliaryM(
   const la::SparseVector& u = seed->rank_one.u;
   const la::SparseVector& v = seed->rank_one.v;
 
-  // ξ₀ = C·e_j, η₀ = θ, M₀ = ξ₀·η₀ᵀ (Algorithm 1, line 13).
+  // ξ₀ = C·e_j, η₀ = θ, M₀ = ξ₀·η₀ᵀ (Algorithm 1, line 13). The outer
+  // products — the only O(n²) work per iteration — run row-parallel on
+  // the shared pool (same chunk-geometry determinism rules as the Inc-SR
+  // kernels, so M — and therefore S — is bitwise identical at any thread
+  // count).
+  const std::size_t threads = ThreadPool::ResolveNumThreads(options.num_threads);
   la::Vector xi(n);
   xi[j] = c;
   la::Vector eta = seed->theta;
   la::DenseMatrix m(n, n);
-  m.AddOuterProduct(1.0, xi, eta);
+  m.AddOuterProduct(1.0, xi, eta, threads);
 
   for (int k = 0; k < options.iterations; ++k) {
     // ξ ← C·(Q·ξ + (vᵀξ)·u); η ← Q·η + (vᵀη)·u   (lines 15-16). The
@@ -40,7 +45,7 @@ Result<la::DenseMatrix> IncUsrAuxiliaryM(
     la::Vector eta_next = q.Multiply(eta);
     u.AxpyInto(v_dot_eta, &eta_next);
 
-    m.AddOuterProduct(1.0, xi_next, eta_next);  // line 17
+    m.AddOuterProduct(1.0, xi_next, eta_next, threads);  // line 17
     xi = std::move(xi_next);
     eta = std::move(eta_next);
   }

@@ -1,0 +1,41 @@
+#include "graph/components.h"
+
+#include <deque>
+
+namespace incsr::graph {
+
+ComponentDecomposition WeaklyConnectedComponents(const DynamicDiGraph& graph) {
+  const std::size_t n = graph.num_nodes();
+  ComponentDecomposition out;
+  out.component_of.assign(n, -1);
+
+  std::deque<NodeId> frontier;
+  for (std::size_t root = 0; root < n; ++root) {
+    if (out.component_of[root] >= 0) continue;
+    const auto component = static_cast<std::int32_t>(out.sizes.size());
+    std::size_t size = 0;
+    out.component_of[root] = component;
+    frontier.push_back(static_cast<NodeId>(root));
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop_front();
+      ++size;
+      for (NodeId w : graph.OutNeighbors(v)) {
+        if (out.component_of[static_cast<std::size_t>(w)] < 0) {
+          out.component_of[static_cast<std::size_t>(w)] = component;
+          frontier.push_back(w);
+        }
+      }
+      for (NodeId w : graph.InNeighbors(v)) {
+        if (out.component_of[static_cast<std::size_t>(w)] < 0) {
+          out.component_of[static_cast<std::size_t>(w)] = component;
+          frontier.push_back(w);
+        }
+      }
+    }
+    out.sizes.push_back(size);
+  }
+  return out;
+}
+
+}  // namespace incsr::graph

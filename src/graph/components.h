@@ -1,0 +1,39 @@
+// Weakly connected components — the shardability structure of SimRank.
+// Two nodes in different weakly connected components share no in-link
+// paths of any length, so their SimRank is exactly 0 at every iteration
+// of Eq. (2): the node space partitions across components with NO score
+// coupling. The sharded serving layer (src/shard/) exploits this to run
+// one independent SimRankService per component group, each owning a
+// smaller dense S (Σ nᵢ² memory instead of n²).
+#ifndef INCSR_GRAPH_COMPONENTS_H_
+#define INCSR_GRAPH_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace incsr::graph {
+
+/// Partition of the node space into weakly connected components.
+/// Component ids are DETERMINISTIC: components are numbered in discovery
+/// order of their smallest node id (component 0 contains node 0, the next
+/// component contains the smallest node not in component 0, and so on) —
+/// independent of edge insertion history.
+struct ComponentDecomposition {
+  /// component_of[v] = id of the component containing node v.
+  std::vector<std::int32_t> component_of;
+  /// sizes[c] = node count of component c.
+  std::vector<std::size_t> sizes;
+
+  std::size_t num_components() const { return sizes.size(); }
+};
+
+/// Computes the weakly connected components of `graph` (edge direction
+/// ignored) by BFS over the union of in/out adjacency. O(n + m) time.
+/// Isolated nodes form singleton components.
+ComponentDecomposition WeaklyConnectedComponents(const DynamicDiGraph& graph);
+
+}  // namespace incsr::graph
+
+#endif  // INCSR_GRAPH_COMPONENTS_H_

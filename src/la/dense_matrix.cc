@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/thread_pool.h"
+
 namespace incsr::la {
 
 DenseMatrix DenseMatrix::Identity(std::size_t n) {
@@ -92,16 +94,24 @@ void DenseMatrix::AddScaledIdentity(double alpha) {
 }
 
 void DenseMatrix::AddOuterProduct(double alpha, const Vector& x,
-                                  const Vector& y) {
+                                  const Vector& y, std::size_t num_threads) {
   INCSR_CHECK(x.size() == rows_ && y.size() == cols_,
               "AddOuterProduct shape mismatch");
-  for (std::size_t i = 0; i < rows_; ++i) {
-    double f = alpha * x[i];
-    if (f == 0.0) continue;
-    double* __restrict row = RowPtr(i);
-    const double* __restrict yp = y.data();
-    for (std::size_t j = 0; j < cols_; ++j) row[j] += f * yp[j];
-  }
+  const double* __restrict yp = y.data();
+  // At least ~4096 fused multiply-adds per chunk so short rows batch up;
+  // a grain function of the shape only, per the pool's determinism rules.
+  const std::size_t grain =
+      std::max<std::size_t>(1, 4096 / std::max<std::size_t>(cols_, 1));
+  ThreadPool::Global().ParallelFor(
+      0, rows_, grain, num_threads,
+      [this, alpha, &x, yp](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const double f = alpha * x[i];
+          if (f == 0.0) continue;
+          double* __restrict row = RowPtr(i);
+          for (std::size_t j = 0; j < cols_; ++j) row[j] += f * yp[j];
+        }
+      });
 }
 
 Vector DenseMatrix::Multiply(const Vector& x) const {

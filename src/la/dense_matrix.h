@@ -73,8 +73,12 @@ class DenseMatrix {
   void Scale(double alpha);
   /// this += alpha * I (square only).
   void AddScaledIdentity(double alpha);
-  /// this += alpha * x · yᵀ (rank-one update).
-  void AddOuterProduct(double alpha, const Vector& x, const Vector& y);
+  /// this += alpha * x · yᵀ (rank-one update). With num_threads > 1 the
+  /// rows stream in parallel on the shared pool; rows are disjoint and
+  /// each keeps the serial accumulation order, so the result is bitwise
+  /// identical at any thread count.
+  void AddOuterProduct(double alpha, const Vector& x, const Vector& y,
+                       std::size_t num_threads = 1);
 
   /// Matrix-vector product A·x.
   Vector Multiply(const Vector& x) const;

@@ -98,6 +98,24 @@ struct ServiceStats {
   std::uint64_t rows_published = 0;
   std::uint64_t bytes_published = 0;
   QueryCacheStats cache;
+
+  /// Field-wise sum — the sharded layer (src/shard/) aggregates live and
+  /// retired shards with this. Keep in sync with the fields above: a new
+  /// counter that is not added here silently vanishes from the sharded
+  /// totals.
+  ServiceStats& operator+=(const ServiceStats& other) {
+    epoch += other.epoch;
+    submitted += other.submitted;
+    applied += other.applied;
+    rejected += other.rejected;
+    failed += other.failed;
+    batches += other.batches;
+    queue_depth += other.queue_depth;
+    rows_published += other.rows_published;
+    bytes_published += other.bytes_published;
+    cache += other.cache;
+    return *this;
+  }
 };
 
 /// Thread-safe SimRank serving façade. Create once, Submit from any number

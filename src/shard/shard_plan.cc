@@ -1,0 +1,102 @@
+#include "shard/shard_plan.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "graph/components.h"
+
+namespace incsr::shard {
+
+ShardPlan ShardPlan::Build(const graph::DynamicDiGraph& graph,
+                           std::size_t requested_shards) {
+  const graph::ComponentDecomposition components =
+      graph::WeaklyConnectedComponents(graph);
+  const std::size_t n = graph.num_nodes();
+  const std::size_t k = std::max<std::size_t>(
+      1, std::min(requested_shards,
+                  std::max<std::size_t>(1, components.num_components())));
+
+  // Greedy bin packing: components by size descending (ties: ascending
+  // component id, which is itself deterministic — discovery order of the
+  // smallest member node), each onto the least-loaded shard.
+  std::vector<std::size_t> order(components.num_components());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (components.sizes[a] != components.sizes[b]) {
+      return components.sizes[a] > components.sizes[b];
+    }
+    return a < b;
+  });
+  std::vector<std::size_t> load(k, 0);
+  std::vector<std::int32_t> shard_of_component(components.num_components());
+  for (std::size_t c : order) {
+    const std::size_t target = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    shard_of_component[c] = static_cast<std::int32_t>(target);
+    load[target] += components.sizes[c];
+  }
+
+  ShardPlan plan;
+  plan.shard_of_.resize(n);
+  plan.local_of_.resize(n);
+  plan.shard_nodes_.resize(k);
+  for (std::size_t s = 0; s < k; ++s) plan.shard_nodes_[s].reserve(load[s]);
+  // Ascending global-id scan keeps every shard's node list sorted, which
+  // is the local-id invariant documented in the header.
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::int32_t s = shard_of_component[static_cast<std::size_t>(
+        components.component_of[v])];
+    plan.shard_of_[v] = s;
+    plan.local_of_[v] = static_cast<graph::NodeId>(
+        plan.shard_nodes_[static_cast<std::size_t>(s)].size());
+    plan.shard_nodes_[static_cast<std::size_t>(s)].push_back(
+        static_cast<graph::NodeId>(v));
+  }
+  return plan;
+}
+
+std::size_t ShardPlan::num_active_shards() const {
+  std::size_t active = 0;
+  for (const auto& nodes : shard_nodes_) {
+    if (!nodes.empty()) ++active;
+  }
+  return active;
+}
+
+graph::DynamicDiGraph ShardPlan::BuildSubgraph(
+    const graph::DynamicDiGraph& graph, std::size_t shard) const {
+  const std::vector<graph::NodeId>& nodes = shard_nodes_[shard];
+  graph::DynamicDiGraph sub(nodes.size());
+  for (graph::NodeId global : nodes) {
+    for (graph::NodeId dst : graph.OutNeighbors(global)) {
+      INCSR_CHECK(ShardOf(dst) == shard,
+                  "edge %d->%d crosses shard %zu — components are not "
+                  "shard-closed",
+                  global, dst, shard);
+      Status added = sub.AddEdge(ToLocal(global), ToLocal(dst));
+      INCSR_CHECK(added.ok(), "subgraph edge insert failed: %s",
+                  added.ToString().c_str());
+    }
+  }
+  return sub;
+}
+
+void ShardPlan::MergeShards(std::size_t dst, std::size_t src) {
+  INCSR_CHECK(dst != src, "MergeShards: dst == src (%zu)", dst);
+  std::vector<graph::NodeId>& into = shard_nodes_[dst];
+  std::vector<graph::NodeId>& from = shard_nodes_[src];
+  std::vector<graph::NodeId> merged;
+  merged.reserve(into.size() + from.size());
+  std::merge(into.begin(), into.end(), from.begin(), from.end(),
+             std::back_inserter(merged));
+  into = std::move(merged);
+  from.clear();
+  for (std::size_t l = 0; l < into.size(); ++l) {
+    const auto g = static_cast<std::size_t>(into[l]);
+    shard_of_[g] = static_cast<std::int32_t>(dst);
+    local_of_[g] = static_cast<graph::NodeId>(l);
+  }
+}
+
+}  // namespace incsr::shard

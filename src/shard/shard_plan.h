@@ -1,0 +1,91 @@
+// ShardPlan — deterministic component-to-shard assignment with a remap
+// table between the global node-id space and per-shard local id spaces.
+//
+// SimRank between weakly connected components is exactly 0, so components
+// partition across shards with no cross-shard score coupling. The plan
+// bin-packs components into K shards balanced by node count (each shard's
+// dense S costs nᵢ², so balancing nᵢ balances both memory and the
+// per-update affected-area work), then assigns every shard a compact
+// local id space.
+//
+// Invariant (load-bearing for bitwise shard-invariance): within a shard,
+// local ids are assigned in ASCENDING GLOBAL ID order. Every kernel in
+// the engine iterates supports in ascending index order, so a shard-local
+// run performs the same floating-point operations in the same order as
+// the corresponding subsequence of a full-graph run — and local-id
+// tie-breaks in top-k results translate monotonically to global-id
+// tie-breaks. MergeShards preserves the invariant by re-sorting the
+// merged node set.
+#ifndef INCSR_SHARD_SHARD_PLAN_H_
+#define INCSR_SHARD_SHARD_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace incsr::shard {
+
+/// Deterministic node-space partition across shards. Built once from the
+/// initial graph; mutated only by MergeShards when a cross-shard edge
+/// insertion joins two components.
+class ShardPlan {
+ public:
+  ShardPlan() = default;
+
+  /// Partitions the weakly connected components of `graph` into at most
+  /// `requested_shards` shards: components sorted by (size descending,
+  /// component id ascending) are greedily placed on the least-loaded
+  /// shard (ties: lowest shard id). The effective shard count is
+  /// min(requested_shards, #components), at least 1. Deterministic in the
+  /// graph alone.
+  static ShardPlan Build(const graph::DynamicDiGraph& graph,
+                         std::size_t requested_shards);
+
+  /// Total number of shard slots (merged-away slots stay, but are empty).
+  std::size_t num_shards() const { return shard_nodes_.size(); }
+  /// Shard slots that still own at least one node.
+  std::size_t num_active_shards() const;
+  /// Global node-space size.
+  std::size_t num_nodes() const { return shard_of_.size(); }
+  bool HasNode(graph::NodeId global) const {
+    return global >= 0 &&
+           static_cast<std::size_t>(global) < shard_of_.size();
+  }
+
+  /// Shard owning a global node id.
+  std::size_t ShardOf(graph::NodeId global) const {
+    return static_cast<std::size_t>(
+        shard_of_[static_cast<std::size_t>(global)]);
+  }
+  /// Shard-local id of a global node id.
+  graph::NodeId ToLocal(graph::NodeId global) const {
+    return local_of_[static_cast<std::size_t>(global)];
+  }
+  /// Global id of a shard-local node id.
+  graph::NodeId ToGlobal(std::size_t shard, graph::NodeId local) const {
+    return shard_nodes_[shard][static_cast<std::size_t>(local)];
+  }
+  /// Global ids owned by `shard`, ascending (index = local id).
+  const std::vector<graph::NodeId>& ShardNodes(std::size_t shard) const {
+    return shard_nodes_[shard];
+  }
+
+  /// Extracts the `shard`-induced subgraph of `graph` in local ids.
+  graph::DynamicDiGraph BuildSubgraph(const graph::DynamicDiGraph& graph,
+                                      std::size_t shard) const;
+
+  /// Moves every node of shard `src` into shard `dst` and re-sorts the
+  /// merged node set ascending, reassigning dst's local ids (so the
+  /// ascending-global invariant survives). Slot `src` becomes empty.
+  void MergeShards(std::size_t dst, std::size_t src);
+
+ private:
+  std::vector<std::int32_t> shard_of_;       // global -> shard slot
+  std::vector<graph::NodeId> local_of_;      // global -> shard-local id
+  std::vector<std::vector<graph::NodeId>> shard_nodes_;  // slot -> globals
+};
+
+}  // namespace incsr::shard
+
+#endif  // INCSR_SHARD_SHARD_PLAN_H_

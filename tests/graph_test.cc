@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "common/rng.h"
+#include "graph/components.h"
 #include "graph/digraph.h"
 #include "graph/edge_list_io.h"
 #include "graph/transition.h"
@@ -273,6 +274,43 @@ TEST(UpdateStreamTest, ApplyAndDiffRoundTrip) {
 
 TEST(UpdateStreamTest, DiffRequiresSameNodeCount) {
   EXPECT_FALSE(DiffGraphs(DynamicDiGraph(2), DynamicDiGraph(3)).ok());
+}
+
+TEST(ComponentsTest, IsolatedNodesAreSingletonComponents) {
+  ComponentDecomposition wcc = WeaklyConnectedComponents(DynamicDiGraph(4));
+  EXPECT_EQ(wcc.num_components(), 4u);
+  EXPECT_EQ(wcc.component_of, (std::vector<std::int32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(wcc.sizes, (std::vector<std::size_t>{1, 1, 1, 1}));
+}
+
+TEST(ComponentsTest, EdgeDirectionIsIgnored) {
+  // 0 -> 1 <- 2 is one weak component even though 0 and 2 share no
+  // directed path.
+  DynamicDiGraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(2, 1).ok());
+  ComponentDecomposition wcc = WeaklyConnectedComponents(g);
+  EXPECT_EQ(wcc.num_components(), 2u);
+  EXPECT_EQ(wcc.component_of[0], wcc.component_of[2]);
+  EXPECT_NE(wcc.component_of[0], wcc.component_of[3]);
+}
+
+TEST(ComponentsTest, ComponentIdsFollowSmallestMemberOrder) {
+  // Components are numbered by their smallest node id, independent of the
+  // edge insertion history.
+  DynamicDiGraph g(6);
+  ASSERT_TRUE(g.AddEdge(5, 3).ok());  // component of {3, 5}
+  ASSERT_TRUE(g.AddEdge(4, 0).ok());  // component of {0, 4}
+  ComponentDecomposition wcc = WeaklyConnectedComponents(g);
+  ASSERT_EQ(wcc.num_components(), 4u);
+  EXPECT_EQ(wcc.component_of, (std::vector<std::int32_t>{0, 1, 2, 3, 0, 3}));
+  EXPECT_EQ(wcc.sizes, (std::vector<std::size_t>{2, 1, 1, 2}));
+}
+
+TEST(ComponentsTest, EmptyGraph) {
+  ComponentDecomposition wcc = WeaklyConnectedComponents(DynamicDiGraph());
+  EXPECT_EQ(wcc.num_components(), 0u);
+  EXPECT_TRUE(wcc.component_of.empty());
 }
 
 }  // namespace

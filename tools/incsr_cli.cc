@@ -10,7 +10,7 @@
 //   incsr_cli serve <edge_list> --updates FILE [--writers N] [--readers M]
 //             [--topk K] [--queue-capacity Q] [--max-batch B]
 //             [--backpressure block|reject] [--damping C] [--iterations K]
-//             [--threads T]
+//             [--threads T] [--shards S]
 //
 // `serve` replays the update stream through the concurrent SimRankService
 // (N writer threads submitting, M reader threads issuing top-k queries
@@ -18,6 +18,13 @@
 // query / cache statistics. With --writers > 1 the stream is split
 // round-robin, so order-dependent updates may be skipped (reported as
 // "failed"); insert-only streams replay losslessly at any writer count.
+//
+// --shards S > 0 serves through a ShardedSimRankService instead: the
+// graph's weakly connected components are bin-packed into S shards, each
+// with its own ingest queue and applier; updates route to the shard
+// owning their endpoints (a component-joining insert merges shards),
+// queries fan out and merge. Per-shard stats are printed alongside the
+// aggregate.
 //
 // The updates file holds one update per line: "+ src dst" (insert) or
 // "- src dst" (delete); '#' starts a comment.
@@ -57,7 +64,7 @@ void PrintUsage(const char* prog) {
       "          [--readers M] [--topk K] [--queue-capacity Q]\n"
       "          [--max-batch B] [--cache-capacity C]\n"
       "          [--backpressure block|reject] [--damping C]\n"
-      "          [--iterations K] [--threads T]\n",
+      "          [--iterations K] [--threads T] [--shards S]\n",
       prog, prog);
 }
 
@@ -185,6 +192,9 @@ struct ServeOptions {
   // Applier kernel parallelism (0 = INCSR_THREADS / hardware default).
   // Results are bitwise independent of the setting.
   int num_threads = 0;
+  // 0 = single SimRankService; S > 0 = ShardedSimRankService with S shards
+  // (clamped to the component count). Results are identical either way.
+  std::size_t shards = 0;
   service::ServiceOptions service;
 };
 
@@ -263,6 +273,10 @@ Result<ServeOptions> ParseServeArgs(int argc, char** argv) {
       auto v = next_size();
       if (!v.ok()) return v.status();
       options.num_threads = static_cast<int>(*v);
+    } else if (flag == "--shards") {
+      auto v = next_size();
+      if (!v.ok()) return v.status();
+      options.shards = *v;
     } else {
       return Status::InvalidArgument("unknown serve flag '" + flag + "'");
     }
@@ -276,58 +290,29 @@ Result<ServeOptions> ParseServeArgs(int argc, char** argv) {
   return options;
 }
 
-int RunServe(const ServeOptions& options) {
-  auto data = graph::ReadEdgeListFile(options.edge_list);
-  if (!data.ok()) {
-    std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
-    return 1;
-  }
-  auto updates = ReadUpdates(options.updates_file);
-  if (!updates.ok()) {
-    std::fprintf(stderr, "error: %s\n", updates.status().ToString().c_str());
-    return 1;
-  }
-  Status translated = TranslateUpdates(data.value(), &updates.value());
-  if (!translated.ok()) {
-    std::fprintf(stderr, "error: %s\n", translated.ToString().c_str());
-    return 1;
-  }
-  std::printf("loaded %zu nodes, %zu edges; replaying %zu updates\n",
-              data->graph.num_nodes(), data->graph.num_edges(),
-              updates->size());
+// Replays the update stream from N writer threads while M reader threads
+// issue top-k queries, then flushes. Works against any service exposing
+// Submit / TopKFor / Flush (single or sharded).
+struct ReplayOutcome {
+  double seconds = 0.0;
+  std::uint64_t queries = 0;
+  std::uint64_t dropped = 0;
+  bool ok = false;
+};
 
-  simrank::SimRankOptions sr_options;
-  sr_options.damping = options.damping;
-  sr_options.iterations = options.iterations;
-  sr_options.num_threads = options.num_threads;
-  std::printf("update kernels: %zu thread(s)\n",
-              ThreadPool::EffectiveNumThreads(options.num_threads));
-  WallTimer timer;
-  auto index = core::DynamicSimRank::Create(data->graph, sr_options);
-  if (!index.ok()) {
-    std::fprintf(stderr, "error: %s\n", index.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("batch SimRank solve: %.2f s\n", timer.ElapsedSeconds());
-
-  auto service = service::SimRankService::Create(std::move(index).value(),
-                                                 options.service);
-  if (!service.ok()) {
-    std::fprintf(stderr, "error: %s\n", service.status().ToString().c_str());
-    return 1;
-  }
-  service::SimRankService& svc = **service;
-  const std::size_t num_nodes = data->graph.num_nodes();
-
+template <typename Service>
+ReplayOutcome ReplayLoad(Service& svc, const ServeOptions& options,
+                         const std::vector<graph::EdgeUpdate>& updates,
+                         std::size_t num_nodes) {
   std::atomic<bool> done{false};
   std::atomic<std::uint64_t> queries{0};
   std::atomic<std::uint64_t> dropped{0};
   std::vector<std::thread> threads;
-  timer.Restart();
+  WallTimer timer;
   for (std::size_t w = 0; w < options.writers; ++w) {
     threads.emplace_back([&, w] {
-      for (std::size_t i = w; i < updates->size(); i += options.writers) {
-        Status s = svc.Submit(updates->at(i));
+      for (std::size_t i = w; i < updates.size(); i += options.writers) {
+        Status s = svc.Submit(updates[i]);
         if (s.code() == StatusCode::kResourceExhausted) {
           // Reject backpressure: this update is dropped (and counted);
           // keep replaying the rest of the stream.
@@ -353,15 +338,154 @@ int RunServe(const ServeOptions& options) {
   }
   for (std::size_t w = 0; w < options.writers; ++w) threads[w].join();
   Status flushed = svc.Flush();
-  const double replay_seconds = timer.ElapsedSeconds();
+  ReplayOutcome outcome;
+  outcome.seconds = timer.ElapsedSeconds();
   done.store(true, std::memory_order_release);
   for (std::size_t t = options.writers; t < threads.size(); ++t) {
     threads[t].join();
   }
   if (!flushed.ok()) {
     std::fprintf(stderr, "error: %s\n", flushed.ToString().c_str());
+    return outcome;
+  }
+  outcome.queries = queries.load();
+  outcome.dropped = dropped.load();
+  outcome.ok = true;
+  return outcome;
+}
+
+int RunServeSharded(const ServeOptions& options,
+                    const graph::EdgeListData& data,
+                    const std::vector<graph::EdgeUpdate>& updates) {
+  simrank::SimRankOptions sr_options;
+  sr_options.damping = options.damping;
+  sr_options.iterations = options.iterations;
+  sr_options.num_threads = options.num_threads;
+  shard::ShardedServiceOptions sharded_options;
+  sharded_options.num_shards = options.shards;
+  sharded_options.per_shard = options.service;
+  WallTimer timer;
+  auto service = shard::ShardedSimRankService::Create(data.graph, sr_options,
+                                                      sharded_options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "error: %s\n", service.status().ToString().c_str());
     return 1;
   }
+  shard::ShardedSimRankService& svc = **service;
+  shard::ShardedStats initial = svc.stats();
+  std::printf(
+      "per-shard batch SimRank solves: %.2f s over %zu shard(s) "
+      "(requested %zu, clamped to the component count)\n",
+      timer.ElapsedSeconds(), initial.active_shards, options.shards);
+  for (const auto& entry : initial.per_shard) {
+    std::printf("  shard %zu: %zu nodes\n", entry.slot, entry.nodes);
+  }
+
+  ReplayOutcome outcome =
+      ReplayLoad(svc, options, updates, data.graph.num_nodes());
+  if (!outcome.ok) return 1;
+
+  shard::ShardedStats stats = svc.stats();
+  std::printf(
+      "replayed in %.3f s: %llu applied, %llu failed (%llu at the router), "
+      "%llu dropped by backpressure, %llu epochs across %zu shard(s), "
+      "%llu shard merges\n",
+      outcome.seconds, static_cast<unsigned long long>(stats.total.applied),
+      static_cast<unsigned long long>(stats.total.failed),
+      static_cast<unsigned long long>(stats.router_failed),
+      static_cast<unsigned long long>(outcome.dropped),
+      static_cast<unsigned long long>(stats.total.epoch), stats.active_shards,
+      static_cast<unsigned long long>(stats.merges));
+  std::printf("aggregate ingest throughput: %.0f updates/s\n",
+              static_cast<double>(stats.total.applied) / outcome.seconds);
+  std::printf("concurrent queries served: %llu (%.0f queries/s)\n",
+              static_cast<unsigned long long>(outcome.queries),
+              static_cast<double>(outcome.queries) / outcome.seconds);
+  std::printf(
+      "query cache: %llu hits, %llu misses, %llu invalidations, "
+      "%llu evictions\n",
+      static_cast<unsigned long long>(stats.total.cache.hits),
+      static_cast<unsigned long long>(stats.total.cache.misses),
+      static_cast<unsigned long long>(stats.total.cache.invalidations),
+      static_cast<unsigned long long>(stats.total.cache.evictions));
+  if (stats.merges > 0) {
+    std::printf(
+        "shard merges rebuilt %llu score rows (%.2f MB) — the cost of "
+        "component-joining inserts\n",
+        static_cast<unsigned long long>(stats.merge_rebuild_rows),
+        static_cast<double>(stats.merge_rebuild_bytes) / 1e6);
+  }
+  for (const auto& entry : stats.per_shard) {
+    std::printf(
+        "  shard %zu: %zu nodes, %llu applied, %llu epochs, %llu rows "
+        "published, %llu cache hits\n",
+        entry.slot, entry.nodes,
+        static_cast<unsigned long long>(entry.stats.applied),
+        static_cast<unsigned long long>(entry.stats.epoch),
+        static_cast<unsigned long long>(entry.stats.rows_published),
+        static_cast<unsigned long long>(entry.stats.cache.hits));
+  }
+
+  IdSpace ids(data);
+  std::printf("final state: %zu nodes, %zu edges; top-%zu pairs:\n",
+              svc.num_nodes(), svc.num_edges(), options.topk);
+  for (const auto& pair : svc.TopKPairs(options.topk)) {
+    std::printf("  (%6lld, %6lld)  %.6f\n", ids.ToOriginal(pair.a),
+                ids.ToOriginal(pair.b), pair.score);
+  }
+  return 0;
+}
+
+int RunServe(const ServeOptions& options) {
+  auto data = graph::ReadEdgeListFile(options.edge_list);
+  if (!data.ok()) {
+    std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  auto updates = ReadUpdates(options.updates_file);
+  if (!updates.ok()) {
+    std::fprintf(stderr, "error: %s\n", updates.status().ToString().c_str());
+    return 1;
+  }
+  Status translated = TranslateUpdates(data.value(), &updates.value());
+  if (!translated.ok()) {
+    std::fprintf(stderr, "error: %s\n", translated.ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu nodes, %zu edges; replaying %zu updates\n",
+              data->graph.num_nodes(), data->graph.num_edges(),
+              updates->size());
+  std::printf("update kernels: %zu thread(s)\n",
+              ThreadPool::EffectiveNumThreads(options.num_threads));
+
+  if (options.shards > 0) {
+    return RunServeSharded(options, data.value(), updates.value());
+  }
+
+  simrank::SimRankOptions sr_options;
+  sr_options.damping = options.damping;
+  sr_options.iterations = options.iterations;
+  sr_options.num_threads = options.num_threads;
+  WallTimer timer;
+  auto index = core::DynamicSimRank::Create(data->graph, sr_options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "error: %s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("batch SimRank solve: %.2f s\n", timer.ElapsedSeconds());
+
+  auto service = service::SimRankService::Create(std::move(index).value(),
+                                                 options.service);
+  if (!service.ok()) {
+    std::fprintf(stderr, "error: %s\n", service.status().ToString().c_str());
+    return 1;
+  }
+  service::SimRankService& svc = **service;
+
+  ReplayOutcome outcome =
+      ReplayLoad(svc, options, updates.value(), data->graph.num_nodes());
+  if (!outcome.ok) return 1;
+  const double replay_seconds = outcome.seconds;
 
   service::ServiceStats stats = svc.stats();
   std::printf(
@@ -369,13 +493,13 @@ int RunServe(const ServeOptions& options) {
       "backpressure, %llu epochs\n",
       replay_seconds, static_cast<unsigned long long>(stats.applied),
       static_cast<unsigned long long>(stats.failed),
-      static_cast<unsigned long long>(dropped.load()),
+      static_cast<unsigned long long>(outcome.dropped),
       static_cast<unsigned long long>(stats.epoch));
   std::printf("ingest throughput: %.0f updates/s\n",
               static_cast<double>(stats.applied) / replay_seconds);
   std::printf("concurrent queries served: %llu (%.0f queries/s)\n",
-              static_cast<unsigned long long>(queries.load()),
-              static_cast<double>(queries.load()) / replay_seconds);
+              static_cast<unsigned long long>(outcome.queries),
+              static_cast<double>(outcome.queries) / replay_seconds);
   std::printf(
       "query cache: %llu hits, %llu misses, %llu invalidations, "
       "%llu evictions\n",
