@@ -29,10 +29,15 @@
 // pool (0 = INCSR_THREADS / hardware default). Results are bitwise
 // independent of T; only the applied-updates/s changes.
 //
+// Top-k index: --index-capacity C sets the per-node top-k index size
+// (0 disables it), so the index's O(k) miss path can be compared against
+// the O(n) row-scan miss path under the same load; served/fallback
+// counters land in the report and the JSON trajectory.
+//
 // Usage: bench_serve_throughput [--nodes N] [--edges M] [--updates U]
 //          [--writers W] [--readers R] [--topk K] [--max-batch B]
 //          [--zipf THETA] [--churn insert|delete-heavy] [--threads T]
-//          [--components C] [--shards K] [--json PATH]
+//          [--components C] [--shards K] [--index-capacity C] [--json PATH]
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
@@ -58,6 +63,7 @@ struct LoadConfig {
   double zipf_theta = 0.0;   // 0 = uniform query nodes
   bool delete_heavy = false; // 70/30 delete/insert churn stream
   int threads = 0;           // update-kernel parallelism (0 = default)
+  std::size_t index_capacity = 4096;  // per-node top-k index (0 = off)
   std::size_t components = 1; // disjoint ER blocks in the base graph
   std::size_t shards = 0;     // 0 = single service; K = sharded service
   std::string json_path;     // when set, emit a BENCH json trajectory file
@@ -213,6 +219,7 @@ LoadResult RunLoad(const LoadConfig& config,
   service::ServiceOptions service_options;
   service_options.max_batch = config.max_batch;
   service_options.cache_capacity = cache_capacity;
+  service_options.topk_index_capacity = config.index_capacity;
 
   LoadResult result;
   if (config.shards > 0) {
@@ -237,6 +244,20 @@ LoadResult RunLoad(const LoadConfig& config,
   return result;
 }
 
+// Number of epoch publishes the run performed. stats.epoch aggregates as
+// the MAX per-shard epoch in sharded runs (epochs are per-shard sequence
+// numbers), so the publish count there is the SUM of per-shard epochs —
+// that is what per-epoch ratios must divide by.
+std::uint64_t PublishCount(const LoadConfig& config,
+                           const LoadResult& result) {
+  if (config.shards == 0) return result.stats.epoch;
+  std::uint64_t publishes = 0;
+  for (const auto& entry : result.sharded_stats.per_shard) {
+    publishes += entry.stats.epoch;
+  }
+  return publishes;
+}
+
 void Report(const char* label, const LoadConfig& config,
             std::size_t total_updates, const LoadResult& result) {
   const double updates_per_sec =
@@ -245,6 +266,7 @@ void Report(const char* label, const LoadConfig& config,
       static_cast<double>(result.total_queries) / result.ingest_seconds;
   const std::uint64_t lookups = result.stats.cache.hits +
                                 result.stats.cache.misses;
+  const std::uint64_t publishes = PublishCount(config, result);
   std::printf(
       "%-14s %9.0f upd/s  %8.0f qry/s  p50 %7.1f us  p99 %7.1f us  "
       "hit-rate %5.1f%%  (%llu queries, %llu epochs)\n",
@@ -253,16 +275,31 @@ void Report(const char* label, const LoadConfig& config,
                    : 100.0 * static_cast<double>(result.stats.cache.hits) /
                          static_cast<double>(lookups),
       static_cast<unsigned long long>(result.total_queries),
-      static_cast<unsigned long long>(result.stats.epoch));
-  const double epochs =
-      static_cast<double>(result.stats.epoch > 0 ? result.stats.epoch : 1);
+      static_cast<unsigned long long>(publishes));
+  // Zero-update runs publish no epoch: the ratio must stay finite (0),
+  // not divide by zero.
+  const double rows_per_epoch =
+      publishes > 0 ? static_cast<double>(result.stats.rows_published) /
+                          static_cast<double>(publishes)
+                    : 0.0;
   std::printf(
       "%-14s publish cost: %llu rows, %.2f MB copy-on-written "
       "(%.1f rows/epoch; full-copy would be %zu rows/epoch)\n",
       "", static_cast<unsigned long long>(result.stats.rows_published),
-      static_cast<double>(result.stats.bytes_published) / 1e6,
-      static_cast<double>(result.stats.rows_published) / epochs,
+      static_cast<double>(result.stats.bytes_published) / 1e6, rows_per_epoch,
       config.nodes);
+  const std::uint64_t index_misses =
+      result.stats.topk_index_served + result.stats.topk_index_fallbacks;
+  std::printf(
+      "%-14s top-k index: %llu misses served O(k), %llu row-scan fallbacks "
+      "(%.1f%% of misses), %llu rows re-ranked\n",
+      "", static_cast<unsigned long long>(result.stats.topk_index_served),
+      static_cast<unsigned long long>(result.stats.topk_index_fallbacks),
+      index_misses == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(result.stats.topk_index_fallbacks) /
+                static_cast<double>(index_misses),
+      static_cast<unsigned long long>(result.stats.topk_index_rows_reranked));
   if (config.shards > 0) {
     std::printf("%-14s shards:", "");
     for (const auto& entry : result.sharded_stats.per_shard) {
@@ -284,6 +321,7 @@ void RecordRun(bench::JsonObject* root, const char* label,
                const LoadConfig& config, const LoadResult& result) {
   const std::uint64_t lookups =
       result.stats.cache.hits + result.stats.cache.misses;
+  const std::uint64_t publishes = PublishCount(config, result);
   bench::JsonObject* run = root->AddObject("runs");
   run->Set("label", label)
       .Set("updates_per_sec", static_cast<double>(result.stats.applied) /
@@ -296,10 +334,19 @@ void RecordRun(bench::JsonObject* root, const char* label,
            lookups == 0 ? 0.0
                         : static_cast<double>(result.stats.cache.hits) /
                               static_cast<double>(lookups))
-      .Set("epochs", result.stats.epoch)
+      .Set("epochs", publishes)
       .Set("rows_published", result.stats.rows_published)
       .Set("bytes_published", result.stats.bytes_published)
-      .Set("rows_per_epoch_full_copy_equivalent", config.nodes);
+      // Guarded: a zero-update run publishes no epoch and must emit a
+      // finite ratio, not NaN/inf, or it poisons the trajectory files.
+      .Set("rows_per_epoch",
+           publishes > 0 ? static_cast<double>(result.stats.rows_published) /
+                               static_cast<double>(publishes)
+                         : 0.0)
+      .Set("rows_per_epoch_full_copy_equivalent", config.nodes)
+      .Set("topk_index_served", result.stats.topk_index_served)
+      .Set("topk_index_fallbacks", result.stats.topk_index_fallbacks)
+      .Set("topk_index_rows_reranked", result.stats.topk_index_rows_reranked);
   if (config.shards > 0) {
     // Per-shard trajectories as parallel scalar arrays (index = position
     // in the live-shard list).
@@ -346,6 +393,8 @@ int main(int argc, char** argv) {
       INCSR_CHECK(config.components >= 1, "--components needs >= 1");
     } else if (std::strcmp(argv[i], "--shards") == 0) {
       config.shards = next();
+    } else if (std::strcmp(argv[i], "--index-capacity") == 0) {
+      config.index_capacity = next();
     } else if (std::strcmp(argv[i], "--zipf") == 0) {
       INCSR_CHECK(i + 1 < argc, "flag %s needs a value", argv[i]);
       const char* value = argv[++i];
@@ -377,12 +426,13 @@ int main(int argc, char** argv) {
   std::printf(
       "n = %zu, |E| = %zu, |dG| = %zu (%s), %zu components, %zu shard(s), "
       "%zu writers, %zu readers, k = %zu, max_batch = %zu, zipf = %.2f, "
-      "kernel threads = %zu\n",
+      "kernel threads = %zu, index capacity = %zu\n",
       config.nodes, config.edges, config.updates,
       config.delete_heavy ? "70/30 delete/insert churn" : "insertions",
       config.components, config.shards == 0 ? std::size_t{1} : config.shards,
       config.writers, config.readers, config.topk, config.max_batch,
-      config.zipf_theta, ThreadPool::EffectiveNumThreads(config.threads));
+      config.zipf_theta, ThreadPool::EffectiveNumThreads(config.threads),
+      config.index_capacity);
 
   graph::DynamicDiGraph graph;
   std::vector<graph::EdgeUpdate> updates;
@@ -409,7 +459,8 @@ int main(int argc, char** argv) {
         .Set("shards", config.shards)
         .Set("zipf_theta", config.zipf_theta)
         .Set("churn", config.delete_heavy ? "delete-heavy" : "insert")
-        .Set("threads", ThreadPool::EffectiveNumThreads(config.threads));
+        .Set("threads", ThreadPool::EffectiveNumThreads(config.threads))
+        .Set("topk_index_capacity", config.index_capacity);
     RecordRun(&root, "cache_on", config, cached);
     RecordRun(&root, "cache_off", config, uncached);
     INCSR_CHECK(bench::WriteJsonFile(config.json_path, root),

@@ -194,6 +194,9 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--epochs") == 0) {
       config.epochs = static_cast<std::size_t>(std::atoll(next().c_str()));
+      // Every per-epoch ratio below divides by this; 0 would emit
+      // NaN/inf into the JSON trajectory.
+      INCSR_CHECK(config.epochs >= 1, "--epochs needs >= 1");
     } else if (std::strcmp(argv[i], "--json") == 0) {
       config.json_path = next();
     } else {

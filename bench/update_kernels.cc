@@ -172,10 +172,16 @@ int main(int argc, char** argv) {
     INCSR_CHECK(run.pinned_view_stable,
                 "pinned view mutated at %d threads — COW pre-clone broke",
                 run.threads);
+    // run.seconds can be 0 on coarse clocks with a tiny --updates count;
+    // keep the ratios finite.
     std::printf("  %8d %10.3f s %14.0f %8.2fx %10s %8s\n", run.threads,
                 run.seconds,
-                static_cast<double>(config.updates) / run.seconds,
-                results.front().seconds / run.seconds, "ok", "stable");
+                run.seconds > 0.0
+                    ? static_cast<double>(config.updates) / run.seconds
+                    : 0.0,
+                run.seconds > 0.0 ? results.front().seconds / run.seconds
+                                  : 0.0,
+                "ok", "stable");
   }
 
   if (!config.json_path.empty()) {
@@ -192,8 +198,12 @@ int main(int argc, char** argv) {
           ->Set("threads", run.threads)
           .Set("seconds", run.seconds)
           .Set("updates_per_sec",
-               static_cast<double>(config.updates) / run.seconds)
-          .Set("speedup_vs_serial", results.front().seconds / run.seconds)
+               run.seconds > 0.0
+                   ? static_cast<double>(config.updates) / run.seconds
+                   : 0.0)
+          .Set("speedup_vs_serial",
+               run.seconds > 0.0 ? results.front().seconds / run.seconds
+                                 : 0.0)
           .Set("bitwise_identical_to_serial", true)
           .Set("pinned_view_stable", run.pinned_view_stable);
     }

@@ -15,6 +15,7 @@
 #define INCSR_CORE_DYNAMIC_SIMRANK_H_
 
 #include <algorithm>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -194,9 +195,26 @@ class DynamicSimRank {
 
   /// Merged affected-area statistics of the last ApplyBatch /
   /// ApplyBatchCoalesced call (one Merge per unit update / coalesced
-  /// group). `touched_nodes` spans the whole batch — the serving layer
-  /// uses it for selective query-cache invalidation. Empty for Inc-uSR.
+  /// group). `touched_nodes` spans the whole batch. Empty for Inc-uSR.
   const AffectedAreaStats& last_batch_stats() const { return batch_stats_; }
+
+  // ---- Touched-row delta surface (serving layer) -------------------------
+  // Ground truth of which rows of S changed since the score store's last
+  // Publish(): the rows the update kernels actually wrote (their COW
+  // clones), not the analytic affected-area superset of
+  // last_batch_stats().touched_nodes. Exact for EVERY algorithm — Inc-SR,
+  // coalesced batches, and Inc-uSR's dense scatter (all rows) alike — and
+  // duplicate-free, so the serving layer re-ranks its per-node top-k index
+  // and invalidates its query cache from exactly this set per epoch.
+
+  /// True when every row must be assumed changed (fresh index, AddNode's
+  /// store rebuild) — callers should rebuild rather than patch.
+  bool AllScoreRowsTouched() const { return s_.all_rows_touched(); }
+  /// Rows written since the last score-store publish; meaningless while
+  /// AllScoreRowsTouched() is set.
+  std::span<const std::int32_t> TouchedScoreRows() const {
+    return s_.touched_rows();
+  }
 
  private:
   DynamicSimRank(graph::DynamicDiGraph graph, la::DenseMatrix s,

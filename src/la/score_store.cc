@@ -50,6 +50,10 @@ void ScoreStore::BuildShards(const DenseMatrix& dense) {
       rows_ == 0 ? 0 : ((rows_ + shard_mask_) >> shard_shift_);
   shards_.assign(num_shards, nullptr);
   shared_.assign(num_shards, 0);
+  // Writes between now and the first Publish() hit unshared shards and are
+  // not individually tracked — the whole matrix counts as touched.
+  all_rows_touched_ = true;
+  touched_rows_.clear();
   for (std::size_t s = 0; s < num_shards; ++s) {
     auto shard = std::make_shared<Shard>();
     const std::size_t first = s << shard_shift_;
@@ -74,6 +78,15 @@ double* ScoreStore::MutableRowPtr(std::size_t i) {
     stats_.bytes_copied += clone->data.size() * sizeof(double);
     shards_[s] = std::move(clone);
     shared_[s] = 0;
+    if (!all_rows_touched_) {
+      // The clone happens exactly once per shard per epoch, so this stays
+      // duplicate-free without a lookup.
+      const std::size_t first = s << shard_shift_;
+      const std::size_t count = RowsInShard(s);
+      for (std::size_t r = 0; r < count; ++r) {
+        touched_rows_.push_back(static_cast<std::int32_t>(first + r));
+      }
+    }
   }
   // const_cast is sound: an unshared shard is exclusively owned by this
   // store, and only the single writer thread reaches this path.
@@ -98,6 +111,9 @@ ScoreStore::View ScoreStore::Publish() {
   view.shard_mask_ = shard_mask_;
   view.shards_ = shards_;  // O(#shards) pointer copies — the whole cost
   std::fill(shared_.begin(), shared_.end(), std::uint8_t{1});
+  // The published view now IS the previous epoch: the delta restarts empty.
+  all_rows_touched_ = false;
+  touched_rows_.clear();
   ++stats_.publishes;
   return view;
 }

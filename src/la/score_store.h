@@ -121,6 +121,27 @@ class ScoreStore {
   /// only.
   double* MutableRowPtr(std::size_t i);
 
+  // ---- Touched-row delta surface -----------------------------------------
+  // Between two Publish() calls, the rows whose bytes may differ from the
+  // previous View are exactly the rows written through MutableRowPtr; the
+  // COW clone records them here at shard granularity. The serving layer
+  // reads this (before calling Publish(), which resets it) to re-rank its
+  // per-node top-k index and invalidate its query cache from the rows the
+  // batch ACTUALLY wrote — exact for every update algorithm, unlike the
+  // analytic affected-area statistics. Writer thread only.
+
+  /// True when every row must be assumed touched: fresh construction or
+  /// Assign(), where writes precede the first Publish() and are not
+  /// individually tracked.
+  bool all_rows_touched() const { return all_rows_touched_; }
+
+  /// Row indices copy-on-written since the last Publish(), duplicate-free
+  /// (a shard clones at most once per epoch). Meaningless while
+  /// all_rows_touched() is set.
+  const std::vector<std::int32_t>& touched_rows() const {
+    return touched_rows_;
+  }
+
   /// Copies column j into a Vector (column scan across shards).
   Vector Col(std::size_t j) const;
 
@@ -151,6 +172,10 @@ class ScoreStore {
   // Writer-private COW flags: shared_[s] is true iff shard s is referenced
   // by at least one Publish()ed table and must be cloned before mutation.
   std::vector<std::uint8_t> shared_;
+  // Writer-private touched-row delta since the last Publish() (see the
+  // delta-surface accessors above).
+  bool all_rows_touched_ = false;
+  std::vector<std::int32_t> touched_rows_;
   ScoreStoreStats stats_;
 };
 

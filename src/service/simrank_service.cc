@@ -21,13 +21,20 @@ SimRankService::SimRankService(core::DynamicSimRank index,
                                const ServiceOptions& options)
     : options_(options),
       index_(std::move(index)),
-      cache_(options.cache_capacity) {
+      cache_(options.cache_capacity),
+      topk_index_(options.topk_index_capacity) {
   auto initial = std::make_shared<EpochSnapshot>();
   initial->epoch = 0;
   initial->graph = index_.graph();
   // Pointer-table bump, not a matrix copy; marks every row shared so the
   // first batch copy-on-writes exactly the rows it touches.
   initial->scores = index_.mutable_score_store()->Publish();
+  // Initial index build is the one full O(n² log c) pass; every later
+  // epoch re-ranks only the rows its batch touched.
+  topk_index_.RebuildAll(index_.scores());
+  initial->topk = topk_index_.Publish();
+  topk_rows_reranked_.store(topk_index_.rows_reranked(),
+                            std::memory_order_relaxed);
   snapshot_ = std::move(initial);
   applier_ = std::thread(&SimRankService::ApplierLoop, this);
 }
@@ -107,7 +114,16 @@ Result<std::vector<core::ScoredPair>> SimRankService::TopKFor(
   if (!snap->graph.HasNode(query)) {
     return Status::OutOfRange("TopKFor: node out of range");
   }
-  results = core::TopKForOf(snap->scores, query, k);
+  if (snap->topk.Serve(query, k, &results)) {
+    // O(k) index read, bitwise identical to the scan below: the entry is
+    // the contract-ordered prefix of this same snapshot's row.
+    topk_served_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    results = core::TopKForOf(snap->scores, query, k);
+    if (topk_index_.enabled()) {
+      topk_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   cache_.Insert(query, k, snap->epoch, results);
   return results;
 }
@@ -138,6 +154,10 @@ ServiceStats SimRankService::stats() const {
   out.batches = batches_.load(std::memory_order_relaxed);
   out.rows_published = rows_published_.load(std::memory_order_relaxed);
   out.bytes_published = bytes_published_.load(std::memory_order_relaxed);
+  out.topk_index_served = topk_served_.load(std::memory_order_relaxed);
+  out.topk_index_fallbacks = topk_fallbacks_.load(std::memory_order_relaxed);
+  out.topk_index_rows_reranked =
+      topk_rows_reranked_.load(std::memory_order_relaxed);
   out.cache = cache_.stats();
   return out;
 }
@@ -195,8 +215,6 @@ void SimRankService::ApplyAndPublish(
     valid.push_back(update);
   }
 
-  std::vector<std::int32_t> touched;
-  bool invalidate_all = false;
   if (!valid.empty()) {
     Status applied =
         index_.algorithm() == core::UpdateAlgorithm::kIncSR
@@ -204,17 +222,12 @@ void SimRankService::ApplyAndPublish(
             : index_.ApplyBatch(valid);
     if (applied.ok()) {
       applied_.fetch_add(valid.size(), std::memory_order_relaxed);
-      if (index_.algorithm() == core::UpdateAlgorithm::kIncSR) {
-        touched = index_.last_batch_stats().touched_nodes;
-      } else {
-        invalidate_all = true;  // Inc-uSR reports no affected area
-      }
     } else {
       // Should be unreachable after pre-validation; recover by re-driving
       // the batch unit-by-unit (idempotent per edge: an update the
       // coalesced prefix already applied fails its own validation and is
-      // skipped) and dropping the whole cache.
-      invalidate_all = true;
+      // skipped). The store's touched-row record spans every write of the
+      // recovery too, so Publish() below stays exact.
       for (const graph::EdgeUpdate& update : valid) {
         Status unit = index_.ApplyUpdate(update);
         if (unit.ok()) {
@@ -226,16 +239,38 @@ void SimRankService::ApplyAndPublish(
     }
   }
   batches_.fetch_add(1, std::memory_order_relaxed);
-  Publish(std::move(touched), invalidate_all);
+  Publish();
 }
 
-void SimRankService::Publish(std::vector<std::int32_t> touched,
-                                   bool invalidate_all) {
+void SimRankService::Publish() {
   auto next = std::make_shared<EpochSnapshot>();
   next->graph = index_.graph();
+  // The batch's ground-truth delta: the rows it actually wrote (the score
+  // store's COW-clone record), captured before Publish() resets it. Exact
+  // for every algorithm — Inc-SR, coalesced groups, Inc-uSR's dense
+  // scatter, and the unit-update recovery path alike.
+  const bool all_touched = index_.AllScoreRowsTouched();
+  std::vector<std::int32_t> touched;
+  if (!all_touched) {
+    const std::span<const std::int32_t> rows = index_.TouchedScoreRows();
+    touched.assign(rows.begin(), rows.end());
+  }
   // O(rows touched): the batch's writes already COW-cloned exactly the
   // affected rows; publishing is a row-pointer-table copy.
   next->scores = index_.mutable_score_store()->Publish();
+  if (topk_index_.enabled()) {
+    // Incremental maintenance rule: re-rank ONLY the touched rows, each
+    // by one scan of its already-materialized COW'd row. Untouched
+    // entries stay valid — their rows' bytes did not change.
+    if (all_touched) {
+      topk_index_.RebuildAll(index_.scores());
+    } else {
+      topk_index_.RebuildRows(index_.scores(), touched);
+    }
+    next->topk = topk_index_.Publish();
+    topk_rows_reranked_.store(topk_index_.rows_reranked(),
+                              std::memory_order_relaxed);
+  }
   const la::ScoreStoreStats& cow = index_.scores().stats();
   rows_published_.store(cow.rows_copied, std::memory_order_relaxed);
   bytes_published_.store(cow.bytes_copied, std::memory_order_relaxed);
@@ -249,7 +284,7 @@ void SimRankService::Publish(std::vector<std::int32_t> touched,
   // Invalidate after the swap: a reader that cached from the outgoing
   // snapshot either had its node erased here or (if it inserts later) is
   // rejected by the cache's epoch admission check.
-  if (invalidate_all) {
+  if (all_touched) {
     cache_.InvalidateAll(epoch);
   } else {
     cache_.OnPublish(epoch, std::span<const std::int32_t>(touched));

@@ -22,9 +22,18 @@
 //      a torn S.
 //
 //   3. Affected-area query cache: TopKFor/TopKPairs results are memoized
-//      and invalidated selectively from each batch's
-//      AffectedAreaStats::touched_nodes instead of being flushed wholesale
-//      (see service/query_cache.h).
+//      and invalidated selectively from the batch's touched rows — the
+//      score store's COW-clone record, the exact set of rows the batch
+//      wrote — instead of being flushed wholesale (see
+//      service/query_cache.h).
+//
+//   4. Per-node top-k index: each epoch carries a bounded candidate index
+//      (service/topk_index.h) re-ranked incrementally from the same
+//      touched-row set, so a TopKFor cache MISS with k within the per-node
+//      capacity is O(k) index reads, not an O(n) row scan — the last
+//      O(n)-per-query hot path, made affected-area-proportional. Results
+//      are bitwise identical to the row scan; k past an incomplete entry
+//      falls back to the scan (counted in stats().topk_index_fallbacks).
 //
 // Consistency model: Score/TopKFor/TopKPairs reflect SOME published epoch
 // at least as new as the last Flush() that returned. Flush() is the
@@ -33,6 +42,7 @@
 #ifndef INCSR_SERVICE_SIMRANK_SERVICE_H_
 #define INCSR_SERVICE_SIMRANK_SERVICE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -48,6 +58,7 @@
 #include "graph/update_stream.h"
 #include "la/score_store.h"
 #include "service/query_cache.h"
+#include "service/topk_index.h"
 
 namespace incsr::service {
 
@@ -70,6 +81,13 @@ struct ServiceOptions {
   std::size_t max_batch = 512;
   /// Query-cache capacity in cached query nodes; 0 disables caching.
   std::size_t cache_capacity = 4096;
+  /// Per-node top-k index capacity: every node keeps its top
+  /// `topk_index_capacity` candidates, re-ranked at publish time for the
+  /// rows the batch touched, so TopKFor cache misses with k within the
+  /// capacity are O(k) index reads instead of O(n) row scans
+  /// (service/topk_index.h). Requests past an incomplete entry fall back
+  /// to the row scan, bitwise identically. 0 disables the index.
+  std::size_t topk_index_capacity = 4096;
 };
 
 /// Immutable published state; readers hold it via shared_ptr, so a pinned
@@ -80,6 +98,9 @@ struct EpochSnapshot {
   std::uint64_t epoch = 0;
   graph::DynamicDiGraph graph;
   la::ScoreStore::View scores;
+  /// Per-node top-k candidate index of this epoch (empty when disabled);
+  /// always consistent with `scores` — both were published together.
+  TopKIndex::View topk;
 };
 
 /// Counter snapshot of service activity (all counters are cumulative).
@@ -97,14 +118,26 @@ struct ServiceStats {
   /// paid n rows per batch regardless of the affected area.
   std::uint64_t rows_published = 0;
   std::uint64_t bytes_published = 0;
+  /// Top-k index activity: cache misses answered from the per-node index
+  /// (O(k) reads), misses that fell back to a full O(n) row scan because
+  /// the request's k exceeded an incomplete entry, and the cumulative
+  /// per-node entries re-ranked at publish time (the maintenance cost,
+  /// proportional to the touched rows). All zero when the index is
+  /// disabled (topk_index_capacity = 0).
+  std::uint64_t topk_index_served = 0;
+  std::uint64_t topk_index_fallbacks = 0;
+  std::uint64_t topk_index_rows_reranked = 0;
   QueryCacheStats cache;
 
-  /// Field-wise sum — the sharded layer (src/shard/) aggregates live and
-  /// retired shards with this. Keep in sync with the fields above: a new
+  /// Aggregation the sharded layer (src/shard/) uses over live and
+  /// retired shards. Counters sum field-wise; `epoch` aggregates as MAX,
+  /// because epochs are independent per-shard sequence numbers whose sum
+  /// is meaningless (per-shard epochs stay visible in
+  /// ShardedStats::per_shard). Keep in sync with the fields above: a new
   /// counter that is not added here silently vanishes from the sharded
   /// totals.
   ServiceStats& operator+=(const ServiceStats& other) {
-    epoch += other.epoch;
+    epoch = std::max(epoch, other.epoch);
     submitted += other.submitted;
     applied += other.applied;
     rejected += other.rejected;
@@ -113,6 +146,9 @@ struct ServiceStats {
     queue_depth += other.queue_depth;
     rows_published += other.rows_published;
     bytes_published += other.bytes_published;
+    topk_index_served += other.topk_index_served;
+    topk_index_fallbacks += other.topk_index_fallbacks;
+    topk_index_rows_reranked += other.topk_index_rows_reranked;
     cache += other.cache;
     return *this;
   }
@@ -179,7 +215,10 @@ class SimRankService {
   /// Applies one drained batch (coalesced, with unit-update fallback on
   /// invalid updates) and publishes the resulting epoch.
   void ApplyAndPublish(const std::vector<graph::EdgeUpdate>& batch);
-  void Publish(std::vector<std::int32_t> touched, bool invalidate_all);
+  /// Publishes an epoch: snapshots scores + top-k index, re-ranking index
+  /// entries and invalidating cached queries for exactly the rows the
+  /// batch wrote (the store's touched-row delta).
+  void Publish();
 
   const ServiceOptions options_;
   core::DynamicSimRank index_;  // applier thread only, once started
@@ -197,16 +236,22 @@ class SimRankService {
   std::shared_ptr<const EpochSnapshot> snapshot_;
 
   mutable TopKQueryCache cache_;
+  TopKIndex topk_index_;  // applier thread only; readers use snapshot views
 
   // Cumulative counters (relaxed: read by stats() only).
   std::atomic<std::uint64_t> applied_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> batches_{0};
-  // Mirrors of the score store's COW accounting, refreshed by the applier
-  // at each publish so stats() can read them from any thread.
+  // Mutable: bumped by the const read path (TopKFor).
+  mutable std::atomic<std::uint64_t> topk_served_{0};
+  mutable std::atomic<std::uint64_t> topk_fallbacks_{0};
+  // Mirrors of the score store's COW accounting and the index's re-rank
+  // count, refreshed by the applier at each publish so stats() can read
+  // them from any thread.
   std::atomic<std::uint64_t> rows_published_{0};
   std::atomic<std::uint64_t> bytes_published_{0};
+  std::atomic<std::uint64_t> topk_rows_reranked_{0};
 
   std::mutex stop_mu_;   // serializes Stop() callers around the join
   std::thread applier_;  // last: joins in Stop()

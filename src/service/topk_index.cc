@@ -1,0 +1,62 @@
+#include "service/topk_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace incsr::service {
+
+bool TopKIndex::View::Serve(graph::NodeId query, std::size_t k,
+                            std::vector<core::ScoredPair>* out) const {
+  const auto q = static_cast<std::size_t>(query);
+  if (q >= entries_.size()) return false;  // disabled view or foreign id
+  const Entry& entry = *entries_[q];
+  // Underfull: the entry holds fewer than k candidates AND fewer than the
+  // n-1 that exist, so the row may hold better candidates than stored.
+  if (k > entry.items.size() && entry.items.size() + 1 < entries_.size()) {
+    return false;
+  }
+  const std::size_t count = std::min(k, entry.items.size());
+  out->assign(entry.items.begin(), entry.items.begin() + count);
+  return true;
+}
+
+std::shared_ptr<const TopKIndex::Entry> TopKIndex::BuildEntry(
+    const la::ScoreStore& scores, std::size_t row) {
+  auto entry = std::make_shared<Entry>();
+  // The single source of ranking truth: the same scan a miss would run,
+  // truncated at capacity instead of k — which is what makes index-served
+  // results bitwise identical to the fallback.
+  entry->items = core::TopKForOf(scores, static_cast<graph::NodeId>(row),
+                                 capacity_);
+  ++rows_reranked_;
+  return entry;
+}
+
+void TopKIndex::RebuildRows(const la::ScoreStore& scores,
+                            std::span<const std::int32_t> rows) {
+  if (capacity_ == 0) return;
+  INCSR_CHECK(entries_.size() == scores.rows(),
+              "TopKIndex geometry mismatch: %zu entries for %zu rows",
+              entries_.size(), scores.rows());
+  for (std::int32_t row : rows) {
+    entries_[static_cast<std::size_t>(row)] = BuildEntry(
+        scores, static_cast<std::size_t>(row));
+  }
+}
+
+void TopKIndex::RebuildAll(const la::ScoreStore& scores) {
+  if (capacity_ == 0) return;
+  entries_.resize(scores.rows());
+  for (std::size_t row = 0; row < entries_.size(); ++row) {
+    entries_[row] = BuildEntry(scores, row);
+  }
+}
+
+TopKIndex::View TopKIndex::Publish() const {
+  View view;
+  view.entries_ = entries_;  // O(n) pointer copies — the whole cost
+  return view;
+}
+
+}  // namespace incsr::service

@@ -1,0 +1,116 @@
+// TopKIndex — per-node bounded top-k candidate index for the serving
+// layer's miss path. The paper bounds an update's effect on S to the
+// affected area ∪ₖ Aₖ×Bₖ (plus its transpose), yet a TopKFor cache miss
+// used to scan a whole row: O(n) per query, and under churn the
+// affected-area cache invalidation makes misses the common case — exactly
+// when the paper says the work should track |ΔS|. This index moves the
+// O(n) scan off the query path and onto the applier, where it amortizes
+// into work the applier already does per touched row:
+//
+//   - Per node q the index keeps the exact top-c candidates of row q
+//     (c = capacity, min(c, n-1) entries), ordered by the repo-wide
+//     contract: descending score, ties by ascending node id
+//     (core::ScoredPairRanksBefore).
+//   - Maintenance is incremental by the affected-area argument: a batch
+//     can only change row q if the applier wrote it, so at publish time
+//     ONLY the touched rows (la::ScoreStore's COW-clone record) are
+//     re-ranked, each by one O(n log c) scan of the already-materialized
+//     row. Untouched entries stay valid because their rows' bytes did not
+//     change.
+//   - A miss with k <= |entry| (or a complete entry, |entry| = n-1) is
+//     served as the entry's first min(k, |entry|) items — bitwise
+//     identical to TopKForOf on the same snapshot, because both are
+//     prefixes of the same strict total order. A miss with k past an
+//     incomplete entry ("underfull") falls back to the full row scan; the
+//     service counts both outcomes (ServiceStats::topk_index_*).
+//
+// Publishing mirrors la::ScoreStore: entries are immutable shared_ptrs
+// behind a table; Publish() copies the table (O(n) pointer bumps, no
+// payload) into a View that rides inside the EpochSnapshot, so a reader
+// always sees the index state matching its pinned scores. One writer
+// (the applier) mutates; readers only touch Views obtained through the
+// snapshot's synchronizing handoff — TSan-clean by design, like the store.
+#ifndef INCSR_SERVICE_TOPK_INDEX_H_
+#define INCSR_SERVICE_TOPK_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/dynamic_simrank.h"
+#include "graph/digraph.h"
+#include "la/score_store.h"
+
+namespace incsr::service {
+
+/// Per-node bounded top-k candidate index. See file comment.
+class TopKIndex {
+ public:
+  /// One node's candidates: the exact top-|items| of its row under the
+  /// (descending score, ascending id) contract, |items| = min(c, n-1).
+  struct Entry {
+    std::vector<core::ScoredPair> items;
+  };
+
+  /// Immutable snapshot of the entry table; copying shares the entries.
+  /// Reads are valid and stable for the View's lifetime.
+  class View {
+   public:
+    View() = default;
+
+    /// Node count of the indexed matrix (0 for a disabled/empty view).
+    std::size_t rows() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    /// Serves TopKFor(query, k) when the entry provably holds the whole
+    /// answer: k <= |items|, or the entry is complete (|items| = n-1, so
+    /// any k just returns everything). Returns false — caller falls back
+    /// to a row scan — when the entry is underfull for this k or the view
+    /// is empty (index disabled). On success *out is bitwise what
+    /// core::TopKForOf(scores, query, k) returns on the same snapshot.
+    bool Serve(graph::NodeId query, std::size_t k,
+               std::vector<core::ScoredPair>* out) const;
+
+   private:
+    friend class TopKIndex;
+    std::vector<std::shared_ptr<const Entry>> entries_;
+  };
+
+  /// `capacity` bounds candidates per node; 0 disables the index: Rebuild*
+  /// are no-ops, Publish returns an empty view, every miss falls through
+  /// to the row scan.
+  explicit TopKIndex(std::size_t capacity) : capacity_(capacity) {}
+
+  bool enabled() const { return capacity_ > 0; }
+  std::size_t capacity() const { return capacity_; }
+  /// Cumulative entries re-ranked by Rebuild* (the maintenance cost).
+  std::uint64_t rows_reranked() const { return rows_reranked_; }
+
+  /// Re-ranks the entries of `rows` from the current score rows, one
+  /// O(n log c) contract-ordered scan each. Rows must be in range;
+  /// duplicates are harmless. Writer thread only.
+  void RebuildRows(const la::ScoreStore& scores,
+                   std::span<const std::int32_t> rows);
+
+  /// (Re)builds every entry — initial build and the all-rows-touched path
+  /// (fresh store, geometry change). Adapts to scores.rows(). Writer
+  /// thread only.
+  void RebuildAll(const la::ScoreStore& scores);
+
+  /// Snapshots the entry table for an epoch: O(n) shared_ptr copies, no
+  /// payload. Writer thread only.
+  View Publish() const;
+
+ private:
+  std::shared_ptr<const Entry> BuildEntry(const la::ScoreStore& scores,
+                                          std::size_t row);
+
+  const std::size_t capacity_;
+  std::uint64_t rows_reranked_ = 0;
+  std::vector<std::shared_ptr<const Entry>> entries_;
+};
+
+}  // namespace incsr::service
+
+#endif  // INCSR_SERVICE_TOPK_INDEX_H_

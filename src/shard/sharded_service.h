@@ -17,11 +17,14 @@
 //     single service's applier-side failed count.
 //   - Score(a, b): one shard when a, b share a shard; exactly 0.0
 //     otherwise (no computation, no cross-shard traffic).
-//   - TopKFor(q, k): answered by q's shard, then zero-padded with the
-//     other shards' node ids in ascending order — bitwise identical to a
-//     single service scanning the full row, because cross-shard scores
-//     are exact +0.0 and the tie-break contract (descending score,
-//     ascending id; core/dynamic_simrank.h) totally orders the merge.
+//   - TopKFor(q, k): answered by q's shard — through its per-node top-k
+//     index (service/topk_index.h) when the shard's entry covers k, a row
+//     scan otherwise; both are bitwise-identical sources — then
+//     zero-padded with the other shards' node ids in ascending order —
+//     bitwise identical to a single service scanning the full row,
+//     because cross-shard scores are exact +0.0 and the tie-break
+//     contract (descending score, ascending id; core/dynamic_simrank.h)
+//     totally orders the merge.
 //   - TopKPairs(k): deterministic k-way merge of the per-shard top-k
 //     heaps under the same contract, interleaved with a lazy generator of
 //     cross-shard (score 0) pairs in ascending (a, b) order.
@@ -80,7 +83,10 @@ struct ShardedStats {
     service::ServiceStats stats;
   };
   std::vector<ShardEntry> per_shard;
-  /// Field-wise sum over live shards + shards retired by merges.
+  /// Aggregate over live shards + shards retired by merges: counters sum
+  /// field-wise, `epoch` is the MAX per-shard epoch (epochs are
+  /// independent per-shard sequence numbers; see
+  /// service::ServiceStats::operator+=).
   service::ServiceStats total;
   std::size_t active_shards = 0;
   /// Cross-shard inserts routed through the merge path.

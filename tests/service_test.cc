@@ -16,8 +16,10 @@
 #include "core/dynamic_simrank.h"
 #include "graph/generators.h"
 #include "graph/update_stream.h"
+#include "la/score_store.h"
 #include "service/query_cache.h"
 #include "service/simrank_service.h"
+#include "service/topk_index.h"
 
 namespace incsr::service {
 namespace {
@@ -350,6 +352,301 @@ TEST(SimRankService, StopDrainsQueueAndRefusesLateSubmits) {
   auto snap = service->Snapshot();
   EXPECT_EQ(snap->graph.Edges(), final_graph.Edges());
   EXPECT_TRUE(service->Flush().ok());  // no-op barrier after stop
+}
+
+// ---- Per-node top-k index ------------------------------------------------
+
+std::unique_ptr<SimRankService> MakeServiceThreads(const DynamicDiGraph& graph,
+                                                   ServiceOptions options,
+                                                   int num_threads) {
+  simrank::SimRankOptions sr = Converged();
+  sr.num_threads = num_threads;
+  auto index = DynamicSimRank::Create(graph, sr);
+  INCSR_CHECK(index.ok(), "index build");
+  auto service = SimRankService::Create(std::move(index).value(), options);
+  INCSR_CHECK(service.ok(), "service build");
+  return std::move(service).value();
+}
+
+// Interleaved mixed churn stream: deletions of existing edges, insertions
+// of non-edges — disjoint sets, so valid in any batch decomposition.
+std::vector<EdgeUpdate> MixedStream(const DynamicDiGraph& graph,
+                                    std::size_t deletions,
+                                    std::size_t insertions,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  auto del = graph::SampleDeletions(graph, deletions, &rng);
+  auto ins = graph::SampleInsertions(graph, insertions, &rng);
+  INCSR_CHECK(del.ok() && ins.ok(), "sampling");
+  std::vector<EdgeUpdate> mixed;
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (a < del->size() || b < ins->size()) {
+    if (a < del->size()) mixed.push_back((*del)[a++]);
+    if (b < ins->size()) mixed.push_back((*ins)[b++]);
+  }
+  return mixed;
+}
+
+// The tentpole acceptance property: a TopKFor answered from the per-node
+// index is BITWISE identical to TopKForOf on the same snapshot, across a
+// mixed insert/delete churn stream, cache on/off, update-kernel threads
+// 1 and 4, and k spanning the index-served (k <= capacity) and underfull
+// fallback (k > capacity) paths — and every cache miss is accounted to
+// exactly one of the two counters. Runs in the TSan CI job with the rest
+// of this suite.
+TEST(TopKIndexService, IndexVsOracleAcrossChurnCacheAndThreads) {
+  constexpr std::size_t kIndexCapacity = 6;
+  DynamicDiGraph graph = TestGraph(71, 20, 50);
+  const std::size_t n = graph.num_nodes();
+  std::vector<EdgeUpdate> stream = MixedStream(graph, 10, 14, 23);
+  for (int threads : {1, 4}) {
+    for (std::size_t cache_capacity : {std::size_t{0}, std::size_t{64}}) {
+      ServiceOptions options;
+      options.max_batch = 4;  // several epochs per run
+      options.cache_capacity = cache_capacity;
+      options.topk_index_capacity = kIndexCapacity;
+      auto service = MakeServiceThreads(graph, options, threads);
+
+      const std::size_t kk[] = {0, 1, 3, kIndexCapacity, kIndexCapacity + 1,
+                                n - 1, n, n + 3};
+      // Query between every few updates so results span many epochs.
+      for (std::size_t next = 0; next <= stream.size(); next += 5) {
+        for (std::size_t i = next; i < std::min(next + 5, stream.size());
+             ++i) {
+          ASSERT_TRUE(service->Submit(stream[i]).ok());
+        }
+        ASSERT_TRUE(service->Flush().ok());
+        auto snap = service->Snapshot();
+        for (std::size_t q = 0; q < n; ++q) {
+          for (std::size_t k : kk) {
+            auto got = service->TopKFor(static_cast<graph::NodeId>(q), k);
+            ASSERT_TRUE(got.ok());
+            ASSERT_EQ(got.value(),
+                      core::TopKForOf(snap->scores,
+                                      static_cast<graph::NodeId>(q), k))
+                << "q=" << q << " k=" << k << " threads=" << threads
+                << " cache=" << cache_capacity;
+          }
+        }
+      }
+
+      ServiceStats stats = service->stats();
+      EXPECT_GT(stats.topk_index_served, 0u);
+      EXPECT_GT(stats.topk_index_fallbacks, 0u);  // k > capacity occurred
+      // Every TopKFor miss was answered by exactly one of the two paths.
+      EXPECT_EQ(stats.cache.misses,
+                stats.topk_index_served + stats.topk_index_fallbacks);
+      if (cache_capacity > 0) EXPECT_GT(stats.cache.hits, 0u);
+      // Initial build re-ranked all n rows; every epoch after re-ranked
+      // exactly the rows the batch COW'd — nothing more.
+      EXPECT_EQ(stats.topk_index_rows_reranked, n + stats.rows_published);
+    }
+  }
+}
+
+TEST(TopKIndexService, UnderfullEntriesFallBackToRowScan) {
+  DynamicDiGraph graph = TestGraph(91, 16, 40);
+  ServiceOptions options;
+  options.cache_capacity = 0;  // every query is a miss
+  options.topk_index_capacity = 3;
+  auto service = MakeService(graph, options);
+
+  auto served = service->TopKFor(2, 3);  // k == capacity: index answers
+  ASSERT_TRUE(served.ok());
+  auto fallback = service->TopKFor(2, 10);  // k > capacity: row scan
+  ASSERT_TRUE(fallback.ok());
+  auto snap = service->Snapshot();
+  EXPECT_EQ(served.value(), core::TopKForOf(snap->scores, 2, 3));
+  EXPECT_EQ(fallback.value(), core::TopKForOf(snap->scores, 2, 10));
+
+  ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.topk_index_served, 1u);
+  EXPECT_EQ(stats.topk_index_fallbacks, 1u);
+}
+
+TEST(TopKIndexService, RerankCostIsTouchedRowsNotN) {
+  // Two disjoint 8-node components (as in PublishCostIsTouchedRowsNotN):
+  // an update inside component A must re-rank at most |A| index entries —
+  // and in fact exactly the rows the batch copy-on-wrote.
+  const std::size_t half = 8;
+  auto stream_a = graph::ErdosRenyiGnm(half, 20, 5);
+  auto stream_b = graph::ErdosRenyiGnm(half, 20, 6);
+  ASSERT_TRUE(stream_a.ok() && stream_b.ok());
+  DynamicDiGraph graph(2 * half);
+  for (const auto& e : stream_a.value()) {
+    ASSERT_TRUE(graph.AddEdge(e.edge.src, e.edge.dst).ok());
+  }
+  for (const auto& e : stream_b.value()) {
+    ASSERT_TRUE(
+        graph
+            .AddEdge(e.edge.src + static_cast<graph::NodeId>(half),
+                     e.edge.dst + static_cast<graph::NodeId>(half))
+            .ok());
+  }
+  auto service = MakeService(graph);
+  EXPECT_EQ(service->stats().topk_index_rows_reranked, 2 * half);  // build
+
+  EdgeUpdate update{UpdateKind::kInsert, 0, 5};
+  if (graph.HasEdge(0, 5)) update = {UpdateKind::kDelete, 0, 5};
+  ASSERT_TRUE(service->Submit(update).ok());
+  ASSERT_TRUE(service->Flush().ok());
+
+  ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.topk_index_rows_reranked, 2 * half + stats.rows_published);
+  EXPECT_LE(stats.topk_index_rows_reranked, 3 * half);  // stayed inside A
+}
+
+// ---- TopKFor/TopKPairs edge cases (k = 0, k >= n, single node,
+// isolated node) pinned against the oracle, index on and off ---------------
+
+TEST(SimRankService, TopKEdgeCasesMatchOracleIndexOnAndOff) {
+  DynamicDiGraph graph = TestGraph(81, 12, 30);
+  const std::size_t n = graph.num_nodes();
+  for (std::size_t index_capacity : {std::size_t{0}, std::size_t{4096}}) {
+    ServiceOptions options;
+    options.topk_index_capacity = index_capacity;
+    auto service = MakeService(graph, options);
+    auto snap = service->Snapshot();
+
+    auto zero = service->TopKFor(3, 0);  // k == 0: empty, not an error
+    ASSERT_TRUE(zero.ok());
+    EXPECT_TRUE(zero->empty());
+
+    for (std::size_t k : {n - 1, n, n + 100}) {  // k >= n: all n-1 others
+      auto all = service->TopKFor(3, k);
+      ASSERT_TRUE(all.ok());
+      EXPECT_EQ(all->size(), n - 1);
+      EXPECT_EQ(all.value(), core::TopKForOf(snap->scores, 3, k));
+    }
+
+    EXPECT_TRUE(service->TopKPairs(0).empty());
+    EXPECT_EQ(service->TopKPairs(n * n).size(), n * (n - 1) / 2);
+  }
+}
+
+TEST(SimRankService, SingleNodeGraphServesEmptyTopK) {
+  DynamicDiGraph graph(1);
+  auto service = MakeService(graph);
+  auto top = service->TopKFor(0, 5);
+  ASSERT_TRUE(top.ok());
+  EXPECT_TRUE(top->empty());
+  EXPECT_TRUE(service->TopKPairs(5).empty());
+  auto self = service->Score(0, 0);
+  ASSERT_TRUE(self.ok());
+  EXPECT_GT(self.value(), 0.0);  // s(v, v) = 1 - C
+  EXPECT_EQ(service->TopKFor(1, 5).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SimRankService, IsolatedNodeQueryIsAscendingZeroTail) {
+  // Node n-1 is isolated: its row is exactly 0 off-diagonal, so TopKFor
+  // must return the other nodes in ascending id order with score 0.0 —
+  // identically from the index and from the row scan.
+  auto stream = graph::ErdosRenyiGnm(6, 14, 9);
+  ASSERT_TRUE(stream.ok());
+  DynamicDiGraph graph(7);
+  for (const auto& e : stream.value()) {
+    ASSERT_TRUE(graph.AddEdge(e.edge.src, e.edge.dst).ok());
+  }
+  for (std::size_t index_capacity : {std::size_t{0}, std::size_t{4096}}) {
+    ServiceOptions options;
+    options.topk_index_capacity = index_capacity;
+    auto service = MakeService(graph, options);
+    auto top = service->TopKFor(6, 10);
+    ASSERT_TRUE(top.ok());
+    ASSERT_EQ(top->size(), 6u);
+    for (std::size_t i = 0; i < top->size(); ++i) {
+      EXPECT_EQ((*top)[i].b, static_cast<graph::NodeId>(i));
+      EXPECT_EQ((*top)[i].score, 0.0);
+    }
+  }
+}
+
+// ---- ServiceStats aggregation (regression: epoch must not sum) -----------
+
+TEST(ServiceStats, AggregationTakesMaxEpochAndSumsCounters) {
+  ServiceStats a;
+  a.epoch = 7;
+  a.applied = 3;
+  a.topk_index_served = 2;
+  ServiceStats b;
+  b.epoch = 4;
+  b.applied = 5;
+  b.topk_index_fallbacks = 1;
+  a += b;
+  EXPECT_EQ(a.epoch, 7u);  // max, not 11
+  EXPECT_EQ(a.applied, 8u);
+  EXPECT_EQ(a.topk_index_served, 2u);
+  EXPECT_EQ(a.topk_index_fallbacks, 1u);
+  ServiceStats c;
+  c.epoch = 9;
+  a += c;
+  EXPECT_EQ(a.epoch, 9u);
+}
+
+// ---- TopKIndex unit tests ------------------------------------------------
+
+la::ScoreStore StoreFromRows(std::vector<std::vector<double>> rows) {
+  la::DenseMatrix dense(rows.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < rows.size(); ++j) dense(i, j) = rows[i][j];
+  }
+  return la::ScoreStore(std::move(dense));
+}
+
+TEST(TopKIndexUnit, DisabledIndexNeverServes) {
+  la::ScoreStore store = StoreFromRows({{1.0, 0.5}, {0.5, 1.0}});
+  TopKIndex index(0);
+  index.RebuildAll(store);
+  EXPECT_EQ(index.rows_reranked(), 0u);
+  TopKIndex::View view = index.Publish();
+  EXPECT_TRUE(view.empty());
+  std::vector<ScoredPair> out;
+  EXPECT_FALSE(view.Serve(0, 1, &out));
+}
+
+TEST(TopKIndexUnit, CompleteEntryServesAnyKUnderfullRefuses) {
+  la::ScoreStore store = StoreFromRows({{1.0, 0.3, 0.7, 0.1},
+                                        {0.3, 1.0, 0.2, 0.2},
+                                        {0.7, 0.2, 1.0, 0.4},
+                                        {0.1, 0.2, 0.4, 1.0}});
+  TopKIndex full(8);  // capacity >= n-1: entries complete
+  full.RebuildAll(store);
+  TopKIndex::View view = full.Publish();
+  std::vector<ScoredPair> out;
+  ASSERT_TRUE(view.Serve(0, 100, &out));  // k >= n served from a complete entry
+  EXPECT_EQ(out, core::TopKForOf(store, 0, 100));
+  ASSERT_TRUE(view.Serve(0, 0, &out));
+  EXPECT_TRUE(out.empty());
+
+  TopKIndex bounded(2);  // capacity < n-1: k past the entry must refuse
+  bounded.RebuildAll(store);
+  TopKIndex::View small = bounded.Publish();
+  ASSERT_TRUE(small.Serve(2, 2, &out));
+  EXPECT_EQ(out, core::TopKForOf(store, 2, 2));
+  EXPECT_FALSE(small.Serve(2, 3, &out));  // underfull
+}
+
+TEST(TopKIndexUnit, RebuildRowsPatchesOnlyNamedRows) {
+  la::ScoreStore store = StoreFromRows({{1.0, 0.3, 0.2},
+                                        {0.3, 1.0, 0.6},
+                                        {0.2, 0.6, 1.0}});
+  TopKIndex index(4);
+  index.RebuildAll(store);
+  store.Publish();  // start COW tracking
+  // Rewrite row 1 (and symmetric column entries in rows 0/2 would follow
+  // in real use; here only row 1 is re-ranked on purpose).
+  double* row1 = store.MutableRowPtr(1);
+  row1[0] = 0.9;
+  const std::vector<std::int32_t> touched = {1};
+  index.RebuildRows(store, touched);
+  TopKIndex::View view = index.Publish();
+  std::vector<ScoredPair> out;
+  ASSERT_TRUE(view.Serve(1, 2, &out));
+  EXPECT_EQ(out, core::TopKForOf(store, 1, 2));  // sees the new bytes
+  // Row 0's entry was NOT rebuilt: it still serves the old ranking.
+  ASSERT_TRUE(view.Serve(0, 2, &out));
+  EXPECT_EQ(out[0].score, 0.3);
 }
 
 // ---- TopKQueryCache unit tests -------------------------------------------

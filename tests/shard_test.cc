@@ -145,19 +145,24 @@ class Zipf {
   std::vector<double> cdf_;
 };
 
-service::ServiceOptions UnitServiceOptions() {
+service::ServiceOptions UnitServiceOptions(
+    std::size_t topk_index_capacity = 4096) {
   service::ServiceOptions options;
   options.max_batch = 64;
+  options.topk_index_capacity = topk_index_capacity;
   return options;
 }
 
+// The single-service reference runs with the per-node top-k index OFF, so
+// every comparison below is an index-path vs row-scan-oracle cross-check
+// on top of the shard-count invariance.
 Result<std::unique_ptr<service::SimRankService>> MakeSingleService(
     const graph::DynamicDiGraph& graph,
     core::UpdateAlgorithm algorithm = core::UpdateAlgorithm::kIncSR) {
   auto index = core::DynamicSimRank::Create(graph, {}, algorithm);
   if (!index.ok()) return index.status();
   return service::SimRankService::Create(std::move(index).value(),
-                                         UnitServiceOptions());
+                                         UnitServiceOptions(0));
 }
 
 // Bitwise comparison of every observable query surface. `probes` bounds
@@ -176,12 +181,13 @@ void ExpectIdenticalViews(const service::SimRankService& single,
       ASSERT_EQ(want.value(), got.value()) << "Score(" << a << "," << b << ")";
     }
   }
-  // TopKFor under Zipf-skewed query nodes, k below / at / above the shard
-  // size so the zero-padding merge is exercised.
+  // TopKFor under Zipf-skewed query nodes, k from 0 through past n so the
+  // zero-padding merge and the k-edge cases are exercised.
   Zipf zipf(n, 1.0);
   for (std::size_t p = 0; p < probes; ++p) {
     const auto node = static_cast<graph::NodeId>(zipf.Next(rng));
-    for (std::size_t k : {std::size_t{3}, std::size_t{10}, n + 5}) {
+    for (std::size_t k : {std::size_t{0}, std::size_t{3}, std::size_t{10},
+                          n + 5}) {
       auto want = single.TopKFor(node, k);
       auto got = sharded.TopKFor(node, k);
       ASSERT_TRUE(want.ok() && got.ok());
@@ -201,7 +207,8 @@ void ExpectIdenticalViews(const service::SimRankService& single,
 // and therefore the coalescing — boundaries), comparing all query
 // surfaces along the way and at the end.
 void RunShardCountInvariance(std::size_t num_shards,
-                             core::UpdateAlgorithm algorithm) {
+                             core::UpdateAlgorithm algorithm,
+                             std::size_t topk_index_capacity = 4096) {
   MultiComponentGraph mc =
       BuildMultiComponentGraph({12, 9, 7, 5}, {40, 26, 18, 10}, 77);
   const std::size_t n = mc.graph.num_nodes();
@@ -212,7 +219,7 @@ void RunShardCountInvariance(std::size_t num_shards,
   ASSERT_TRUE(single.ok());
   ShardedServiceOptions sharded_options;
   sharded_options.num_shards = num_shards;
-  sharded_options.per_shard = UnitServiceOptions();
+  sharded_options.per_shard = UnitServiceOptions(topk_index_capacity);
   auto sharded = ShardedSimRankService::Create(mc.graph, {}, sharded_options,
                                                algorithm);
   ASSERT_TRUE(sharded.ok());
@@ -236,6 +243,34 @@ void RunShardCountInvariance(std::size_t num_shards,
   EXPECT_EQ(stats.total.applied, (*single)->stats().applied);
   EXPECT_EQ(stats.active_shards,
             std::min(num_shards, mc.component_nodes.size()));
+  // Aggregated epoch is the max per-shard epoch, never a sum (regression
+  // for the old field-wise += that produced meaningless epoch totals).
+  std::uint64_t max_epoch = 0;
+  std::uint64_t index_served = 0;
+  std::uint64_t index_fallbacks = 0;
+  for (const ShardedStats::ShardEntry& entry : stats.per_shard) {
+    max_epoch = std::max(max_epoch, entry.stats.epoch);
+    index_served += entry.stats.topk_index_served;
+    index_fallbacks += entry.stats.topk_index_fallbacks;
+  }
+  EXPECT_EQ(stats.total.epoch, max_epoch);
+  // The new index counters flow through the sharded aggregation.
+  EXPECT_EQ(stats.total.topk_index_served, index_served);
+  EXPECT_EQ(stats.total.topk_index_fallbacks, index_fallbacks);
+  if (topk_index_capacity >= n) {
+    // Every per-shard entry is complete: the whole cross-shard query load
+    // above was served from the index, bitwise equal to the scan oracle.
+    EXPECT_GT(stats.total.topk_index_served, 0u);
+    EXPECT_EQ(stats.total.topk_index_fallbacks, 0u);
+  } else if (topk_index_capacity == 0) {
+    EXPECT_EQ(stats.total.topk_index_served, 0u);
+    EXPECT_EQ(stats.total.topk_index_fallbacks, 0u);
+  } else {
+    // Underfull capacity: k = 0 probes serve from the index, larger k
+    // probes fall back — both paths ran and stayed bitwise identical.
+    EXPECT_GT(stats.total.topk_index_served, 0u);
+    EXPECT_GT(stats.total.topk_index_fallbacks, 0u);
+  }
 }
 
 // ---- ShardPlan -----------------------------------------------------------
@@ -340,6 +375,22 @@ TEST(ShardedService, BitwiseIdenticalToSingleServiceTwoShards) {
 
 TEST(ShardedService, BitwiseIdenticalToSingleServiceFourShards) {
   RunShardCountInvariance(4, core::UpdateAlgorithm::kIncSR);
+}
+
+// The per-node index underfull at capacity 2: most probes (k = 3, 10,
+// n + 5) fall back to row scans inside the shards, and the zero-pad merge
+// must stay bitwise identical across the mixed served/fallback sources.
+TEST(ShardedService, BitwiseIdenticalWithUnderfullIndex) {
+  RunShardCountInvariance(2, core::UpdateAlgorithm::kIncSR,
+                          /*topk_index_capacity=*/2);
+  RunShardCountInvariance(4, core::UpdateAlgorithm::kIncSR,
+                          /*topk_index_capacity=*/2);
+}
+
+// Index disabled entirely: the pre-index row-scan path, still invariant.
+TEST(ShardedService, BitwiseIdenticalWithIndexDisabled) {
+  RunShardCountInvariance(2, core::UpdateAlgorithm::kIncSR,
+                          /*topk_index_capacity=*/0);
 }
 
 TEST(ShardedService, BitwiseIdenticalUnderIncUsr) {

@@ -10,7 +10,7 @@
 //   incsr_cli serve <edge_list> --updates FILE [--writers N] [--readers M]
 //             [--topk K] [--queue-capacity Q] [--max-batch B]
 //             [--backpressure block|reject] [--damping C] [--iterations K]
-//             [--threads T] [--shards S]
+//             [--threads T] [--shards S] [--index-capacity C]
 //
 // `serve` replays the update stream through the concurrent SimRankService
 // (N writer threads submitting, M reader threads issuing top-k queries
@@ -64,7 +64,8 @@ void PrintUsage(const char* prog) {
       "          [--readers M] [--topk K] [--queue-capacity Q]\n"
       "          [--max-batch B] [--cache-capacity C]\n"
       "          [--backpressure block|reject] [--damping C]\n"
-      "          [--iterations K] [--threads T] [--shards S]\n",
+      "          [--iterations K] [--threads T] [--shards S]\n"
+      "          [--index-capacity C]\n",
       prog, prog);
 }
 
@@ -251,6 +252,10 @@ Result<ServeOptions> ParseServeArgs(int argc, char** argv) {
       auto v = next_size();
       if (!v.ok()) return v.status();
       options.service.cache_capacity = *v;
+    } else if (flag == "--index-capacity") {
+      auto v = next_size();
+      if (!v.ok()) return v.status();
+      options.service.topk_index_capacity = *v;
     } else if (flag == "--backpressure") {
       auto v = next();
       if (!v.ok()) return v.status();
@@ -388,7 +393,7 @@ int RunServeSharded(const ServeOptions& options,
   shard::ShardedStats stats = svc.stats();
   std::printf(
       "replayed in %.3f s: %llu applied, %llu failed (%llu at the router), "
-      "%llu dropped by backpressure, %llu epochs across %zu shard(s), "
+      "%llu dropped by backpressure, max epoch %llu over %zu shard(s), "
       "%llu shard merges\n",
       outcome.seconds, static_cast<unsigned long long>(stats.total.applied),
       static_cast<unsigned long long>(stats.total.failed),
@@ -408,6 +413,12 @@ int RunServeSharded(const ServeOptions& options,
       static_cast<unsigned long long>(stats.total.cache.misses),
       static_cast<unsigned long long>(stats.total.cache.invalidations),
       static_cast<unsigned long long>(stats.total.cache.evictions));
+  std::printf(
+      "top-k index: %llu misses served O(k), %llu row-scan fallbacks, "
+      "%llu rows re-ranked across shards\n",
+      static_cast<unsigned long long>(stats.total.topk_index_served),
+      static_cast<unsigned long long>(stats.total.topk_index_fallbacks),
+      static_cast<unsigned long long>(stats.total.topk_index_rows_reranked));
   if (stats.merges > 0) {
     std::printf(
         "shard merges rebuilt %llu score rows (%.2f MB) — the cost of "
@@ -507,6 +518,12 @@ int RunServe(const ServeOptions& options) {
       static_cast<unsigned long long>(stats.cache.misses),
       static_cast<unsigned long long>(stats.cache.invalidations),
       static_cast<unsigned long long>(stats.cache.evictions));
+  std::printf(
+      "top-k index: %llu misses served O(k), %llu row-scan fallbacks, "
+      "%llu rows re-ranked\n",
+      static_cast<unsigned long long>(stats.topk_index_served),
+      static_cast<unsigned long long>(stats.topk_index_fallbacks),
+      static_cast<unsigned long long>(stats.topk_index_rows_reranked));
   // Publish amplification: rows copy-on-written per applied update. The
   // full-copy design this replaced paid n rows per EPOCH regardless of
   // the affected area.
