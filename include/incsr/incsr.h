@@ -35,6 +35,11 @@
 #include "la/sparse_matrix.h"    // IWYU pragma: export
 #include "la/svd.h"              // IWYU pragma: export
 #include "la/vector.h"           // IWYU pragma: export
+#include "net/client.h"          // IWYU pragma: export
+#include "net/replication.h"     // IWYU pragma: export
+#include "net/server.h"          // IWYU pragma: export
+#include "net/socket.h"          // IWYU pragma: export
+#include "net/wire.h"            // IWYU pragma: export
 #include "service/query_cache.h"     // IWYU pragma: export
 #include "service/simrank_service.h" // IWYU pragma: export
 #include "shard/shard_plan.h"        // IWYU pragma: export

@@ -1,0 +1,265 @@
+#include "net/client.h"
+
+#include <utility>
+
+namespace incsr::net {
+
+// ---- IncSrClient -----------------------------------------------------------
+
+Result<IncSrClient> IncSrClient::Connect(const std::string& host,
+                                         std::uint16_t port,
+                                         const ClientOptions& options) {
+  auto socket = ConnectTo(host, port, options.connect_timeout_ms);
+  if (!socket.ok()) return socket.status();
+  return IncSrClient(std::move(*socket), options);
+}
+
+Result<IncSrClient> IncSrClient::Connect(const std::string& endpoint,
+                                         const ClientOptions& options) {
+  auto host_port = ParseHostPort(endpoint);
+  if (!host_port.ok()) return host_port.status();
+  return Connect(host_port->first, host_port->second, options);
+}
+
+Result<ReceivedFrame> IncSrClient::RoundTrip(wire::MessageTag request_tag,
+                                             std::string_view body,
+                                             wire::MessageTag response_tag) {
+  if (!socket_.valid()) {
+    return Status::IoError("client is disconnected");
+  }
+  if (Status sent = WriteFrame(socket_.fd(), request_tag, body);
+      !sent.ok()) {
+    Close();
+    return sent;
+  }
+  auto frame = ReadFrame(socket_.fd(), options_.max_frame_payload);
+  if (!frame.ok()) {
+    Close();
+    return frame.status();
+  }
+  if (frame->tag == wire::MessageTag::kErrorResponse) {
+    wire::ErrorResponse error;
+    if (!wire::ErrorResponse::DecodeBody(frame->body, &error) ||
+        error.status == wire::RpcStatus::kOk) {
+      Close();
+      return Status::IoError("undecodable error response");
+    }
+    return wire::FromRpcStatus(error.status, error.message);
+  }
+  if (frame->tag != response_tag) {
+    // The stream is out of sync with the request/response protocol;
+    // nothing after this frame can be trusted.
+    Close();
+    return Status::IoError(std::string("unexpected response tag ") +
+                           wire::MessageTagName(frame->tag));
+  }
+  return frame;
+}
+
+Status IncSrClient::Ping() {
+  auto frame =
+      RoundTrip(wire::MessageTag::kPingRequest, {},
+                wire::MessageTag::kPingResponse);
+  if (!frame.ok()) return frame.status();
+  if (!frame->body.empty()) {
+    Close();
+    return Status::IoError("ping response carries a body");
+  }
+  return Status::OK();
+}
+
+Result<wire::SubmitResponse> IncSrClient::Submit(
+    const std::vector<graph::EdgeUpdate>& updates) {
+  wire::SubmitRequest request;
+  request.updates = updates;
+  std::string body;
+  request.EncodeBody(&body);
+  auto frame = RoundTrip(wire::MessageTag::kSubmitRequest, body,
+                         wire::MessageTag::kSubmitResponse);
+  if (!frame.ok()) return frame.status();
+  wire::SubmitResponse response;
+  if (!wire::SubmitResponse::DecodeBody(frame->body, &response)) {
+    Close();
+    return Status::IoError("undecodable SubmitResponse");
+  }
+  // kOverloaded / kShuttingDown are admission outcomes, not errors:
+  // the caller inspects response.status.
+  return response;
+}
+
+Result<double> IncSrClient::Score(graph::NodeId a, graph::NodeId b) {
+  wire::ScoreRequest request;
+  request.a = a;
+  request.b = b;
+  std::string body;
+  request.EncodeBody(&body);
+  auto frame = RoundTrip(wire::MessageTag::kScoreRequest, body,
+                         wire::MessageTag::kScoreResponse);
+  if (!frame.ok()) return frame.status();
+  wire::ScoreResponse response;
+  if (!wire::ScoreResponse::DecodeBody(frame->body, &response)) {
+    Close();
+    return Status::IoError("undecodable ScoreResponse");
+  }
+  if (response.status != wire::RpcStatus::kOk) {
+    return wire::FromRpcStatus(response.status, "Score");
+  }
+  return response.score;
+}
+
+Result<std::vector<core::ScoredPair>> IncSrClient::TopKFor(
+    graph::NodeId node, std::uint32_t k) {
+  wire::TopKForRequest request;
+  request.node = node;
+  request.k = k;
+  std::string body;
+  request.EncodeBody(&body);
+  auto frame = RoundTrip(wire::MessageTag::kTopKForRequest, body,
+                         wire::MessageTag::kTopKResponse);
+  if (!frame.ok()) return frame.status();
+  wire::TopKResponse response;
+  if (!wire::TopKResponse::DecodeBody(frame->body, &response)) {
+    Close();
+    return Status::IoError("undecodable TopKResponse");
+  }
+  if (response.status != wire::RpcStatus::kOk) {
+    return wire::FromRpcStatus(response.status, "TopKFor");
+  }
+  return std::move(response.entries);
+}
+
+Result<std::vector<core::ScoredPair>> IncSrClient::TopKPairs(
+    std::uint32_t k) {
+  wire::TopKPairsRequest request;
+  request.k = k;
+  std::string body;
+  request.EncodeBody(&body);
+  auto frame = RoundTrip(wire::MessageTag::kTopKPairsRequest, body,
+                         wire::MessageTag::kTopKResponse);
+  if (!frame.ok()) return frame.status();
+  wire::TopKResponse response;
+  if (!wire::TopKResponse::DecodeBody(frame->body, &response)) {
+    Close();
+    return Status::IoError("undecodable TopKResponse");
+  }
+  if (response.status != wire::RpcStatus::kOk) {
+    return wire::FromRpcStatus(response.status, "TopKPairs");
+  }
+  return std::move(response.entries);
+}
+
+Result<wire::SuggestResponse> IncSrClient::Suggest(
+    std::uint32_t k, const std::vector<graph::NodeId>& nodes) {
+  wire::SuggestRequest request;
+  request.k = k;
+  request.nodes = nodes;
+  std::string body;
+  request.EncodeBody(&body);
+  auto frame = RoundTrip(wire::MessageTag::kSuggestRequest, body,
+                         wire::MessageTag::kSuggestResponse);
+  if (!frame.ok()) return frame.status();
+  wire::SuggestResponse response;
+  if (!wire::SuggestResponse::DecodeBody(frame->body, &response)) {
+    Close();
+    return Status::IoError("undecodable SuggestResponse");
+  }
+  // A partially-invalid request (status kInvalid) still carries the
+  // valid nodes' answers; hand the whole thing to the caller.
+  return response;
+}
+
+Result<wire::StatsResponse> IncSrClient::Stats() {
+  auto frame = RoundTrip(wire::MessageTag::kStatsRequest, {},
+                         wire::MessageTag::kStatsResponse);
+  if (!frame.ok()) return frame.status();
+  wire::StatsResponse response;
+  if (!wire::StatsResponse::DecodeBody(frame->body, &response)) {
+    Close();
+    return Status::IoError("undecodable StatsResponse");
+  }
+  return response;
+}
+
+Status IncSrClient::Flush() {
+  auto frame = RoundTrip(wire::MessageTag::kFlushRequest, {},
+                         wire::MessageTag::kFlushResponse);
+  if (!frame.ok()) return frame.status();
+  wire::FlushResponse response;
+  if (!wire::FlushResponse::DecodeBody(frame->body, &response)) {
+    Close();
+    return Status::IoError("undecodable FlushResponse");
+  }
+  return wire::FromRpcStatus(response.status, "Flush");
+}
+
+// ---- RoundRobinClient ------------------------------------------------------
+
+Result<RoundRobinClient> RoundRobinClient::Connect(
+    const std::vector<std::string>& endpoints, const ClientOptions& options) {
+  if (endpoints.empty()) {
+    return Status::InvalidArgument("at least one endpoint is required");
+  }
+  for (const std::string& endpoint : endpoints) {
+    INCSR_RETURN_IF_ERROR(ParseHostPort(endpoint).status());
+  }
+  RoundRobinClient client(endpoints, options);
+  // The primary must be reachable up front; replicas may join later.
+  INCSR_RETURN_IF_ERROR(client.ClientFor(0).status());
+  return client;
+}
+
+Result<IncSrClient*> RoundRobinClient::ClientFor(std::size_t endpoint) {
+  if (endpoint >= endpoints_.size()) {
+    return Status::InvalidArgument("endpoint index out of range");
+  }
+  if (clients_[endpoint] != nullptr && clients_[endpoint]->connected()) {
+    return clients_[endpoint].get();
+  }
+  auto connected = IncSrClient::Connect(endpoints_[endpoint], options_);
+  if (!connected.ok()) return connected.status();
+  clients_[endpoint] =
+      std::make_unique<IncSrClient>(std::move(*connected));
+  return clients_[endpoint].get();
+}
+
+Result<wire::SubmitResponse> RoundRobinClient::Submit(
+    const std::vector<graph::EdgeUpdate>& updates) {
+  auto primary = ClientFor(0);
+  if (!primary.ok()) return primary.status();
+  return (*primary)->Submit(updates);
+}
+
+Status RoundRobinClient::Flush() {
+  auto primary = ClientFor(0);
+  if (!primary.ok()) return primary.status();
+  return (*primary)->Flush();
+}
+
+Result<double> RoundRobinClient::Score(graph::NodeId a, graph::NodeId b) {
+  return Query([a, b](IncSrClient& client) { return client.Score(a, b); });
+}
+
+Result<std::vector<core::ScoredPair>> RoundRobinClient::TopKFor(
+    graph::NodeId node, std::uint32_t k) {
+  return Query(
+      [node, k](IncSrClient& client) { return client.TopKFor(node, k); });
+}
+
+Result<std::vector<core::ScoredPair>> RoundRobinClient::TopKPairs(
+    std::uint32_t k) {
+  return Query([k](IncSrClient& client) { return client.TopKPairs(k); });
+}
+
+Result<wire::SuggestResponse> RoundRobinClient::Suggest(
+    std::uint32_t k, const std::vector<graph::NodeId>& nodes) {
+  return Query(
+      [k, &nodes](IncSrClient& client) { return client.Suggest(k, nodes); });
+}
+
+Result<wire::StatsResponse> RoundRobinClient::Stats(std::size_t endpoint) {
+  auto client = ClientFor(endpoint);
+  if (!client.ok()) return client.status();
+  return (*client)->Stats();
+}
+
+}  // namespace incsr::net

@@ -1,0 +1,167 @@
+// Client side of the serving tier: a blocking single-connection RPC
+// client (IncSrClient) plus a read-scaling wrapper (RoundRobinClient)
+// that spreads queries across a primary and its read replicas.
+//
+// Every RPC is one synchronous frame round trip on one TCP connection;
+// the client is NOT thread-safe — use one per thread (the bench does).
+// Scores and top-k entries cross the wire as raw IEEE-754 bits, so an
+// over-the-wire answer is bitwise identical to the in-process one.
+#ifndef INCSR_NET_CLIENT_H_
+#define INCSR_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dynamic_simrank.h"
+#include "graph/digraph.h"
+#include "graph/update_stream.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace incsr::net {
+
+struct ClientOptions {
+  int connect_timeout_ms = 5000;
+  std::size_t max_frame_payload = wire::kMaxFramePayload;
+};
+
+/// Blocking binary-RPC client; movable, one in-flight RPC at a time.
+class IncSrClient {
+ public:
+  static Result<IncSrClient> Connect(const std::string& host,
+                                     std::uint16_t port,
+                                     const ClientOptions& options = {});
+  /// Convenience over a "host:port" endpoint string.
+  static Result<IncSrClient> Connect(const std::string& endpoint,
+                                     const ClientOptions& options = {});
+
+  IncSrClient(IncSrClient&&) = default;
+  IncSrClient& operator=(IncSrClient&&) = default;
+
+  /// Liveness round trip (empty request, empty response).
+  Status Ping();
+
+  /// Batched ingest. Returns the server's admission outcome — status
+  /// kOverloaded with a nonzero `rejected` is reject-mode backpressure,
+  /// not a transport error; only transport/protocol failures surface as
+  /// a non-OK Result status.
+  Result<wire::SubmitResponse> Submit(
+      const std::vector<graph::EdgeUpdate>& updates);
+
+  /// SimRank score of (a, b) at the server's latest published epoch.
+  Result<double> Score(graph::NodeId a, graph::NodeId b);
+
+  Result<std::vector<core::ScoredPair>> TopKFor(graph::NodeId node,
+                                                std::uint32_t k);
+  Result<std::vector<core::ScoredPair>> TopKPairs(std::uint32_t k);
+
+  /// Bulk "suggest related": top-k neighbors for many nodes in one round
+  /// trip, served off the server's per-node top-k index.
+  Result<wire::SuggestResponse> Suggest(
+      std::uint32_t k, const std::vector<graph::NodeId>& nodes);
+
+  Result<wire::StatsResponse> Stats();
+
+  /// Barrier: returns once every update the server accepted before this
+  /// call is applied and published.
+  Status Flush();
+
+  void Close() { socket_.Close(); }
+  bool connected() const { return socket_.valid(); }
+
+ private:
+  IncSrClient(Socket socket, const ClientOptions& options)
+      : socket_(std::move(socket)), options_(options) {}
+
+  /// One request frame out, one response frame in. A kErrorResponse (or
+  /// any unexpected tag) maps to a non-OK Status; transport errors close
+  /// the connection so the next RPC fails fast.
+  Result<ReceivedFrame> RoundTrip(wire::MessageTag request_tag,
+                                  std::string_view body,
+                                  wire::MessageTag response_tag);
+
+  Socket socket_;
+  ClientOptions options_;
+};
+
+/// Read-scaling façade over a primary and R read replicas: writes
+/// (Submit/Flush) always target the primary (endpoint 0), queries
+/// round-robin across every endpoint, skipping — and lazily
+/// reconnecting — endpoints whose connection failed. Because replicas
+/// serve bitwise-identical epochs, any endpoint's answer is exact for
+/// the epoch it has published. NOT thread-safe.
+class RoundRobinClient {
+ public:
+  /// `endpoints` are "host:port" strings; the first is the primary.
+  static Result<RoundRobinClient> Connect(
+      const std::vector<std::string>& endpoints,
+      const ClientOptions& options = {});
+
+  RoundRobinClient(RoundRobinClient&&) = default;
+  RoundRobinClient& operator=(RoundRobinClient&&) = default;
+
+  Result<wire::SubmitResponse> Submit(
+      const std::vector<graph::EdgeUpdate>& updates);
+  Status Flush();
+
+  Result<double> Score(graph::NodeId a, graph::NodeId b);
+  Result<std::vector<core::ScoredPair>> TopKFor(graph::NodeId node,
+                                                std::uint32_t k);
+  Result<std::vector<core::ScoredPair>> TopKPairs(std::uint32_t k);
+  Result<wire::SuggestResponse> Suggest(
+      std::uint32_t k, const std::vector<graph::NodeId>& nodes);
+
+  /// Stats of one endpoint (0 = primary).
+  Result<wire::StatsResponse> Stats(std::size_t endpoint);
+
+  std::size_t num_endpoints() const { return endpoints_.size(); }
+
+ private:
+  RoundRobinClient(std::vector<std::string> endpoints,
+                   const ClientOptions& options)
+      : endpoints_(std::move(endpoints)),
+        clients_(endpoints_.size()),
+        options_(options) {}
+
+  /// Live client for `endpoint`, reconnecting if needed.
+  Result<IncSrClient*> ClientFor(std::size_t endpoint);
+  /// Runs `rpc` against up to every endpoint starting at the round-robin
+  /// cursor, failing over past endpoints that are down.
+  template <typename Rpc>
+  auto Query(Rpc&& rpc) -> decltype(rpc(std::declval<IncSrClient&>()));
+
+  std::vector<std::string> endpoints_;
+  std::vector<std::unique_ptr<IncSrClient>> clients_;
+  ClientOptions options_;
+  std::size_t next_ = 0;
+};
+
+template <typename Rpc>
+auto RoundRobinClient::Query(Rpc&& rpc)
+    -> decltype(rpc(std::declval<IncSrClient&>())) {
+  Status last = Status::IoError("no serving endpoint reachable");
+  for (std::size_t attempt = 0; attempt < endpoints_.size(); ++attempt) {
+    const std::size_t endpoint = next_;
+    next_ = (next_ + 1) % endpoints_.size();
+    auto client = ClientFor(endpoint);
+    if (!client.ok()) {
+      last = client.status();
+      continue;
+    }
+    auto result = rpc(**client);
+    if (result.ok()) return result;
+    // An answer the server produced (bad node id, ...) is authoritative;
+    // only a dead connection fails over to the next endpoint.
+    if ((*client)->connected()) return result;
+    last = result.status();
+  }
+  return last;
+}
+
+}  // namespace incsr::net
+
+#endif  // INCSR_NET_CLIENT_H_

@@ -1,0 +1,184 @@
+#include "net/replication.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "net/socket.h"
+
+namespace incsr::net {
+
+// ---- ReplicationLog --------------------------------------------------------
+
+ReplicationLog::ReplicationLog(std::size_t capacity, std::uint64_t floor_seq)
+    : capacity_(std::max<std::size_t>(1, capacity)), floor_seq_(floor_seq) {}
+
+void ReplicationLog::SeedFloor(std::uint64_t floor_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  INCSR_CHECK(batches_.empty(),
+              "SeedFloor on a log already holding %zu batches",
+              batches_.size());
+  floor_seq_ = std::max(floor_seq_, floor_seq);
+}
+
+void ReplicationLog::Append(std::uint64_t seq,
+                            std::vector<graph::EdgeUpdate> batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A registration racing the applier can replay the batch published
+  // while the listener was being swapped in; the seeded floor already
+  // covers it, so the duplicate is dropped rather than treated as a gap.
+  if (seq <= floor_seq_ + batches_.size()) return;
+  INCSR_CHECK(seq == floor_seq_ + batches_.size() + 1,
+              "replication log sequence gap: got %llu, expected %llu",
+              static_cast<unsigned long long>(seq),
+              static_cast<unsigned long long>(floor_seq_ + batches_.size() +
+                                              1));
+  wire::ReplicaBatchMessage message;
+  message.seq = seq;
+  message.updates = std::move(batch);
+  batches_.push_back(std::move(message));
+  if (batches_.size() > capacity_) {
+    batches_.pop_front();
+    ++floor_seq_;
+  }
+}
+
+bool ReplicationLog::CollectFrom(
+    std::uint64_t from_seq, std::vector<wire::ReplicaBatchMessage>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (from_seq < floor_seq_) return false;  // aged out of the window
+  for (const wire::ReplicaBatchMessage& message : batches_) {
+    if (message.seq > from_seq) out->push_back(message);
+  }
+  return true;
+}
+
+std::uint64_t ReplicationLog::last_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return floor_seq_ + batches_.size();
+}
+
+std::size_t ReplicationLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_.size();
+}
+
+// ---- ReplicationClient -----------------------------------------------------
+
+Result<std::unique_ptr<ReplicationClient>> ReplicationClient::Start(
+    service::SimRankService* replica,
+    const ReplicationClientOptions& options) {
+  if (replica == nullptr || !replica->is_replica()) {
+    return Status::InvalidArgument(
+        "ReplicationClient requires a CreateReplica service");
+  }
+  if (options.primary_port == 0) {
+    return Status::InvalidArgument("primary_port must be set");
+  }
+  return std::unique_ptr<ReplicationClient>(
+      new ReplicationClient(replica, options));
+}
+
+ReplicationClient::ReplicationClient(service::SimRankService* replica,
+                                     const ReplicationClientOptions& options)
+    : replica_(replica), options_(options) {
+  last_applied_.store(replica_->stats().epoch, std::memory_order_relaxed);
+  thread_ = std::thread(&ReplicationClient::Run, this);
+}
+
+ReplicationClient::~ReplicationClient() { Stop(); }
+
+void ReplicationClient::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    // Break a blocking recv in the session thread; the fd itself is owned
+    // (and closed) by the session.
+    if (socket_fd_ >= 0) ::shutdown(socket_fd_, SHUT_RDWR);
+    stop_cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+bool ReplicationClient::Backoff(int* delay_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  stop_cv_.wait_for(lock, std::chrono::milliseconds(*delay_ms),
+                    [this] { return stopping_; });
+  *delay_ms = std::min(*delay_ms * 2, options_.reconnect_max_ms);
+  return !stopping_;
+}
+
+void ReplicationClient::Run() {
+  int delay_ms = options_.reconnect_initial_ms;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+    }
+    RunSession();
+    connected_.store(false, std::memory_order_relaxed);
+    if (catch_up_failed_.load(std::memory_order_relaxed)) return;
+    if (!Backoff(&delay_ms)) return;
+  }
+}
+
+void ReplicationClient::RunSession() {
+  auto socket = ConnectTo(options_.primary_host, options_.primary_port,
+                          options_.connect_timeout_ms);
+  if (!socket.ok()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    socket_fd_ = socket->fd();
+  }
+  // Drop the fd registration on every exit path so Stop() never touches a
+  // dead fd.
+  struct FdGuard {
+    ReplicationClient* self;
+    ~FdGuard() {
+      std::lock_guard<std::mutex> lock(self->mu_);
+      self->socket_fd_ = -1;
+    }
+  } guard{this};
+
+  // Subscribe from the replica's current epoch: the primary replays its
+  // backlog past this point, then streams live batches.
+  const std::uint64_t from_seq = replica_->stats().epoch;
+  wire::SubscribeRequest request;
+  request.from_seq = from_seq;
+  std::string body;
+  request.EncodeBody(&body);
+  if (!WriteFrame(socket->fd(), wire::MessageTag::kSubscribeRequest, body)
+           .ok()) {
+    return;
+  }
+  auto first = ReadFrame(socket->fd(), options_.max_frame_payload);
+  if (!first.ok() || first->tag != wire::MessageTag::kSubscribeResponse) {
+    return;
+  }
+  wire::SubscribeResponse subscribed;
+  if (!wire::SubscribeResponse::DecodeBody(first->body, &subscribed)) return;
+  if (subscribed.status == wire::RpcStatus::kInvalid) {
+    // The backlog was trimmed past our sequence: no amount of retrying
+    // recovers — the operator must rebuild the replica from scratch.
+    catch_up_failed_.store(true, std::memory_order_relaxed);
+    return;
+  }
+  if (subscribed.status != wire::RpcStatus::kOk) return;
+  connected_.store(true, std::memory_order_relaxed);
+  subscriptions_.fetch_add(1, std::memory_order_relaxed);
+
+  for (;;) {
+    auto frame = ReadFrame(socket->fd(), options_.max_frame_payload);
+    if (!frame.ok() || frame->tag != wire::MessageTag::kReplicaBatch) return;
+    wire::ReplicaBatchMessage batch;
+    if (!wire::ReplicaBatchMessage::DecodeBody(frame->body, &batch)) return;
+    Status applied = replica_->ApplyReplicated(batch.seq, batch.updates);
+    if (!applied.ok()) return;  // gap or stopped: resubscribe from epoch
+    last_applied_.store(batch.seq, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace incsr::net

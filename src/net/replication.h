@@ -1,0 +1,156 @@
+// Primary → replica replication for the serving tier.
+//
+// The primary's SimRankService reports every applied batch (sequence =
+// published epoch, batch exactly as applied) through its applied-batch
+// listener. The serving tier turns that stream into read replicas:
+//
+//   - ReplicationLog (primary side): a bounded in-memory backlog of
+//     applied batches. A replica that subscribes (or reconnects) with its
+//     last applied sequence catches up from here before going live — the
+//     queued backlog of the reconnect path.
+//   - ReplicationClient (replica side): a background thread that connects
+//     to the primary's IncSrServer, subscribes from the replica's current
+//     epoch, and applies each streamed batch through
+//     SimRankService::ApplyReplicated. On any error — connection drop,
+//     primary restart, decode failure — it reconnects with exponential
+//     backoff and re-subscribes from the last applied sequence, so a
+//     replica converges to the primary's exact state after any
+//     interruption.
+//
+// Replica reads are bitwise identical to the primary at the same epoch:
+// both sides started from the same deterministic initial build and applied
+// the same batches with the same boundaries through the same kernels.
+#ifndef INCSR_NET_REPLICATION_H_
+#define INCSR_NET_REPLICATION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/update_stream.h"
+#include "net/wire.h"
+#include "service/simrank_service.h"
+
+namespace incsr::net {
+
+/// Bounded FIFO of applied batches, newest `capacity` retained. Appends
+/// come from the primary's applier thread; snapshots from the server's
+/// event loop when a replica subscribes. Thread-safe.
+class ReplicationLog {
+ public:
+  /// `capacity` in batches; `floor_seq` is the sequence the log starts
+  /// after (the service's epoch when the log was attached — normally 0).
+  explicit ReplicationLog(std::size_t capacity, std::uint64_t floor_seq = 0);
+
+  /// Raises the floor to `floor_seq` (no-op when already past it). Must
+  /// be called before any batch is retained: the server seeds the floor
+  /// with the service's epoch at listener-registration time so history
+  /// the log never saw is reported as aged out, not silently skipped.
+  void SeedFloor(std::uint64_t floor_seq);
+
+  /// Records one applied batch. Sequences must arrive consecutively
+  /// (they are published epochs of a single service); a sequence the
+  /// floor already covers is dropped as a registration-race duplicate.
+  void Append(std::uint64_t seq, std::vector<graph::EdgeUpdate> batch);
+
+  /// Copies every retained batch with sequence > `from_seq` into `out`
+  /// (oldest first). Returns false when `from_seq` predates the retained
+  /// window — the subscriber missed trimmed batches and cannot catch up
+  /// from this log.
+  bool CollectFrom(std::uint64_t from_seq,
+                   std::vector<wire::ReplicaBatchMessage>* out) const;
+
+  /// Highest appended sequence (floor_seq when empty).
+  std::uint64_t last_seq() const;
+  std::size_t size() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  /// Sequence of the last batch BEFORE the retained window; batches_
+  /// holds seqs [floor_seq_ + 1, floor_seq_ + batches_.size()].
+  std::uint64_t floor_seq_;
+  std::deque<wire::ReplicaBatchMessage> batches_;
+};
+
+/// Replica-side replication knobs.
+struct ReplicationClientOptions {
+  std::string primary_host = "127.0.0.1";
+  std::uint16_t primary_port = 0;
+  int connect_timeout_ms = 2000;
+  /// Exponential backoff between reconnect attempts.
+  int reconnect_initial_ms = 50;
+  int reconnect_max_ms = 2000;
+  std::size_t max_frame_payload = wire::kMaxFramePayload;
+};
+
+/// Background subscriber that keeps a CreateReplica service converged to
+/// a primary. Start it once; it owns its thread until Stop()/destruction.
+class ReplicationClient {
+ public:
+  /// `replica` must outlive the client and be a CreateReplica service.
+  static Result<std::unique_ptr<ReplicationClient>> Start(
+      service::SimRankService* replica,
+      const ReplicationClientOptions& options);
+
+  ~ReplicationClient();
+  ReplicationClient(const ReplicationClient&) = delete;
+  ReplicationClient& operator=(const ReplicationClient&) = delete;
+
+  /// Stops the subscriber thread (idempotent). The replica keeps serving
+  /// its last applied epoch.
+  void Stop();
+
+  /// Highest primary sequence applied to the replica.
+  std::uint64_t last_applied_seq() const {
+    return last_applied_.load(std::memory_order_relaxed);
+  }
+  /// Completed subscriptions (1 = the initial one; more = reconnects).
+  std::uint64_t subscriptions() const {
+    return subscriptions_.load(std::memory_order_relaxed);
+  }
+  bool connected() const {
+    return connected_.load(std::memory_order_relaxed);
+  }
+  /// Set permanently when the primary reports the catch-up window was
+  /// trimmed past our sequence — the replica must be rebuilt from scratch.
+  bool catch_up_failed() const {
+    return catch_up_failed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ReplicationClient(service::SimRankService* replica,
+                    const ReplicationClientOptions& options);
+
+  void Run();
+  /// One connect → subscribe → stream session; returns on any error.
+  void RunSession();
+  /// Interruptible backoff sleep; returns false when stopping.
+  bool Backoff(int* delay_ms);
+
+  service::SimRankService* const replica_;
+  const ReplicationClientOptions options_;
+
+  std::mutex mu_;  // guards socket_fd_ and stop coordination
+  std::condition_variable stop_cv_;
+  int socket_fd_ = -1;  // live session's fd, for shutdown() on Stop()
+  bool stopping_ = false;
+
+  std::atomic<std::uint64_t> last_applied_{0};
+  std::atomic<std::uint64_t> subscriptions_{0};
+  std::atomic<bool> connected_{false};
+  std::atomic<bool> catch_up_failed_{false};
+
+  std::thread thread_;
+};
+
+}  // namespace incsr::net
+
+#endif  // INCSR_NET_REPLICATION_H_

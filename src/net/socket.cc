@@ -1,0 +1,201 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+namespace incsr::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status SetNonBlocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  const int next = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, next) < 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+Result<Socket> ListenOn(const std::string& host, std::uint16_t port,
+                        int backlog) {
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) return Errno("socket");
+  const int one = 1;
+  if (::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) <
+      0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("listen host '" + host +
+                                   "' is not an IPv4 address");
+  }
+  if (::bind(socket.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    return Errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(socket.fd(), backlog) < 0) return Errno("listen");
+  INCSR_RETURN_IF_ERROR(SetNonBlocking(socket.fd(), true));
+  return socket;
+}
+
+Result<std::uint16_t> LocalPort(const Socket& socket) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return Errno("getsockname");
+  }
+  return static_cast<std::uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<Socket> ConnectTo(const std::string& host, std::uint16_t port,
+                         int timeout_ms) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(),
+                               &hints, &resolved);
+  if (rc != 0) {
+    return Status::IoError("resolve " + host + ": " + ::gai_strerror(rc));
+  }
+  Status last = Status::IoError("no addresses for " + host);
+  for (addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    Socket socket(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!socket.valid()) {
+      last = Errno("socket");
+      continue;
+    }
+    // Connect with a deadline: non-blocking connect + poll for writability.
+    if (Status s = SetNonBlocking(socket.fd(), true); !s.ok()) {
+      last = s;
+      continue;
+    }
+    if (::connect(socket.fd(), ai->ai_addr, ai->ai_addrlen) < 0 &&
+        errno != EINPROGRESS) {
+      last = Errno("connect " + host + ":" + std::to_string(port));
+      continue;
+    }
+    pollfd pfd{socket.fd(), POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0) {
+      last = ready == 0 ? Status::IoError("connect " + host + ":" +
+                                          std::to_string(port) + ": timeout")
+                        : Errno("poll");
+      continue;
+    }
+    int err = 0;
+    socklen_t err_len = sizeof err;
+    if (::getsockopt(socket.fd(), SOL_SOCKET, SO_ERROR, &err, &err_len) < 0 ||
+        err != 0) {
+      errno = err != 0 ? err : errno;
+      last = Errno("connect " + host + ":" + std::to_string(port));
+      continue;
+    }
+    if (Status s = SetNonBlocking(socket.fd(), false); !s.ok()) {
+      last = s;
+      continue;
+    }
+    const int one = 1;
+    (void)::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                       sizeof one);
+    ::freeaddrinfo(resolved);
+    return socket;
+  }
+  ::freeaddrinfo(resolved);
+  return last;
+}
+
+Result<std::pair<std::string, std::uint16_t>> ParseHostPort(
+    const std::string& endpoint) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= endpoint.size()) {
+    return Status::InvalidArgument("endpoint '" + endpoint +
+                                   "' is not HOST:PORT");
+  }
+  char* end = nullptr;
+  const long port = std::strtol(endpoint.c_str() + colon + 1, &end, 10);
+  if (*end != '\0' || port < 1 || port > 65535) {
+    return Status::InvalidArgument("endpoint '" + endpoint +
+                                   "' has an invalid port");
+  }
+  return std::pair(endpoint.substr(0, colon),
+                   static_cast<std::uint16_t>(port));
+}
+
+Status WriteAll(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ReadExact(int fd, void* buffer, std::size_t size) {
+  auto* out = static_cast<char*>(buffer);
+  std::size_t received = 0;
+  while (received < size) {
+    const ssize_t n = ::recv(fd, out + received, size - received, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) return Status::IoError("connection closed by peer");
+    received += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WriteFrame(int fd, wire::MessageTag tag, std::string_view body) {
+  return WriteAll(fd, wire::EncodeFrame(tag, body));
+}
+
+Result<ReceivedFrame> ReadFrame(int fd, std::size_t max_payload) {
+  std::uint8_t prefix[wire::kFramePrefixBytes];
+  INCSR_RETURN_IF_ERROR(ReadExact(fd, prefix, sizeof prefix));
+  auto length = wire::ParseFrameLength(prefix, max_payload);
+  if (!length.ok()) return length.status();
+  std::string payload(*length, '\0');
+  INCSR_RETURN_IF_ERROR(ReadExact(fd, payload.data(), payload.size()));
+  auto frame = wire::ParseFramePayload(payload);
+  if (!frame.ok()) return frame.status();
+  ReceivedFrame received;
+  received.tag = frame->tag;
+  received.body.assign(frame->body);
+  return received;
+}
+
+}  // namespace incsr::net

@@ -1,0 +1,96 @@
+// Thin POSIX socket layer for the serving tier: an RAII fd, TCP
+// listen/connect helpers, and blocking exact-length frame I/O used by the
+// client library and the replication stream. The server's event loop uses
+// the same Socket type but does its own non-blocking buffered I/O
+// (net/server.cc). All writes use MSG_NOSIGNAL so a peer vanishing
+// mid-write surfaces as an IoError Status, never a SIGPIPE.
+#ifndef INCSR_NET_SOCKET_H_
+#define INCSR_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace incsr::net {
+
+/// Owning file-descriptor wrapper; closes on destruction, movable.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Transfers ownership of the fd to the caller.
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Opens a TCP listening socket on host:port (port 0 = ephemeral; read the
+/// chosen one back with LocalPort). SO_REUSEADDR is set; the socket is
+/// non-blocking (the server's poll loop requires it).
+Result<Socket> ListenOn(const std::string& host, std::uint16_t port,
+                        int backlog);
+
+/// Port a (listening) socket is bound to.
+Result<std::uint16_t> LocalPort(const Socket& socket);
+
+/// Blocking TCP connect with a millisecond timeout; the returned socket is
+/// in blocking mode with TCP_NODELAY set (the protocol is request/response
+/// with small frames — Nagle would serialize RPCs at 40 ms each).
+Result<Socket> ConnectTo(const std::string& host, std::uint16_t port,
+                         int timeout_ms);
+
+/// Puts `fd` into (non-)blocking mode.
+Status SetNonBlocking(int fd, bool nonblocking);
+
+/// Splits "host:port" (e.g. "127.0.0.1:7421"). The port must be in
+/// [1, 65535].
+Result<std::pair<std::string, std::uint16_t>> ParseHostPort(
+    const std::string& endpoint);
+
+/// Writes all of `data` (blocking), retrying short writes and EINTR.
+Status WriteAll(int fd, std::string_view data);
+
+/// Reads exactly `size` bytes (blocking). EOF before `size` is an IoError.
+Status ReadExact(int fd, void* buffer, std::size_t size);
+
+/// A received frame: tag plus decoded body bytes.
+struct ReceivedFrame {
+  wire::MessageTag tag;
+  std::string body;
+};
+
+/// Blocking frame send (EncodeFrame + WriteAll).
+Status WriteFrame(int fd, wire::MessageTag tag, std::string_view body);
+
+/// Blocking frame receive: length prefix, cap check, version/tag check.
+Result<ReceivedFrame> ReadFrame(int fd, std::size_t max_payload);
+
+}  // namespace incsr::net
+
+#endif  // INCSR_NET_SOCKET_H_

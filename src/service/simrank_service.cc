@@ -14,12 +14,25 @@ Result<std::unique_ptr<SimRankService>> SimRankService::Create(
     return Status::InvalidArgument("max_batch must be >= 1");
   }
   return std::unique_ptr<SimRankService>(
-      new SimRankService(std::move(index), options));
+      new SimRankService(std::move(index), options, /*replica=*/false));
+}
+
+Result<std::unique_ptr<SimRankService>> SimRankService::CreateReplica(
+    core::DynamicSimRank index, const ServiceOptions& options) {
+  if (options.queue_capacity == 0) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  if (options.max_batch == 0) {
+    return Status::InvalidArgument("max_batch must be >= 1");
+  }
+  return std::unique_ptr<SimRankService>(
+      new SimRankService(std::move(index), options, /*replica=*/true));
 }
 
 SimRankService::SimRankService(core::DynamicSimRank index,
-                               const ServiceOptions& options)
+                               const ServiceOptions& options, bool replica)
     : options_(options),
+      replica_(replica),
       index_(std::move(index)),
       cache_(options.cache_capacity),
       topk_index_(options.topk_index_capacity) {
@@ -36,12 +49,20 @@ SimRankService::SimRankService(core::DynamicSimRank index,
   topk_rows_reranked_.store(topk_index_.rows_reranked(),
                             std::memory_order_relaxed);
   snapshot_ = std::move(initial);
-  applier_ = std::thread(&SimRankService::ApplierLoop, this);
+  // A replica has no ingest pipeline: its state advances only through
+  // ApplyReplicated, synchronously on the replication stream's thread.
+  if (!replica_) {
+    applier_ = std::thread(&SimRankService::ApplierLoop, this);
+  }
 }
 
 SimRankService::~SimRankService() { Stop(); }
 
 Status SimRankService::Submit(const graph::EdgeUpdate& update) {
+  if (replica_) {
+    return Status::NotSupported(
+        "replica is read-only: submit updates to the primary");
+  }
   std::unique_lock<std::mutex> lock(mu_);
   if (stopping_) {
     return Status::FailedPrecondition("SimRankService is stopped");
@@ -90,6 +111,52 @@ void SimRankService::Stop() {
   // stop_mu_ serializes concurrent Stop() callers around the join.
   std::lock_guard<std::mutex> lock(stop_mu_);
   if (applier_.joinable()) applier_.join();
+}
+
+std::uint64_t SimRankService::SetAppliedBatchListener(
+    AppliedBatchListener listener) {
+  std::lock_guard<std::mutex> lock(listener_mu_);
+  listener_ = std::move(listener);
+  // Epoch read under listener_mu_: any batch the applier already handed
+  // to the OLD listener published before this lock, so its epoch is
+  // visible here — the returned value is a floor below which the new
+  // listener will never be invoked (it may still see this exact epoch
+  // again if the applier raced the swap, hence the log's duplicate drop).
+  std::lock_guard<std::mutex> snapshot_lock(snapshot_mu_);
+  return snapshot_->epoch;
+}
+
+Status SimRankService::ApplyReplicated(
+    std::uint64_t seq, const std::vector<graph::EdgeUpdate>& batch) {
+  if (!replica_) {
+    return Status::FailedPrecondition(
+        "ApplyReplicated requires a CreateReplica service");
+  }
+  // stop_mu_ doubles as the replication-stream serializer: one batch at a
+  // time, and Stop() (which takes it too) cannot interleave with an apply.
+  std::lock_guard<std::mutex> apply_lock(stop_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return Status::FailedPrecondition("replica service is stopped");
+    }
+  }
+  std::uint64_t current;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    current = snapshot_->epoch;
+  }
+  if (seq != current + 1) {
+    return Status::FailedPrecondition(
+        "replication sequence gap: expected seq " +
+        std::to_string(current + 1) + ", got " + std::to_string(seq));
+  }
+  ApplyAndPublish(batch);
+  std::lock_guard<std::mutex> lock(mu_);
+  accepted_ += batch.size();
+  published_ += batch.size();
+  progress_.notify_all();
+  return Status::OK();
 }
 
 std::shared_ptr<const EpochSnapshot> SimRankService::Snapshot() const {
@@ -239,10 +306,20 @@ void SimRankService::ApplyAndPublish(
     }
   }
   batches_.fetch_add(1, std::memory_order_relaxed);
-  Publish();
+  const std::uint64_t epoch = Publish();
+  // Replication fan-out: ship the batch exactly as applied (validated, in
+  // apply order, empty batches included — they still publish an epoch).
+  // A replica replaying this stream against the same initial state
+  // reproduces every epoch bitwise.
+  AppliedBatchListener listener;
+  {
+    std::lock_guard<std::mutex> lock(listener_mu_);
+    listener = listener_;
+  }
+  if (listener) listener(epoch, valid);
 }
 
-void SimRankService::Publish() {
+std::uint64_t SimRankService::Publish() {
   auto next = std::make_shared<EpochSnapshot>();
   next->graph = index_.graph();
   // The batch's ground-truth delta: the rows it actually wrote (the score
@@ -289,6 +366,7 @@ void SimRankService::Publish() {
   } else {
     cache_.OnPublish(epoch, std::span<const std::int32_t>(touched));
   }
+  return epoch;
 }
 
 }  // namespace incsr::service

@@ -47,6 +47,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -154,12 +155,32 @@ struct ServiceStats {
   }
 };
 
+/// Observes the applied update stream: called by the applier after every
+/// apply/publish cycle with the published epoch (a dense 1-based sequence
+/// number) and the batch exactly as applied — pre-validated, in apply
+/// order, possibly empty when every drained update was invalid. This is
+/// the replication surface: a replica that applies the same batches with
+/// the same boundaries to the same initial state reproduces S bitwise
+/// (the kernels are deterministic). Invoked on the applier thread, so it
+/// must be cheap and must not call back into the service's writer side.
+using AppliedBatchListener = std::function<void(
+    std::uint64_t seq, const std::vector<graph::EdgeUpdate>& batch)>;
+
 /// Thread-safe SimRank serving façade. Create once, Submit from any number
 /// of writer threads, query from any number of reader threads.
 class SimRankService {
  public:
   /// Takes ownership of a built index and starts the applier thread.
   static Result<std::unique_ptr<SimRankService>> Create(
+      core::DynamicSimRank index, const ServiceOptions& options = {});
+
+  /// Read-replica mode: no applier thread, Submit is rejected — state
+  /// advances only through ApplyReplicated, which replays a primary's
+  /// applied batch stream. The index must be built from the same graph
+  /// and options as the primary's so epoch 0 matches bitwise; every later
+  /// epoch then matches too, because both sides run the same
+  /// deterministic kernels over the same batch boundaries.
+  static Result<std::unique_ptr<SimRankService>> CreateReplica(
       core::DynamicSimRank index, const ServiceOptions& options = {});
 
   /// Stops the service (drains the queue first, see Stop()).
@@ -189,6 +210,30 @@ class SimRankService {
   /// valid forever (they serve the last published snapshot).
   void Stop();
 
+  // ---- Replication (primary → replica applied-batch stream) --------------
+
+  /// Registers the applied-stream observer (nullptr clears it) and
+  /// returns the published epoch at registration: every batch with a
+  /// larger sequence WILL reach the new listener, none with a smaller one
+  /// will (the exact registration epoch may be delivered once more if the
+  /// applier raced the swap). Batches applied before registration are not
+  /// replayed — pair the returned epoch with an external backlog
+  /// (net::ReplicationLog::SeedFloor) for catch-up bookkeeping.
+  std::uint64_t SetAppliedBatchListener(AppliedBatchListener listener);
+
+  /// Replica mode only: applies one primary batch synchronously on the
+  /// caller's thread and publishes epoch `seq`. Batches must arrive in
+  /// order — `seq` must be exactly the current epoch + 1, or the call
+  /// fails with FailedPrecondition and applies nothing (the replication
+  /// client re-subscribes from its last applied sequence). Safe against
+  /// concurrent readers (epoch snapshots), but callers must serialize
+  /// themselves only through the internal mutex — one stream per replica.
+  Status ApplyReplicated(std::uint64_t seq,
+                         const std::vector<graph::EdgeUpdate>& batch);
+
+  /// True for services built with CreateReplica.
+  bool is_replica() const { return replica_; }
+
   // ---- Reader side (never blocks behind updates) -------------------------
 
   /// Pins the latest published snapshot.
@@ -209,18 +254,21 @@ class SimRankService {
   const ServiceOptions& options() const { return options_; }
 
  private:
-  SimRankService(core::DynamicSimRank index, const ServiceOptions& options);
+  SimRankService(core::DynamicSimRank index, const ServiceOptions& options,
+                 bool replica);
 
   void ApplierLoop();
   /// Applies one drained batch (coalesced, with unit-update fallback on
-  /// invalid updates) and publishes the resulting epoch.
+  /// invalid updates), publishes the resulting epoch, and notifies the
+  /// applied-batch listener.
   void ApplyAndPublish(const std::vector<graph::EdgeUpdate>& batch);
   /// Publishes an epoch: snapshots scores + top-k index, re-ranking index
   /// entries and invalidating cached queries for exactly the rows the
-  /// batch wrote (the store's touched-row delta).
-  void Publish();
+  /// batch wrote (the store's touched-row delta). Returns the epoch.
+  std::uint64_t Publish();
 
   const ServiceOptions options_;
+  const bool replica_;
   core::DynamicSimRank index_;  // applier thread only, once started
 
   mutable std::mutex mu_;  // queue, sequence counters, lifecycle
@@ -234,6 +282,11 @@ class SimRankService {
 
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const EpochSnapshot> snapshot_;
+
+  // Applied-stream observer (replication fan-out). Written by
+  // SetAppliedBatchListener, read by the applier once per batch.
+  mutable std::mutex listener_mu_;
+  AppliedBatchListener listener_;
 
   mutable TopKQueryCache cache_;
   TopKIndex topk_index_;  // applier thread only; readers use snapshot views

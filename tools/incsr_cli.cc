@@ -12,6 +12,13 @@
 //             [--backpressure block|reject] [--damping C] [--iterations K]
 //             [--threads T] [--shards S] [--index-capacity C]
 //
+//   incsr_cli serve <edge_list> --listen HOST:PORT [--updates FILE]
+//             [--replica-of HOST:PORT] [--replication-backlog N] [...]
+//
+//   incsr_cli client <HOST:PORT> [--ping] [--submit FILE] [--flush]
+//             [--score A B] [--query NODE] [--pairs] [--topk K]
+//             [--suggest N1,N2,...] [--stats]
+//
 // `serve` replays the update stream through the concurrent SimRankService
 // (N writer threads submitting, M reader threads issuing top-k queries
 // against published epoch snapshots), then Flush()es and prints ingest /
@@ -26,9 +33,26 @@
 // queries fan out and merge. Per-shard stats are printed alongside the
 // aggregate.
 //
+// With --listen the service goes online instead of replaying a local
+// stream: an IncSrServer speaks the framed binary protocol (see
+// docs/wire_protocol.md) on HOST:PORT, ingest arrives as Submit RPCs, and
+// SIGINT/SIGTERM shuts down gracefully — stop accepting, drain the ingest
+// queue, publish the final epoch, print final stats, exit 0. An optional
+// --updates FILE is pre-applied through the service before going online.
+// --replica-of turns the process into a read replica: it builds the same
+// initial state from the edge list, subscribes to the primary's applied
+// update stream, and serves reads that are bitwise identical to the
+// primary's at the same epoch.
+//
+// `client` is a thin RPC client for a --listen server. Node ids on the
+// wire are the server's DENSE ids (the edge-list reader's remapped
+// space), not the original file ids.
+//
 // The updates file holds one update per line: "+ src dst" (insert) or
 // "- src dst" (delete); '#' starts a comment.
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -65,8 +89,13 @@ void PrintUsage(const char* prog) {
       "          [--max-batch B] [--cache-capacity C]\n"
       "          [--backpressure block|reject] [--damping C]\n"
       "          [--iterations K] [--threads T] [--shards S]\n"
-      "          [--index-capacity C]\n",
-      prog, prog);
+      "          [--index-capacity C]\n"
+      "       %s serve <edge_list> --listen HOST:PORT [--updates FILE]\n"
+      "          [--replica-of HOST:PORT] [--replication-backlog N] [...]\n"
+      "       %s client <HOST:PORT> [--ping] [--submit FILE] [--flush]\n"
+      "          [--score A B] [--query NODE] [--pairs] [--topk K]\n"
+      "          [--suggest N1,N2,...] [--stats]\n",
+      prog, prog, prog, prog);
 }
 
 Result<CliOptions> ParseArgs(int argc, char** argv) {
@@ -197,6 +226,13 @@ struct ServeOptions {
   // (clamped to the component count). Results are identical either way.
   std::size_t shards = 0;
   service::ServiceOptions service;
+  // Network mode: serve the binary RPC protocol on HOST:PORT instead of
+  // replaying a local load.
+  std::string listen;
+  // Read-replica mode: subscribe to this primary's applied update stream.
+  std::string replica_of;
+  // Applied batches the primary retains for replica catch-up.
+  std::size_t replication_backlog = 4096;
 };
 
 Result<ServeOptions> ParseServeArgs(int argc, char** argv) {
@@ -282,15 +318,46 @@ Result<ServeOptions> ParseServeArgs(int argc, char** argv) {
       auto v = next_size();
       if (!v.ok()) return v.status();
       options.shards = *v;
+    } else if (flag == "--listen") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      options.listen = *v;
+    } else if (flag == "--replica-of") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      options.replica_of = *v;
+    } else if (flag == "--replication-backlog") {
+      auto v = next_size();
+      if (!v.ok()) return v.status();
+      options.replication_backlog = *v;
     } else {
       return Status::InvalidArgument("unknown serve flag '" + flag + "'");
     }
   }
-  if (options.updates_file.empty()) {
-    return Status::InvalidArgument("serve requires --updates FILE");
-  }
-  if (options.writers == 0 || options.readers == 0) {
-    return Status::InvalidArgument("serve needs >= 1 writer and reader");
+  if (options.listen.empty()) {
+    if (!options.replica_of.empty()) {
+      return Status::InvalidArgument("--replica-of requires --listen");
+    }
+    if (options.updates_file.empty()) {
+      return Status::InvalidArgument("serve requires --updates FILE");
+    }
+    if (options.writers == 0 || options.readers == 0) {
+      return Status::InvalidArgument("serve needs >= 1 writer and reader");
+    }
+  } else {
+    INCSR_RETURN_IF_ERROR(net::ParseHostPort(options.listen).status());
+    if (!options.replica_of.empty()) {
+      INCSR_RETURN_IF_ERROR(net::ParseHostPort(options.replica_of).status());
+      if (options.shards > 0) {
+        return Status::InvalidArgument(
+            "--replica-of does not combine with --shards");
+      }
+      if (!options.updates_file.empty()) {
+        return Status::InvalidArgument(
+            "--replica-of does not combine with --updates: a replica's "
+            "state advances only through the primary's stream");
+      }
+    }
   }
   return options;
 }
@@ -447,7 +514,403 @@ int RunServeSharded(const ServeOptions& options,
   return 0;
 }
 
+// ---- Network serving (serve --listen) --------------------------------------
+
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+
+void OnShutdownSignal(int sig) { g_shutdown_signal = sig; }
+
+void AwaitShutdownSignal() {
+  std::signal(SIGINT, OnShutdownSignal);
+  std::signal(SIGTERM, OnShutdownSignal);
+  while (g_shutdown_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("\nsignal %d: shutting down\n",
+              static_cast<int>(g_shutdown_signal));
+}
+
+void PrintServerStats(const net::IncSrServer& server) {
+  const net::ServerStats net_stats = server.stats();
+  std::printf(
+      "network: %llu connections (%llu still open at shutdown), "
+      "%llu requests, %llu protocol errors, %llu replica batches streamed\n",
+      static_cast<unsigned long long>(net_stats.connections_accepted),
+      static_cast<unsigned long long>(net_stats.active_connections),
+      static_cast<unsigned long long>(net_stats.requests_served),
+      static_cast<unsigned long long>(net_stats.protocol_errors),
+      static_cast<unsigned long long>(net_stats.batches_streamed));
+}
+
+void PrintFinalServiceStats(const service::ServiceStats& stats) {
+  std::printf(
+      "final epoch %llu: %llu submitted, %llu applied, %llu failed, "
+      "%llu rejected by backpressure\n",
+      static_cast<unsigned long long>(stats.epoch),
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.applied),
+      static_cast<unsigned long long>(stats.failed),
+      static_cast<unsigned long long>(stats.rejected));
+}
+
+// Pre-applies an on-disk update stream through the serving path (so a
+// primary's replication log retains the batches for replica catch-up).
+template <typename Service>
+Status Preload(Service& svc, const std::vector<graph::EdgeUpdate>& updates) {
+  if (updates.empty()) return Status::OK();
+  INCSR_RETURN_IF_ERROR(svc.SubmitBatch(updates));
+  return svc.Flush();
+}
+
+int RunServeListen(const ServeOptions& options) {
+  auto endpoint = net::ParseHostPort(options.listen);
+  if (!endpoint.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 endpoint.status().ToString().c_str());
+    return 1;
+  }
+  auto data = graph::ReadEdgeListFile(options.edge_list);
+  if (!data.ok()) {
+    std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<graph::EdgeUpdate> preload;
+  if (!options.updates_file.empty()) {
+    auto updates = ReadUpdates(options.updates_file);
+    if (!updates.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   updates.status().ToString().c_str());
+      return 1;
+    }
+    Status translated = TranslateUpdates(data.value(), &updates.value());
+    if (!translated.ok()) {
+      std::fprintf(stderr, "error: %s\n", translated.ToString().c_str());
+      return 1;
+    }
+    preload = std::move(updates.value());
+  }
+  std::printf("loaded %zu nodes, %zu edges\n", data->graph.num_nodes(),
+              data->graph.num_edges());
+
+  simrank::SimRankOptions sr_options;
+  sr_options.damping = options.damping;
+  sr_options.iterations = options.iterations;
+  sr_options.num_threads = options.num_threads;
+
+  net::ServerOptions server_options;
+  server_options.host = endpoint->first;
+  server_options.port = endpoint->second;
+  server_options.replication_backlog = options.replication_backlog;
+
+  if (options.shards > 0) {
+    shard::ShardedServiceOptions sharded_options;
+    sharded_options.num_shards = options.shards;
+    sharded_options.per_shard = options.service;
+    auto service = shard::ShardedSimRankService::Create(
+        data->graph, sr_options, sharded_options);
+    if (!service.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   service.status().ToString().c_str());
+      return 1;
+    }
+    if (Status s = Preload(**service, preload); !s.ok()) {
+      std::fprintf(stderr, "error preloading updates: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    auto server = net::IncSrServer::Serve(service->get(), server_options);
+    if (!server.ok()) {
+      std::fprintf(stderr, "error: %s\n", server.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("serving (%zu shards) on %s:%u\n",
+                (*service)->stats().active_shards,
+                (*server)->host().c_str(), (*server)->port());
+    AwaitShutdownSignal();
+    (*server)->Stop();       // stop accepting / answering
+    (*service)->Stop();      // drain every shard, publish final epochs
+    PrintServerStats(**server);
+    PrintFinalServiceStats((*service)->stats().total);
+    return 0;
+  }
+
+  WallTimer timer;
+  auto index = core::DynamicSimRank::Create(data->graph, sr_options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "error: %s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("batch SimRank solve: %.2f s\n", timer.ElapsedSeconds());
+
+  const bool replica = !options.replica_of.empty();
+  auto service =
+      replica ? service::SimRankService::CreateReplica(
+                    std::move(index).value(), options.service)
+              : service::SimRankService::Create(std::move(index).value(),
+                                                options.service);
+  if (!service.ok()) {
+    std::fprintf(stderr, "error: %s\n", service.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = Preload(**service, preload); !s.ok()) {
+    std::fprintf(stderr, "error preloading updates: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+
+  auto server = net::IncSrServer::Serve(service->get(), server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "error: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  std::unique_ptr<net::ReplicationClient> replication;
+  if (replica) {
+    auto primary = net::ParseHostPort(options.replica_of);
+    if (!primary.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   primary.status().ToString().c_str());
+      return 1;
+    }
+    net::ReplicationClientOptions repl_options;
+    repl_options.primary_host = primary->first;
+    repl_options.primary_port = primary->second;
+    auto started = net::ReplicationClient::Start(service->get(),
+                                                 repl_options);
+    if (!started.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    replication = std::move(*started);
+    std::printf("replica serving on %s:%u, replicating from %s\n",
+                (*server)->host().c_str(), (*server)->port(),
+                options.replica_of.c_str());
+  } else {
+    std::printf("serving on %s:%u\n", (*server)->host().c_str(),
+                (*server)->port());
+  }
+
+  AwaitShutdownSignal();
+  // Graceful order: stop answering, stop replicating, then drain the
+  // ingest queue and publish the final epoch before reporting.
+  (*server)->Stop();
+  if (replication != nullptr) {
+    if (replication->catch_up_failed()) {
+      std::fprintf(stderr,
+                   "warning: replication catch-up failed — the primary "
+                   "trimmed its backlog past this replica's epoch\n");
+    }
+    replication->Stop();
+  }
+  (*service)->Stop();
+  PrintServerStats(**server);
+  PrintFinalServiceStats((*service)->stats());
+  return 0;
+}
+
+// ---- Client subcommand -----------------------------------------------------
+
+struct ClientCommand {
+  std::string endpoint;
+  bool ping = false;
+  std::string submit_file;
+  bool flush = false;
+  bool score = false;
+  graph::NodeId score_a = 0;
+  graph::NodeId score_b = 0;
+  graph::NodeId query = -1;
+  bool pairs = false;
+  std::size_t topk = 10;
+  std::vector<graph::NodeId> suggest;
+  bool stats = false;
+  bool any = false;  ///< at least one action flag given
+};
+
+Result<ClientCommand> ParseClientArgs(int argc, char** argv) {
+  // argv: client <HOST:PORT> [flags...]
+  if (argc < 3) return Status::InvalidArgument("client: missing HOST:PORT");
+  ClientCommand command;
+  command.endpoint = argv[2];
+  INCSR_RETURN_IF_ERROR(net::ParseHostPort(command.endpoint).status());
+  for (int i = 3; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag " + flag + " needs a value");
+      }
+      return std::string(argv[++i]);
+    };
+    if (flag == "--ping") {
+      command.ping = command.any = true;
+    } else if (flag == "--submit") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      command.submit_file = *v;
+      command.any = true;
+    } else if (flag == "--flush") {
+      command.flush = command.any = true;
+    } else if (flag == "--score") {
+      auto a = next();
+      if (!a.ok()) return a.status();
+      auto b = next();
+      if (!b.ok()) return b.status();
+      command.score = command.any = true;
+      command.score_a = static_cast<graph::NodeId>(std::atoi(a->c_str()));
+      command.score_b = static_cast<graph::NodeId>(std::atoi(b->c_str()));
+    } else if (flag == "--query") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      command.query = static_cast<graph::NodeId>(std::atoi(v->c_str()));
+      command.any = true;
+    } else if (flag == "--pairs") {
+      command.pairs = command.any = true;
+    } else if (flag == "--topk") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      command.topk = static_cast<std::size_t>(std::atoll(v->c_str()));
+    } else if (flag == "--suggest") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      std::stringstream nodes(*v);
+      std::string item;
+      while (std::getline(nodes, item, ',')) {
+        command.suggest.push_back(
+            static_cast<graph::NodeId>(std::atoi(item.c_str())));
+      }
+      if (command.suggest.empty()) {
+        return Status::InvalidArgument("--suggest needs node ids");
+      }
+      command.any = true;
+    } else if (flag == "--stats") {
+      command.stats = command.any = true;
+    } else {
+      return Status::InvalidArgument("unknown client flag '" + flag + "'");
+    }
+  }
+  if (!command.any) command.stats = true;  // default action
+  return command;
+}
+
+int RunClient(const ClientCommand& command) {
+  auto connected = net::IncSrClient::Connect(command.endpoint);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 connected.status().ToString().c_str());
+    return 1;
+  }
+  net::IncSrClient client = std::move(*connected);
+
+  if (command.ping) {
+    WallTimer timer;
+    Status pinged = client.Ping();
+    if (!pinged.ok()) {
+      std::fprintf(stderr, "error: %s\n", pinged.ToString().c_str());
+      return 1;
+    }
+    std::printf("ping: ok (%.3f ms)\n", timer.ElapsedSeconds() * 1e3);
+  }
+  if (!command.submit_file.empty()) {
+    auto updates = ReadUpdates(command.submit_file);
+    if (!updates.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   updates.status().ToString().c_str());
+      return 1;
+    }
+    auto response = client.Submit(updates.value());
+    if (!response.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("submit: %s — %u accepted, %u rejected\n",
+                net::wire::RpcStatusName(response->status),
+                response->accepted, response->rejected);
+  }
+  if (command.flush) {
+    Status flushed = client.Flush();
+    if (!flushed.ok()) {
+      std::fprintf(stderr, "error: %s\n", flushed.ToString().c_str());
+      return 1;
+    }
+    std::printf("flush: ok\n");
+  }
+  if (command.score) {
+    auto score = client.Score(command.score_a, command.score_b);
+    if (!score.ok()) {
+      std::fprintf(stderr, "error: %s\n", score.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("s(%d, %d) = %.6f\n", command.score_a, command.score_b,
+                *score);
+  }
+  if (command.query >= 0) {
+    auto top = client.TopKFor(command.query,
+                              static_cast<std::uint32_t>(command.topk));
+    if (!top.ok()) {
+      std::fprintf(stderr, "error: %s\n", top.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("top-%zu most similar to node %d:\n", command.topk,
+                command.query);
+    for (const auto& pair : *top) {
+      std::printf("  %6d  %.6f\n", pair.b, pair.score);
+    }
+  }
+  if (command.pairs) {
+    auto top = client.TopKPairs(static_cast<std::uint32_t>(command.topk));
+    if (!top.ok()) {
+      std::fprintf(stderr, "error: %s\n", top.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("top-%zu node pairs:\n", command.topk);
+    for (const auto& pair : *top) {
+      std::printf("  (%6d, %6d)  %.6f\n", pair.a, pair.b, pair.score);
+    }
+  }
+  if (!command.suggest.empty()) {
+    auto response = client.Suggest(
+        static_cast<std::uint32_t>(command.topk), command.suggest);
+    if (!response.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& suggestion : response->suggestions) {
+      if (!suggestion.found) {
+        std::printf("node %d: not found\n", suggestion.node);
+        continue;
+      }
+      std::printf("node %d:\n", suggestion.node);
+      for (const auto& pair : suggestion.entries) {
+        std::printf("  %6d  %.6f\n", pair.b, pair.score);
+      }
+    }
+  }
+  if (command.stats) {
+    auto response = client.Stats();
+    if (!response.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    const auto& s = response->stats;
+    std::printf(
+        "%s: %llu nodes, %llu edges, epoch %llu, %llu applied, "
+        "%llu failed, %llu rejected\n",
+        response->is_replica ? "replica" : "primary",
+        static_cast<unsigned long long>(response->num_nodes),
+        static_cast<unsigned long long>(response->num_edges),
+        static_cast<unsigned long long>(s.epoch),
+        static_cast<unsigned long long>(s.applied),
+        static_cast<unsigned long long>(s.failed),
+        static_cast<unsigned long long>(s.rejected));
+  }
+  return 0;
+}
+
 int RunServe(const ServeOptions& options) {
+  if (!options.listen.empty()) return RunServeListen(options);
   auto data = graph::ReadEdgeListFile(options.edge_list);
   if (!data.ok()) {
     std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
@@ -632,6 +1095,16 @@ int main(int argc, char** argv) {
       return 2;
     }
     return RunServe(options.value());
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "client") == 0) {
+    auto command = ParseClientArgs(argc, argv);
+    if (!command.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   command.status().ToString().c_str());
+      PrintUsage(argv[0]);
+      return 2;
+    }
+    return RunClient(command.value());
   }
   auto options = ParseArgs(argc, argv);
   if (!options.ok()) {
