@@ -26,7 +26,7 @@
 //
 // Kernel parallelism: --threads T runs the applier's update kernels
 // (seed scan, support expansion, scatter) T-way parallel on the shared
-// pool (0 = INCSR_THREADS / hardware default). Results are bitwise
+// scheduler (0 = INCSR_THREADS / hardware default). Results are bitwise
 // independent of T; only the applied-updates/s changes.
 //
 // Top-k index: --index-capacity C sets the per-node top-k index size
@@ -882,7 +882,7 @@ int main(int argc, char** argv) {
       config.delete_heavy ? "70/30 delete/insert churn" : "insertions",
       config.components, config.shards == 0 ? std::size_t{1} : config.shards,
       config.writers, config.readers, config.topk, config.max_batch,
-      config.zipf_theta, ThreadPool::EffectiveNumThreads(config.threads),
+      config.zipf_theta, Scheduler::EffectiveNumThreads(config.threads),
       config.index_capacity);
 
   graph::DynamicDiGraph graph;
@@ -910,7 +910,7 @@ int main(int argc, char** argv) {
         .Set("shards", config.shards)
         .Set("zipf_theta", config.zipf_theta)
         .Set("churn", config.delete_heavy ? "delete-heavy" : "insert")
-        .Set("threads", ThreadPool::EffectiveNumThreads(config.threads))
+        .Set("threads", Scheduler::EffectiveNumThreads(config.threads))
         .Set("topk_index_capacity", config.index_capacity);
     RecordRun(&root, "cache_on", config, cached);
     RecordRun(&root, "cache_off", config, uncached);

@@ -140,9 +140,9 @@ int main(int argc, char** argv) {
   bench::PrintHeader("update_kernels — parallel Inc-SR update path");
   std::printf(
       "n = %zu, degree = %.1f, |dG| = %zu insertions, K = %d, "
-      "publish every %zu (pool default = %zu threads)\n",
+      "publish every %zu (scheduler default = %zu threads)\n",
       config.nodes, config.degree, config.updates, config.iterations,
-      config.publish_every, ThreadPool::EffectiveNumThreads(0));
+      config.publish_every, Scheduler::EffectiveNumThreads(0));
 
   graph::DynamicDiGraph base = MakeClusteredGraph(config);
   simrank::SimRankOptions batch_options;
@@ -192,7 +192,7 @@ int main(int argc, char** argv) {
         .Set("updates", config.updates)
         .Set("iterations", config.iterations)
         .Set("publish_every", config.publish_every)
-        .Set("pool_default_threads", ThreadPool::EffectiveNumThreads(0));
+        .Set("pool_default_threads", Scheduler::EffectiveNumThreads(0));
     for (const RunResult& run : results) {
       root.AddObject("results")
           ->Set("threads", run.threads)

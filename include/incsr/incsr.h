@@ -12,7 +12,7 @@
 #include "common/memory.h"       // IWYU pragma: export
 #include "common/rng.h"          // IWYU pragma: export
 #include "common/status.h"       // IWYU pragma: export
-#include "common/thread_pool.h"  // IWYU pragma: export
+#include "common/scheduler.h"  // IWYU pragma: export
 #include "common/timer.h"        // IWYU pragma: export
 #include "core/dynamic_simrank.h"  // IWYU pragma: export
 #include "core/inc_sr.h"         // IWYU pragma: export

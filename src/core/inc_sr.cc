@@ -66,13 +66,13 @@ void IncSrEngine::RunChunkedExpansion(std::size_t count, std::size_t n,
                                       const ExpandFn& expand,
                                       Workspace* out) {
   const std::size_t chunks =
-      ThreadPool::PlanChunks(count, grain, kMaxExpandChunks);
+      Scheduler::PlanChunks(count, grain, kMaxExpandChunks);
   if (chunks <= 1) {
     if (count > 0) expand(out, 0, count);
     return;
   }
   if (chunk_ws_.size() < chunks) chunk_ws_.resize(chunks);
-  ThreadPool::Global().ParallelForChunks(
+  Scheduler::Global().ParallelForChunks(
       0, count, chunks, threads_,
       [this, n, &expand](std::size_t c, std::size_t lo, std::size_t hi) {
         Workspace* ws = &chunk_ws_[c];
@@ -80,7 +80,7 @@ void IncSrEngine::RunChunkedExpansion(std::size_t count, std::size_t n,
         ws->Clear();
         expand(ws, lo, hi);
       });
-  // Merge only chunks the pool actually invoked: ParallelForChunks skips
+  // Merge only chunks the scheduler actually invoked: ParallelForChunks skips
   // empty trailing chunks (possible if the plan ever over-chunks), whose
   // workspaces would still hold a PREVIOUS update's subtotals.
   const std::size_t chunk_size = (count + chunks - 1) / chunks;
@@ -246,7 +246,7 @@ void IncSrEngine::ScatterOuter(const Workspace& xi, const Workspace& eta,
   const std::size_t per_row = xi.indices.size() + eta.indices.size();
   const std::size_t grain = std::max<std::size_t>(
       1, kScatterGrainFlops / std::max<std::size_t>(per_row, 1));
-  ThreadPool::Global().ParallelFor(
+  Scheduler::Global().ParallelFor(
       0, scatter_rows_.size(), grain, threads_,
       [this, &xi, &eta](std::size_t lo, std::size_t hi) {
         for (std::size_t k = lo; k < hi; ++k) {
@@ -434,7 +434,7 @@ Status IncSrEngine::ApplyRowUpdate(graph::NodeId target,
   la::Vector z(n);
   {
     double* zp = z.data();
-    ThreadPool::Global().ParallelFor(
+    Scheduler::Global().ParallelFor(
         0, n, /*grain=*/2048, threads_,
         [&v, s, zp](std::size_t lo, std::size_t hi) {
           for (std::size_t k = 0; k < v.nnz(); ++k) {

@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "common/thread_pool.h"
+#include "common/scheduler.h"
 #include "core/affected_area.h"
 #include "core/rank_one_update.h"
 #include "graph/digraph.h"
@@ -43,7 +43,7 @@ namespace incsr::core {
 /// keeps the ScoreStore's COW cost at O(affected rows). Definitions live
 /// in inc_sr.cc with explicit instantiations for both containers.
 /// The hot loops — seed scan, support expansion, outer-product scatter —
-/// run on the shared ThreadPool with options.num_threads-way parallelism.
+/// run on the shared Scheduler with options.num_threads-way parallelism.
 /// S is bitwise identical at every thread count: rows are scattered
 /// disjointly (each row's write sequence is the serial one), and the
 /// expansion kernels accumulate into per-chunk workspaces whose chunk
@@ -52,7 +52,7 @@ class IncSrEngine {
  public:
   explicit IncSrEngine(simrank::SimRankOptions options)
       : options_(options),
-        threads_(ThreadPool::ResolveNumThreads(options.num_threads)) {}
+        threads_(Scheduler::ResolveNumThreads(options.num_threads)) {}
 
   const simrank::SimRankOptions& options() const { return options_; }
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <vector>
 
-#include "common/thread_pool.h"
+#include "common/scheduler.h"
 #include "graph/transition.h"
 
 namespace incsr::core {
@@ -23,10 +23,10 @@ Result<la::DenseMatrix> IncUsrAuxiliaryM(
 
   // ξ₀ = C·e_j, η₀ = θ, M₀ = ξ₀·η₀ᵀ (Algorithm 1, line 13). The outer
   // products — the only O(n²) work per iteration — run row-parallel on
-  // the shared pool (same chunk-geometry determinism rules as the Inc-SR
+  // the shared scheduler (same chunk-geometry determinism rules as the Inc-SR
   // kernels, so M — and therefore S — is bitwise identical at any thread
   // count).
-  const std::size_t threads = ThreadPool::ResolveNumThreads(options.num_threads);
+  const std::size_t threads = Scheduler::ResolveNumThreads(options.num_threads);
   la::Vector xi(n);
   xi[j] = c;
   la::Vector eta = seed->theta;
@@ -87,11 +87,11 @@ Status IncUsrApplyUpdate(const graph::EdgeUpdate& update,
   // each keeps the serial M-then-Mᵀ write order, so the result is bitwise
   // identical at any thread count.
   const std::size_t n = s->rows();
-  const std::size_t threads = ThreadPool::ResolveNumThreads(options.num_threads);
+  const std::size_t threads = Scheduler::ResolveNumThreads(options.num_threads);
   std::vector<double*> rows(n);
   for (std::size_t i = 0; i < n; ++i) rows[i] = s->MutableRowPtr(i);
   constexpr std::size_t kBlock = 64;
-  ThreadPool::Global().ParallelFor(
+  Scheduler::Global().ParallelFor(
       0, n, kBlock, threads, [&rows, &m, n](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
           double* __restrict row = rows[i];

@@ -5,7 +5,7 @@
 #include <cstdio>
 #include <cstring>
 
-#include "common/thread_pool.h"
+#include "common/scheduler.h"
 
 namespace incsr::la {
 
@@ -99,10 +99,11 @@ void DenseMatrix::AddOuterProduct(double alpha, const Vector& x,
               "AddOuterProduct shape mismatch");
   const double* __restrict yp = y.data();
   // At least ~4096 fused multiply-adds per chunk so short rows batch up;
-  // a grain function of the shape only, per the pool's determinism rules.
+  // a grain function of the shape only, per the scheduler's determinism
+  // rules.
   const std::size_t grain =
       std::max<std::size_t>(1, 4096 / std::max<std::size_t>(cols_, 1));
-  ThreadPool::Global().ParallelFor(
+  Scheduler::Global().ParallelFor(
       0, rows_, grain, num_threads,
       [this, alpha, &x, yp](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
@@ -199,35 +200,63 @@ std::string DenseMatrix::ToString(int precision) const {
   return out;
 }
 
+namespace {
+
+// Row grain targeting ~16K flops per chunk; a function of the shapes
+// only, per the scheduler's determinism rules.
+std::size_t RowGrainForFlops(std::size_t flops_per_row) {
+  return std::max<std::size_t>(
+      1, 16384 / std::max<std::size_t>(flops_per_row, 1));
+}
+
+}  // namespace
+
 DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b) {
   INCSR_CHECK(a.cols() == b.rows(), "Multiply shape mismatch (%zu vs %zu)",
               a.cols(), b.rows());
   DenseMatrix c(a.rows(), b.cols());
   const std::size_t n = b.cols();
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    double* __restrict crow = c.RowPtr(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      double aik = a(i, k);
-      if (aik == 0.0) continue;
-      const double* __restrict brow = b.RowPtr(k);
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  // Output rows are disjoint and each is accumulated in the same serial
+  // k-order regardless of chunking, so the product is bitwise identical
+  // at any thread count. The incsvd serve path (SimRankFromFactors)
+  // rides this kernel.
+  Scheduler::Global().ParallelFor(
+      0, a.rows(), RowGrainForFlops(a.cols() * n),
+      Scheduler::ResolveNumThreads(0),
+      [&a, &b, &c, n](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          double* __restrict crow = c.RowPtr(i);
+          for (std::size_t k = 0; k < a.cols(); ++k) {
+            double aik = a(i, k);
+            if (aik == 0.0) continue;
+            const double* __restrict brow = b.RowPtr(k);
+            for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+          }
+        }
+      });
   return c;
 }
 
 DenseMatrix MultiplyTransposeB(const DenseMatrix& a, const DenseMatrix& b) {
   INCSR_CHECK(a.cols() == b.cols(), "MultiplyTransposeB shape mismatch");
   DenseMatrix c(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.RowPtr(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.RowPtr(j);
-      double acc = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
-      c(i, j) = acc;
-    }
-  }
+  // Same disjoint-row argument as Multiply: bitwise identical to serial.
+  Scheduler::Global().ParallelFor(
+      0, a.rows(), RowGrainForFlops(b.rows() * a.cols()),
+      Scheduler::ResolveNumThreads(0),
+      [&a, &b, &c](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const double* arow = a.RowPtr(i);
+          for (std::size_t j = 0; j < b.rows(); ++j) {
+            const double* brow = b.RowPtr(j);
+            double acc = 0.0;
+            for (std::size_t k = 0; k < a.cols(); ++k) {
+              acc += arow[k] * brow[k];
+            }
+            c(i, j) = acc;
+          }
+        }
+      });
   return c;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/scheduler.h"
+
 namespace incsr::la {
 
 namespace {
@@ -54,15 +56,29 @@ void ScoreStore::BuildShards(const DenseMatrix& dense) {
   // not individually tracked — the whole matrix counts as touched.
   all_rows_touched_ = true;
   touched_rows_.clear();
-  for (std::size_t s = 0; s < num_shards; ++s) {
-    auto shard = std::make_shared<Shard>();
-    const std::size_t first = s << shard_shift_;
-    const std::size_t count = RowsInShard(s);
-    shard->data.resize(count * cols_);
-    const double* src = dense.RowPtr(first);
-    std::copy(src, src + count * cols_, shard->data.data());
-    shards_[s] = std::move(shard);
-  }
+  stats_.rows_materialized += rows_;
+  stats_.bytes_materialized +=
+      static_cast<std::uint64_t>(rows_) * cols_ * sizeof(double);
+  // Shard payloads are disjoint and each is a pure copy, so the
+  // materialization parallelizes deterministically; this is what makes
+  // a shard-merge's FromState re-init row-parallel instead of the O(n²)
+  // serial copy it used to be. Aim for ~32K doubles per chunk.
+  const std::size_t grain = std::max<std::size_t>(
+      1, 32768 / std::max<std::size_t>(
+                     (std::size_t{1} << shard_shift_) * cols_, 1));
+  Scheduler::Global().ParallelFor(
+      0, num_shards, grain, Scheduler::ResolveNumThreads(0),
+      [this, &dense](std::size_t lo, std::size_t hi) {
+        for (std::size_t s = lo; s < hi; ++s) {
+          auto shard = std::make_shared<Shard>();
+          const std::size_t first = s << shard_shift_;
+          const std::size_t count = RowsInShard(s);
+          shard->data.resize(count * cols_);
+          const double* src = dense.RowPtr(first);
+          std::copy(src, src + count * cols_, shard->data.data());
+          shards_[s] = std::move(shard);
+        }
+      });
 }
 
 double* ScoreStore::MutableRowPtr(std::size_t i) {

@@ -48,6 +48,14 @@ struct ScoreStoreStats {
   std::uint64_t bytes_copied = 0;
   /// Publish() calls.
   std::uint64_t publishes = 0;
+  /// Rows (and bytes) materialized from a dense source — construction
+  /// and Assign(), i.e. the full-rebuild cost as opposed to the
+  /// incremental COW cost above. The shard layer reports its
+  /// merge-rebuild bytes from this counter so the accounting follows
+  /// what the store actually allocated, whatever the backing
+  /// representation.
+  std::uint64_t rows_materialized = 0;
+  std::uint64_t bytes_materialized = 0;
 };
 
 /// Row-sharded copy-on-write score matrix. See file comment.

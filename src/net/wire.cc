@@ -395,6 +395,8 @@ void StatsResponse::EncodeBody(std::string* out) const {
   writer.U64(stats.topk_index_served);
   writer.U64(stats.topk_index_fallbacks);
   writer.U64(stats.topk_index_rows_reranked);
+  writer.U64(stats.topk_pairs_served);
+  writer.U64(stats.topk_pairs_fallbacks);
   writer.U64(stats.cache.hits);
   writer.U64(stats.cache.misses);
   writer.U64(stats.cache.invalidations);
@@ -419,6 +421,8 @@ bool StatsResponse::DecodeBody(std::string_view body, StatsResponse* out) {
       reader.U64(&out->stats.topk_index_served) &&
       reader.U64(&out->stats.topk_index_fallbacks) &&
       reader.U64(&out->stats.topk_index_rows_reranked) &&
+      reader.U64(&out->stats.topk_pairs_served) &&
+      reader.U64(&out->stats.topk_pairs_fallbacks) &&
       reader.U64(&out->stats.cache.hits) &&
       reader.U64(&out->stats.cache.misses) &&
       reader.U64(&out->stats.cache.invalidations) &&

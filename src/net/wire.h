@@ -38,7 +38,9 @@
 namespace incsr::net::wire {
 
 /// Protocol version carried in every frame; peers reject mismatches.
-inline constexpr std::uint8_t kWireVersion = 1;
+/// v2: StatsResponse carries the pair-merge counters
+/// (topk_pairs_served / topk_pairs_fallbacks).
+inline constexpr std::uint8_t kWireVersion = 2;
 /// Bytes of the length prefix.
 inline constexpr std::size_t kFramePrefixBytes = 4;
 /// Maximum frame payload (version + tag + body) a peer may announce.

@@ -3,6 +3,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/scheduler.h"
+
 namespace incsr::service {
 
 Result<std::unique_ptr<SimRankService>> SimRankService::Create(
@@ -199,7 +201,17 @@ std::vector<core::ScoredPair> SimRankService::TopKPairs(std::size_t k) const {
   std::vector<core::ScoredPair> results;
   if (cache_.LookupPairs(k, &results)) return results;
   std::shared_ptr<const EpochSnapshot> snap = Snapshot();
-  results = core::TopKPairsOf(snap->scores, k);
+  if (snap->topk.ServePairs(k, &results)) {
+    // K-way merge over the per-node entries, bitwise identical to the
+    // scan below: both emit the same strict total order over the same
+    // snapshot bytes (see TopKIndex::View::ServePairs).
+    topk_pairs_served_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    results = core::TopKPairsOf(snap->scores, k);
+    if (topk_index_.enabled()) {
+      topk_pairs_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   cache_.InsertPairs(k, snap->epoch, results);
   return results;
 }
@@ -225,11 +237,17 @@ ServiceStats SimRankService::stats() const {
   out.topk_index_fallbacks = topk_fallbacks_.load(std::memory_order_relaxed);
   out.topk_index_rows_reranked =
       topk_rows_reranked_.load(std::memory_order_relaxed);
+  out.topk_pairs_served = topk_pairs_served_.load(std::memory_order_relaxed);
+  out.topk_pairs_fallbacks =
+      topk_pairs_fallbacks_.load(std::memory_order_relaxed);
   out.cache = cache_.stats();
   return out;
 }
 
 void SimRankService::ApplierLoop() {
+  // Home this applier's parallel kernels on its shard group's worker
+  // neighborhood (no-op when the service was created unbound).
+  Scheduler::BindCurrentThreadToGroup(options_.scheduler_group);
   std::vector<graph::EdgeUpdate> batch;
   for (;;) {
     std::unique_lock<std::mutex> lock(mu_);

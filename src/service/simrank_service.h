@@ -89,6 +89,14 @@ struct ServiceOptions {
   /// (service/topk_index.h). Requests past an incomplete entry fall back
   /// to the row scan, bitwise identically. 0 disables the index.
   std::size_t topk_index_capacity = 4096;
+  /// Scheduler affinity group the applier thread binds
+  /// (Scheduler::BindCurrentThreadToGroup): the applier's parallel
+  /// kernels publish their work tickets starting at the group's home
+  /// worker, so concurrent appliers with distinct groups fill disjoint
+  /// worker neighborhoods first and only spill into each other's by
+  /// stealing. Negative = unbound (rotating default). The sharded
+  /// façade assigns each shard slot its own group.
+  int scheduler_group = -1;
 };
 
 /// Immutable published state; readers hold it via shared_ptr, so a pinned
@@ -128,6 +136,12 @@ struct ServiceStats {
   std::uint64_t topk_index_served = 0;
   std::uint64_t topk_index_fallbacks = 0;
   std::uint64_t topk_index_rows_reranked = 0;
+  /// TopKPairs misses answered by the k-way merge over the per-node
+  /// index (O(n + k log n)) versus misses that fell back to the O(n²)
+  /// pair scan because the merge's soundness bound cut it off before k
+  /// pairs. Both zero when the index is disabled.
+  std::uint64_t topk_pairs_served = 0;
+  std::uint64_t topk_pairs_fallbacks = 0;
   QueryCacheStats cache;
 
   /// Aggregation the sharded layer (src/shard/) uses over live and
@@ -150,6 +164,8 @@ struct ServiceStats {
     topk_index_served += other.topk_index_served;
     topk_index_fallbacks += other.topk_index_fallbacks;
     topk_index_rows_reranked += other.topk_index_rows_reranked;
+    topk_pairs_served += other.topk_pairs_served;
+    topk_pairs_fallbacks += other.topk_pairs_fallbacks;
     cache += other.cache;
     return *this;
   }
@@ -299,6 +315,8 @@ class SimRankService {
   // Mutable: bumped by the const read path (TopKFor).
   mutable std::atomic<std::uint64_t> topk_served_{0};
   mutable std::atomic<std::uint64_t> topk_fallbacks_{0};
+  mutable std::atomic<std::uint64_t> topk_pairs_served_{0};
+  mutable std::atomic<std::uint64_t> topk_pairs_fallbacks_{0};
   // Mirrors of the score store's COW accounting and the index's re-rank
   // count, refreshed by the applier at each publish so stats() can read
   // them from any thread.

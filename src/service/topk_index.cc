@@ -1,10 +1,32 @@
 #include "service/topk_index.h"
 
 #include <algorithm>
+#include <limits>
+#include <queue>
 
 #include "common/check.h"
 
 namespace incsr::service {
+
+namespace {
+
+// First index >= `from` of an upper-triangle candidate (b > a = row).
+// The pair scan reads pair {a, b} as s(min, max) from row min's bytes;
+// S is symmetric analytically but NOT guaranteed bitwise (s(a,b) and
+// s(b,a) are distinct storage that can disagree in the last ulp), so
+// the pair merge must use row min's copy only — each entry contributes
+// its candidates past the diagonal and every pair comes from exactly
+// one row.
+std::size_t NextUpperTriangle(const TopKIndex::Entry& entry,
+                              std::size_t from) {
+  while (from < entry.items.size() &&
+         entry.items[from].b < entry.items[from].a) {
+    ++from;
+  }
+  return from;
+}
+
+}  // namespace
 
 bool TopKIndex::View::Serve(graph::NodeId query, std::size_t k,
                             std::vector<core::ScoredPair>* out) const {
@@ -19,6 +41,76 @@ bool TopKIndex::View::Serve(graph::NodeId query, std::size_t k,
   const std::size_t count = std::min(k, entry.items.size());
   out->assign(entry.items.begin(), entry.items.begin() + count);
   return true;
+}
+
+bool TopKIndex::View::ServePairs(std::size_t k,
+                                 std::vector<core::ScoredPair>* out) const {
+  if (entries_.empty()) return false;  // index disabled
+  const std::size_t n = entries_.size();
+  // A pair {a, b} absent from BOTH rows' entries is outranked by every
+  // stored candidate of both rows, so its score is at most the last-item
+  // score of either (incomplete) entry. The merge below is therefore
+  // provably exact while emitted scores strictly exceed the worst such
+  // bound; at or below it an unstored pair could tie in and win on the
+  // (a, b) tie-break.
+  double bound = -std::numeric_limits<double>::infinity();
+  bool any_incomplete = false;
+  for (std::size_t q = 0; q < n; ++q) {
+    const Entry& entry = *entries_[q];
+    if (entry.items.size() + 1 >= n) continue;  // complete row
+    if (entry.items.empty()) return false;      // nothing to bound with
+    any_incomplete = true;
+    bound = std::max(bound, entry.items.back().score);
+  }
+
+  // K-way merge of the rows' upper-triangle candidate streams: within
+  // one row, candidates are already in the global (descending score,
+  // ascending (a, b)) order — all share the same a, so ascending-b ties
+  // match — and a pair {a, b} appears in exactly one stream (row
+  // min(a, b), the same bytes the pair scan reads), so a heap of
+  // per-row cursors yields the exact global order with no duplicates.
+  struct Cursor {
+    core::ScoredPair pair;  // a = row < b
+    std::size_t row = 0;
+    std::size_t index = 0;
+  };
+  const auto pops_later = [](const Cursor& x, const Cursor& y) {
+    return core::ScoredPairRanksBefore(y.pair, x.pair);
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(pops_later)>
+      heap(pops_later);
+  for (std::size_t q = 0; q < n; ++q) {
+    const Entry& entry = *entries_[q];
+    const std::size_t first = NextUpperTriangle(entry, 0);
+    if (first < entry.items.size()) {
+      heap.push({entry.items[first], q, first});
+    }
+  }
+  out->clear();
+  out->reserve(k);
+  while (!heap.empty() && out->size() < k) {
+    const Cursor top = heap.top();
+    heap.pop();
+    if (any_incomplete && top.pair.score <= bound) {
+      // An unstored pair could rank here or earlier than the remaining
+      // stream; only the strict region above the bound is exact.
+      out->clear();
+      return false;
+    }
+    out->push_back(top.pair);
+    const Entry& entry = *entries_[top.row];
+    const std::size_t next = NextUpperTriangle(entry, top.index + 1);
+    if (next < entry.items.size()) {
+      heap.push({entry.items[next], top.row, next});
+    }
+  }
+  if (out->size() == k) return true;
+  // The merged stream drained early. With every entry complete it held
+  // all n(n-1)/2 pairs — the short result is the exact full ranking,
+  // just like the scan's. Otherwise pairs may be missing: fall back.
+  if (!any_incomplete) return true;
+  out->clear();
+  return false;
 }
 
 std::shared_ptr<const TopKIndex::Entry> TopKIndex::BuildEntry(

@@ -72,6 +72,22 @@ class TopKIndex {
     bool Serve(graph::NodeId query, std::size_t k,
                std::vector<core::ScoredPair>* out) const;
 
+    /// Serves TopKPairs(k) by a k-way merge over the per-node entries
+    /// instead of the O(n²) pair scan. Each entry contributes its
+    /// upper-triangle candidates (b > row) — the same storage bytes the
+    /// pair scan reads, which matters because S need not be bitwise
+    /// symmetric — already in the global contract order, so the merge
+    /// emits exact global pairs, each from exactly one row. Soundness
+    /// bound: a pair absent from its own row's entry scores at most the
+    /// worst last-item score over incomplete entries, so pairs are
+    /// emitted only while they strictly beat that bound. Returns false —
+    /// caller falls back to the pair scan — when the bound cuts the
+    /// merge off before k pairs (or the view is empty / an incomplete
+    /// entry is empty). On success *out is bitwise what
+    /// core::TopKPairsOf(scores, k) returns on the same snapshot.
+    /// O(n + k log n) versus the scan's O(n² log k).
+    bool ServePairs(std::size_t k, std::vector<core::ScoredPair>* out) const;
+
    private:
     friend class TopKIndex;
     std::vector<std::shared_ptr<const Entry>> entries_;

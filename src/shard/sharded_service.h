@@ -98,8 +98,14 @@ struct ShardedStats {
   std::uint64_t router_failed = 0;
   /// Merge rebuild cost: score rows (and bytes) materialized into merged
   /// stores — the price of re-packing two blocks into one id space.
+  /// Bytes are the merged stores' own materialization accounting
+  /// (la::ScoreStoreStats::bytes_materialized), not an assumed-dense
+  /// n²·8, so they stay honest if the backing representation changes.
   std::uint64_t merge_rebuild_rows = 0;
   std::uint64_t merge_rebuild_bytes = 0;
+  /// Cumulative wall time spent inside merge rebuilds (stop + re-pack +
+  /// re-init + restart), the ingest stall a cross-shard insert causes.
+  double merge_rebuild_seconds = 0.0;
 };
 
 /// Thread-safe sharded SimRank serving façade over a fixed global node
@@ -163,6 +169,11 @@ class ShardedSimRankService {
                         const ShardedServiceOptions& options,
                         core::UpdateAlgorithm algorithm);
 
+  /// Per-shard service options for `slot`: the configured per_shard
+  /// options plus a slot-derived scheduler affinity group (unless the
+  /// caller pinned one explicitly).
+  service::ServiceOptions PerShardOptions(std::size_t slot) const;
+
   /// Cross-shard insert path; called with mu_ held exclusively. Merges
   /// the shard slots owning `update`'s endpoints (into the
   /// larger-by-nodes one; ties: lower slot) and submits the update to the
@@ -189,6 +200,7 @@ class ShardedSimRankService {
   std::atomic<std::uint64_t> router_failed_{0};
   std::uint64_t merge_rebuild_rows_ = 0;
   std::uint64_t merge_rebuild_bytes_ = 0;
+  double merge_rebuild_seconds_ = 0.0;
 };
 
 }  // namespace incsr::shard

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/thread_pool.h"
+#include "common/scheduler.h"
 #include "graph/transition.h"
 
 namespace incsr::simrank {
@@ -33,14 +33,14 @@ la::DenseMatrix BatchMatrixParallelFromTransition(const la::CsrMatrix& q,
   INCSR_CHECK(q.rows() == q.cols(), "BatchMatrixParallel: Q must be square");
   if (num_threads == 0) {
     num_threads =
-        ThreadPool::ResolveNumThreads(options.num_threads);
+        Scheduler::ResolveNumThreads(options.num_threads);
   }
-  // All row passes go through the shared persistent pool instead of
+  // All row passes go through the shared persistent scheduler instead of
   // spawning (and joining) num_threads fresh std::threads per pass.
-  ThreadPool& pool = ThreadPool::Global();
-  auto parallel_rows = [&pool, num_threads](
-                           std::size_t rows, const ThreadPool::RangeFn& fn) {
-    pool.ParallelFor(0, rows, /*grain=*/2, num_threads, fn);
+  Scheduler& scheduler = Scheduler::Global();
+  auto parallel_rows = [&scheduler, num_threads](
+                           std::size_t rows, const Scheduler::RangeFn& fn) {
+    scheduler.ParallelFor(0, rows, /*grain=*/2, num_threads, fn);
   };
   const std::size_t n = q.rows();
   const double c = options.damping;

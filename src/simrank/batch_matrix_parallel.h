@@ -1,7 +1,7 @@
 // Multithreaded matrix-form batch SimRank. The iteration
 // S ← C·Q·S·Qᵀ + (1−C)·I is embarrassingly parallel across output rows:
 // each of the two sparse×dense passes partitions its row range over the
-// shared persistent pool (common/thread_pool.h) — no per-pass thread
+// shared persistent scheduler (common/scheduler.h) — no per-pass thread
 // spawning. This is an engineering extension beyond the paper (whose
 // experiments are single-threaded; cf. He et al. [8] for the GPU take) —
 // the bench suite uses it as an ablation of how much a parallel Batch
@@ -18,8 +18,8 @@ namespace incsr::simrank {
 
 /// All-pairs matrix-form SimRank with `num_threads` workers (0 defers to
 /// options.num_threads, then INCSR_THREADS, then the hardware thread
-/// count; requests above the shared pool's size are capped to it — see
-/// ThreadPool::EffectiveNumThreads). Bit-compatible results with
+/// count; requests above the shared scheduler's size are capped to it — see
+/// Scheduler::EffectiveNumThreads). Bit-compatible results with
 /// BatchMatrix: the row partition does not change any summation order
 /// within a row.
 la::DenseMatrix BatchMatrixParallel(const graph::DynamicDiGraph& graph,

@@ -15,7 +15,7 @@ struct SimRankOptions {
   /// Worker threads for the parallel kernels (update-path scatter and
   /// support expansion, parallel batch solves): n > 0 uses exactly n,
   /// 0 defers to the INCSR_THREADS environment variable and then to the
-  /// hardware thread count (common/thread_pool.h). Results are bitwise
+  /// hardware thread count (common/scheduler.h). Results are bitwise
   /// identical at every setting — the kernels' chunk geometry is fixed
   /// independently of the thread count.
   int num_threads = 0;

@@ -1,4 +1,4 @@
-// Parallel update-kernel determinism and ThreadPool contract tests.
+// Parallel update-kernel determinism and Scheduler contract tests.
 //
 // The kernels' promise (core/inc_sr.h): S is BITWISE identical at every
 // thread count — scatter rows are disjoint with per-row serial write
@@ -19,7 +19,7 @@
 #include <tuple>
 #include <vector>
 
-#include "common/thread_pool.h"
+#include "common/scheduler.h"
 #include "core/coalesced_update.h"
 #include "core/inc_sr.h"
 #include "core/inc_usr.h"
@@ -32,10 +32,10 @@
 namespace incsr {
 namespace {
 
-// ---- ThreadPool contract ---------------------------------------------------
+// ---- Scheduler contract ---------------------------------------------------
 
-TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
-  ThreadPool pool(4);
+TEST(Scheduler, ParallelForCoversRangeExactlyOnce) {
+  Scheduler pool(4);
   constexpr std::size_t kCount = 1337;
   std::vector<std::atomic<int>> hits(kCount);
   pool.ParallelFor(0, kCount, /*grain=*/16, /*max_threads=*/4,
@@ -49,18 +49,18 @@ TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
   }
 }
 
-TEST(ThreadPool, PlanChunksRespectsGrainAndCap) {
-  EXPECT_EQ(ThreadPool::PlanChunks(0, 16, 8), 0u);
-  EXPECT_EQ(ThreadPool::PlanChunks(15, 16, 8), 1u);
-  EXPECT_EQ(ThreadPool::PlanChunks(16, 16, 8), 1u);
-  EXPECT_EQ(ThreadPool::PlanChunks(17, 16, 8), 2u);
-  EXPECT_EQ(ThreadPool::PlanChunks(1000, 16, 8), 8u);  // capped
-  EXPECT_EQ(ThreadPool::PlanChunks(100, 0, 8), 8u);    // grain clamps to 1
+TEST(Scheduler, PlanChunksRespectsGrainAndCap) {
+  EXPECT_EQ(Scheduler::PlanChunks(0, 16, 8), 0u);
+  EXPECT_EQ(Scheduler::PlanChunks(15, 16, 8), 1u);
+  EXPECT_EQ(Scheduler::PlanChunks(16, 16, 8), 1u);
+  EXPECT_EQ(Scheduler::PlanChunks(17, 16, 8), 2u);
+  EXPECT_EQ(Scheduler::PlanChunks(1000, 16, 8), 8u);  // capped
+  EXPECT_EQ(Scheduler::PlanChunks(100, 0, 8), 8u);    // grain clamps to 1
 }
 
 using ChunkTriple = std::tuple<std::size_t, std::size_t, std::size_t>;
 
-std::vector<ChunkTriple> CollectChunks(ThreadPool* pool, std::size_t begin,
+std::vector<ChunkTriple> CollectChunks(Scheduler* pool, std::size_t begin,
                                        std::size_t end, std::size_t chunks,
                                        std::size_t max_threads) {
   std::vector<ChunkTriple> seen;
@@ -75,8 +75,8 @@ std::vector<ChunkTriple> CollectChunks(ThreadPool* pool, std::size_t begin,
   return seen;
 }
 
-TEST(ThreadPool, ChunkGeometryIndependentOfThreadCount) {
-  ThreadPool pool(4);
+TEST(Scheduler, ChunkGeometryIndependentOfThreadCount) {
+  Scheduler pool(4);
   const auto serial = CollectChunks(&pool, 3, 1003, 7, /*max_threads=*/1);
   for (std::size_t threads : {2u, 4u, 9u}) {
     EXPECT_EQ(CollectChunks(&pool, 3, 1003, 7, threads), serial)
@@ -84,8 +84,8 @@ TEST(ThreadPool, ChunkGeometryIndependentOfThreadCount) {
   }
 }
 
-TEST(ThreadPool, NestedRegionsRunInline) {
-  ThreadPool pool(4);
+TEST(Scheduler, NestedRegionsRunInline) {
+  Scheduler pool(4);
   std::atomic<int> total{0};
   pool.ParallelFor(0, 8, 1, 4, [&pool, &total](std::size_t lo,
                                                std::size_t hi) {
@@ -100,9 +100,9 @@ TEST(ThreadPool, NestedRegionsRunInline) {
   EXPECT_EQ(total.load(), 32);
 }
 
-TEST(ThreadPool, ResolveNumThreadsPrefersExplicitRequest) {
-  EXPECT_EQ(ThreadPool::ResolveNumThreads(3), 3u);
-  EXPECT_GE(ThreadPool::ResolveNumThreads(0), 1u);
+TEST(Scheduler, ResolveNumThreadsPrefersExplicitRequest) {
+  EXPECT_EQ(Scheduler::ResolveNumThreads(3), 3u);
+  EXPECT_GE(Scheduler::ResolveNumThreads(0), 1u);
 }
 
 // ---- Bitwise engine determinism across thread counts -----------------------
@@ -148,7 +148,7 @@ Fixture MakeFixture(std::size_t n, std::size_t inserts, std::size_t deletes,
 }
 
 std::vector<int> ThreadCounts() {
-  return {1, 2, 4, static_cast<int>(ThreadPool::ResolveNumThreads(0))};
+  return {1, 2, 4, static_cast<int>(Scheduler::ResolveNumThreads(0))};
 }
 
 // Result of one replay: the final matrix plus the epoch views a serving

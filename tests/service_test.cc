@@ -465,6 +465,48 @@ TEST(TopKIndexService, UnderfullEntriesFallBackToRowScan) {
   EXPECT_EQ(stats.topk_index_fallbacks, 1u);
 }
 
+TEST(TopKIndexService, PairMergeStaysExactAcrossChurnAndCounts) {
+  DynamicDiGraph graph = TestGraph(101, 18, 44);
+  const std::size_t n = graph.num_nodes();
+  std::vector<EdgeUpdate> stream = MixedStream(graph, 8, 10, 53);
+  ServiceOptions options;
+  options.cache_capacity = 0;     // every pair query is a miss
+  options.topk_index_capacity = n;  // complete entries: merge always exact
+  auto service = MakeService(graph, options);
+
+  std::uint64_t queries = 0;
+  for (std::size_t next = 0; next <= stream.size(); next += 6) {
+    for (std::size_t i = next; i < std::min(next + 6, stream.size()); ++i) {
+      ASSERT_TRUE(service->Submit(stream[i]).ok());
+    }
+    ASSERT_TRUE(service->Flush().ok());
+    auto snap = service->Snapshot();
+    for (std::size_t k : {std::size_t{1}, std::size_t{7}, n, n * n}) {
+      ASSERT_EQ(service->TopKPairs(k), core::TopKPairsOf(snap->scores, k))
+          << "k=" << k << " after " << next << " updates";
+      ++queries;
+    }
+  }
+  ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.topk_pairs_served, queries);
+  EXPECT_EQ(stats.topk_pairs_fallbacks, 0u);
+}
+
+TEST(TopKIndexService, DeepPairQueriesFallBackPastBoundedEntries) {
+  DynamicDiGraph graph = TestGraph(91, 16, 40);
+  const std::size_t n = graph.num_nodes();
+  ServiceOptions options;
+  options.cache_capacity = 0;
+  options.topk_index_capacity = 2;  // incomplete entries at n = 16
+  auto service = MakeService(graph, options);
+  auto snap = service->Snapshot();
+  // k past the total pair count can never be proven by bounded entries.
+  EXPECT_EQ(service->TopKPairs(n * n), core::TopKPairsOf(snap->scores, n * n));
+  ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.topk_pairs_fallbacks, 1u);
+  EXPECT_EQ(stats.topk_pairs_served, 0u);
+}
+
 TEST(TopKIndexService, RerankCostIsTouchedRowsNotN) {
   // Two disjoint 8-node components (as in PublishCostIsTouchedRowsNotN):
   // an update inside component A must re-rank at most |A| index entries —
@@ -647,6 +689,53 @@ TEST(TopKIndexUnit, RebuildRowsPatchesOnlyNamedRows) {
   // Row 0's entry was NOT rebuilt: it still serves the old ranking.
   ASSERT_TRUE(view.Serve(0, 2, &out));
   EXPECT_EQ(out[0].score, 0.3);
+}
+
+TEST(TopKIndexUnit, ServePairsCompleteEntriesMatchPairScanExactly) {
+  // Deliberately NOT bitwise symmetric: s(a,b) and s(b,a) differ by ~an
+  // ulp, exactly like incrementally maintained S. The merge must read
+  // row min(a,b)'s copy — the same bytes TopKPairsOf reads — or scores
+  // (and hence tie-breaks) drift off the scan's.
+  const double kJitter = 1e-15;
+  la::ScoreStore store = StoreFromRows({
+      {1.0, 0.8, 0.3, 0.5},
+      {0.8 + kJitter, 1.0, 0.5, 0.2},
+      {0.3 - kJitter, 0.5 + kJitter, 1.0, 0.4},
+      {0.5 - kJitter, 0.2, 0.4 + kJitter, 1.0}});
+  TopKIndex index(8);  // capacity >= n-1: every entry complete
+  index.RebuildAll(store);
+  TopKIndex::View view = index.Publish();
+  for (std::size_t k : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                        std::size_t{3}, std::size_t{6}, std::size_t{100}}) {
+    std::vector<ScoredPair> out;
+    ASSERT_TRUE(view.ServePairs(k, &out)) << "k=" << k;
+    EXPECT_EQ(out, core::TopKPairsOf(store, k)) << "k=" << k;
+  }
+}
+
+TEST(TopKIndexUnit, ServePairsBoundedEntriesServeHeadRefusePastBound) {
+  // n = 5, capacity 2: entries are incomplete, so only pairs strictly
+  // above the worst stored-tail score (0.7, row 1's last item) are
+  // provably exact. k = 1 rides the merge; k = 2 would emit the 0.7
+  // pair, which an unstored pair could tie — refuse and fall back.
+  la::ScoreStore store = StoreFromRows({
+      {1.0, 0.9, 0.1, 0.1, 0.1},
+      {0.9, 1.0, 0.7, 0.1, 0.1},
+      {0.1, 0.7, 1.0, 0.6, 0.1},
+      {0.1, 0.1, 0.6, 1.0, 0.1},
+      {0.1, 0.1, 0.1, 0.1, 1.0}});
+  TopKIndex index(2);
+  index.RebuildAll(store);
+  TopKIndex::View view = index.Publish();
+  std::vector<ScoredPair> out;
+  ASSERT_TRUE(view.ServePairs(1, &out));
+  EXPECT_EQ(out, core::TopKPairsOf(store, 1));
+  EXPECT_FALSE(view.ServePairs(2, &out));
+  EXPECT_TRUE(out.empty());
+
+  TopKIndex disabled(0);
+  disabled.RebuildAll(store);
+  EXPECT_FALSE(disabled.Publish().ServePairs(1, &out));
 }
 
 // ---- TopKQueryCache unit tests -------------------------------------------

@@ -486,12 +486,18 @@ int RunServeSharded(const ServeOptions& options,
       static_cast<unsigned long long>(stats.total.topk_index_served),
       static_cast<unsigned long long>(stats.total.topk_index_fallbacks),
       static_cast<unsigned long long>(stats.total.topk_index_rows_reranked));
+  std::printf(
+      "pair queries: %llu misses served by index merge, %llu pair-scan "
+      "fallbacks\n",
+      static_cast<unsigned long long>(stats.total.topk_pairs_served),
+      static_cast<unsigned long long>(stats.total.topk_pairs_fallbacks));
   if (stats.merges > 0) {
     std::printf(
-        "shard merges rebuilt %llu score rows (%.2f MB) — the cost of "
-        "component-joining inserts\n",
+        "shard merges rebuilt %llu score rows (%.2f MB) in %.3f s — the "
+        "cost of component-joining inserts\n",
         static_cast<unsigned long long>(stats.merge_rebuild_rows),
-        static_cast<double>(stats.merge_rebuild_bytes) / 1e6);
+        static_cast<double>(stats.merge_rebuild_bytes) / 1e6,
+        stats.merge_rebuild_seconds);
   }
   for (const auto& entry : stats.per_shard) {
     std::printf(
@@ -930,7 +936,7 @@ int RunServe(const ServeOptions& options) {
               data->graph.num_nodes(), data->graph.num_edges(),
               updates->size());
   std::printf("update kernels: %zu thread(s)\n",
-              ThreadPool::EffectiveNumThreads(options.num_threads));
+              Scheduler::EffectiveNumThreads(options.num_threads));
 
   if (options.shards > 0) {
     return RunServeSharded(options, data.value(), updates.value());
@@ -987,6 +993,11 @@ int RunServe(const ServeOptions& options) {
       static_cast<unsigned long long>(stats.topk_index_served),
       static_cast<unsigned long long>(stats.topk_index_fallbacks),
       static_cast<unsigned long long>(stats.topk_index_rows_reranked));
+  std::printf(
+      "pair queries: %llu misses served by index merge, %llu pair-scan "
+      "fallbacks\n",
+      static_cast<unsigned long long>(stats.topk_pairs_served),
+      static_cast<unsigned long long>(stats.topk_pairs_fallbacks));
   // Publish amplification: rows copy-on-written per applied update. The
   // full-copy design this replaced paid n rows per EPOCH regardless of
   // the affected area.
