@@ -67,6 +67,42 @@ TimedUpdates TimeUpdates(const std::vector<graph::EdgeUpdate>& delta,
   return result;
 }
 
+/// Loads a SNAP edge list and cuts it into a snapshot series for the
+/// figure harnesses (--edges FILE [--temporal]). With `temporal` the
+/// file's line order is taken as the arrival order — SNAP temporal
+/// datasets ship their lines in arrival order, so prefixes of the file
+/// are real historical snapshots. Without it the stream is shuffled
+/// deterministically (fixed seed, so runs are comparable) because the
+/// line order of a non-temporal dump encodes nothing.
+inline Result<graph::SnapshotSeries> LoadEdgeListSeries(
+    const std::string& path, bool temporal, std::size_t num_snapshots,
+    double base_fraction = 0.8) {
+  auto data = graph::ReadEdgeListFile(path);
+  if (!data.ok()) return data.status();
+  std::vector<graph::TimestampedEdge> stream;
+  stream.reserve(data->edges.size());
+  for (std::size_t k = 0; k < data->edges.size(); ++k) {
+    stream.push_back({data->edges[k], static_cast<std::int64_t>(k)});
+  }
+  if (!temporal) {
+    Rng rng(2014);
+    for (std::size_t k = stream.size(); k > 1; --k) {
+      std::swap(stream[k - 1], stream[rng.NextBounded(k)]);
+    }
+    for (std::size_t k = 0; k < stream.size(); ++k) {
+      stream[k].timestamp = static_cast<std::int64_t>(k);
+    }
+  }
+  std::printf("loaded %s: %zu nodes, %zu edges (%zu duplicate lines "
+              "skipped), %s order\n",
+              path.c_str(), data->graph.num_nodes(), stream.size(),
+              data->duplicates_skipped,
+              temporal ? "temporal (file)" : "shuffled");
+  return graph::SnapshotSeries::FromStream(data->graph.num_nodes(),
+                                           std::move(stream), num_snapshots,
+                                           base_fraction);
+}
+
 /// Minimal JSON emitter for the BENCH_*.json trajectory files: an object
 /// of scalar fields (insertion order preserved), named arrays of child
 /// objects, and named arrays of scalars (per-shard trajectories). Covers
@@ -257,9 +293,11 @@ double ChangedFraction(const BeforeLike& before, const AfterLike& after) {
   INCSR_CHECK(before.rows() == after.rows() && before.cols() == after.cols(),
               "ChangedFraction shape mismatch");
   std::size_t changed = 0;
+  la::Vector scratch_b;
+  la::Vector scratch_a;
   for (std::size_t i = 0; i < before.rows(); ++i) {
-    const double* b = before.RowPtr(i);
-    const double* a = after.RowPtr(i);
+    const double* b = before.ReadRow(i, &scratch_b);
+    const double* a = after.ReadRow(i, &scratch_a);
     for (std::size_t j = 0; j < before.cols(); ++j) {
       if (a[j] != b[j]) ++changed;
     }

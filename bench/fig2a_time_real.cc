@@ -17,8 +17,17 @@
 //     YOUTU, the paper's settings, C = 0.6).
 //
 // Usage: fig2a_time_real [scale_multiplier] [update_cap]
+//        fig2a_time_real --edges FILE [--temporal] [--snapshots N]
+//                        [--iterations K] [--cap CAP]
+//
+// The --edges form replays a real SNAP edge list instead of the synthetic
+// stand-ins: the file is cut into N snapshots (--temporal takes the line
+// order as arrival order; otherwise a deterministic shuffle) and runs
+// through the identical per-transition protocol.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "bench_common.h"
 #include "incsr/incsr.h"
@@ -35,31 +44,23 @@ struct DatasetConfig {
   std::size_t cap;  // timed unit updates per transition (extrapolated)
 };
 
-void RunDataset(const DatasetConfig& config, double scale_mult,
-                std::size_t cap_override) {
-  const std::size_t cap = cap_override > 0 ? cap_override : config.cap;
-  const double scale = config.scale * scale_mult;
-  datasets::DatasetOptions data_options;
-  data_options.scale = scale;
-  auto series = datasets::MakeDataset(config.kind, data_options);
-  INCSR_CHECK(series.ok(), "dataset: %s",
-              series.status().ToString().c_str());
-
+void RunSeries(const graph::SnapshotSeries& series, const std::string& title,
+               int iterations, bool svd_as_published, double scale,
+               std::size_t cap) {
   simrank::SimRankOptions options;
   options.damping = 0.6;
-  options.iterations = config.iterations;
+  options.iterations = iterations;
 
-  bench::PrintHeader("Fig. 2a — " + datasets::DatasetName(config.kind) +
-                     " (scale " + std::to_string(scale) + ", n = " +
-                     std::to_string(series->num_nodes()) + ", K = " +
-                     std::to_string(config.iterations) + ")");
+  bench::PrintHeader("Fig. 2a — " + title + " (n = " +
+                     std::to_string(series.num_nodes()) + ", K = " +
+                     std::to_string(iterations) + ")");
   std::puts(
       "|E|+|dE|    Inc-SR(s)   Inc-uSR(s)  Inc-SVD(s)  Batch(s)   "
       "[timed updates/total]");
 
-  for (std::size_t snap = 1; snap < series->num_snapshots(); ++snap) {
-    graph::DynamicDiGraph g_prev = series->GraphAt(snap - 1);
-    auto delta = series->DeltaBetween(snap - 1, snap);
+  for (std::size_t snap = 1; snap < series.num_snapshots(); ++snap) {
+    graph::DynamicDiGraph g_prev = series.GraphAt(snap - 1);
+    auto delta = series.DeltaBetween(snap - 1, snap);
     if (delta.empty()) continue;
 
     // Shared precomputed state on the old snapshot (untimed).
@@ -88,7 +89,7 @@ void RunDataset(const DatasetConfig& config, double scale_mult,
       svd_options.simrank = options;
       svd_options.target_rank = 5;
       svd_options.faithful_tensor_order = true;
-      if (config.svd_as_published) {
+      if (svd_as_published) {
         svd_options.factorization = incsvd::Factorization::kDenseJacobi;
         svd_options.memory_budget_bytes =
             static_cast<std::int64_t>(8e9 * scale * scale);
@@ -116,7 +117,7 @@ void RunDataset(const DatasetConfig& config, double scale_mult,
     // Batch recomputation on the new snapshot.
     WallTimer batch_timer;
     la::DenseMatrix s_batch =
-        simrank::BatchMatrix(series->GraphAt(snap), options);
+        simrank::BatchMatrix(series.GraphAt(snap), options);
     double batch_seconds = batch_timer.ElapsedSeconds();
     (void)s_batch;
 
@@ -127,19 +128,75 @@ void RunDataset(const DatasetConfig& config, double scale_mult,
       std::snprintf(svd_cell, sizeof(svd_cell), "%10.3f", svd_seconds);
     }
     std::printf("%8zu   %9.3f   %9.3f  %s  %8.3f   [%zu/%zu]\n",
-                series->EdgesAt(snap), t_sr.ExtrapolatedSeconds(),
+                series.EdgesAt(snap), t_sr.ExtrapolatedSeconds(),
                 t_usr.ExtrapolatedSeconds(), svd_cell, batch_seconds,
                 t_sr.applied, t_sr.total);
   }
+}
+
+void RunDataset(const DatasetConfig& config, double scale_mult,
+                std::size_t cap_override) {
+  const std::size_t cap = cap_override > 0 ? cap_override : config.cap;
+  const double scale = config.scale * scale_mult;
+  datasets::DatasetOptions data_options;
+  data_options.scale = scale;
+  auto series = datasets::MakeDataset(config.kind, data_options);
+  INCSR_CHECK(series.ok(), "dataset: %s",
+              series.status().ToString().c_str());
+  RunSeries(*series,
+            datasets::DatasetName(config.kind) + " (scale " +
+                std::to_string(scale) + ")",
+            config.iterations, config.svd_as_published, scale, cap);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::InitBench();
-  const double scale_mult = argc > 1 ? std::atof(argv[1]) : 1.0;
-  const std::size_t cap_override =
-      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 0;
+
+  // --edges form: replay a real SNAP file through the same protocol.
+  std::string edges_path;
+  bool temporal = false;
+  std::size_t num_snapshots = 6;
+  int iterations = 15;
+  std::size_t cap = 100;
+  double scale_mult = 1.0;
+  std::size_t cap_override = 0;
+  int positional = 0;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> const char* {
+      INCSR_CHECK(a + 1 < argc, "%s needs a value", arg.c_str());
+      return argv[++a];
+    };
+    if (arg == "--edges") {
+      edges_path = next();
+    } else if (arg == "--temporal") {
+      temporal = true;
+    } else if (arg == "--snapshots") {
+      num_snapshots = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--iterations") {
+      iterations = std::atoi(next());
+    } else if (arg == "--cap") {
+      cap = static_cast<std::size_t>(std::atoll(next()));
+    } else if (positional == 0) {
+      scale_mult = std::atof(arg.c_str());
+      ++positional;
+    } else {
+      cap_override = static_cast<std::size_t>(std::atoll(arg.c_str()));
+      ++positional;
+    }
+  }
+
+  if (!edges_path.empty()) {
+    auto series =
+        bench::LoadEdgeListSeries(edges_path, temporal, num_snapshots);
+    INCSR_CHECK(series.ok(), "--edges %s: %s", edges_path.c_str(),
+                series.status().ToString().c_str());
+    RunSeries(*series, edges_path + (temporal ? " [temporal]" : " [shuffled]"),
+              iterations, /*svd_as_published=*/false, /*scale=*/1.0, cap);
+    return 0;
+  }
 
   RunDataset({datasets::DatasetKind::kDblp, 0.08, 15, false, 200}, scale_mult,
              cap_override);

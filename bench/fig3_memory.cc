@@ -9,8 +9,15 @@
 //     system and its inverse (Θ(r⁴)) in the faithful tensor-order scoring.
 //
 // Usage: fig3_memory [scale_multiplier]
+//        fig3_memory --edges FILE [--temporal] [--snapshots N]
+//                    [--iterations K]
+//
+// The --edges form measures the same intermediates on a real SNAP edge
+// list (--temporal takes the line order as arrival order; otherwise a
+// deterministic shuffle) instead of the synthetic stand-ins.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "bench_common.h"
 #include "incsr/incsr.h"
@@ -25,23 +32,18 @@ struct DatasetConfig {
   int iterations;
 };
 
-void RunDataset(const DatasetConfig& config, double scale_mult) {
-  datasets::DatasetOptions data_options;
-  data_options.scale = config.scale * scale_mult;
-  auto series = datasets::MakeDataset(config.kind, data_options);
-  INCSR_CHECK(series.ok(), "dataset");
-
+void RunSeries(const graph::SnapshotSeries& series, const std::string& name,
+               int iterations) {
   simrank::SimRankOptions options;
   options.damping = 0.6;
-  options.iterations = config.iterations;
+  options.iterations = iterations;
 
-  graph::DynamicDiGraph g_prev = series->GraphAt(0);
-  auto delta = series->DeltaBetween(0, 1);
+  graph::DynamicDiGraph g_prev = series.GraphAt(0);
+  auto delta = series.DeltaBetween(0, 1);
   if (delta.size() > 50) delta.resize(50);  // a steady-state sample
   la::DenseMatrix s_init = simrank::BatchMatrix(g_prev, options);
 
-  std::printf("%-6s (n = %zu)\n", datasets::DatasetName(config.kind).c_str(),
-              series->num_nodes());
+  std::printf("%-6s (n = %zu)\n", name.c_str(), series.num_nodes());
 
   // Inc-SR: everything the engine allocates while absorbing updates.
   {
@@ -94,11 +96,51 @@ void RunDataset(const DatasetConfig& config, double scale_mult) {
   }
 }
 
+void RunDataset(const DatasetConfig& config, double scale_mult) {
+  datasets::DatasetOptions data_options;
+  data_options.scale = config.scale * scale_mult;
+  auto series = datasets::MakeDataset(config.kind, data_options);
+  INCSR_CHECK(series.ok(), "dataset");
+  RunSeries(*series, datasets::DatasetName(config.kind), config.iterations);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale_mult = argc > 1 ? std::atof(argv[1]) : 1.0;
+  std::string edges_path;
+  bool temporal = false;
+  std::size_t num_snapshots = 6;
+  int iterations = 15;
+  double scale_mult = 1.0;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> const char* {
+      INCSR_CHECK(a + 1 < argc, "%s needs a value", arg.c_str());
+      return argv[++a];
+    };
+    if (arg == "--edges") {
+      edges_path = next();
+    } else if (arg == "--temporal") {
+      temporal = true;
+    } else if (arg == "--snapshots") {
+      num_snapshots = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--iterations") {
+      iterations = std::atoi(next());
+    } else {
+      scale_mult = std::atof(arg.c_str());
+    }
+  }
+
   bench::PrintHeader("Fig. 3 — intermediate memory (output S excluded)");
+  if (!edges_path.empty()) {
+    auto series =
+        bench::LoadEdgeListSeries(edges_path, temporal, num_snapshots);
+    INCSR_CHECK(series.ok(), "--edges %s: %s", edges_path.c_str(),
+                series.status().ToString().c_str());
+    RunSeries(*series, edges_path + (temporal ? " [temporal]" : " [shuffled]"),
+              iterations);
+    return 0;
+  }
   RunDataset({datasets::DatasetKind::kDblp, 0.08, 15}, scale_mult);
   RunDataset({datasets::DatasetKind::kCitH, 0.05, 15}, scale_mult);
   RunDataset({datasets::DatasetKind::kYouTu, 0.04, 5}, scale_mult);

@@ -32,6 +32,16 @@ DynamicSimRank::DynamicSimRank(graph::DynamicDiGraph graph, la::DenseMatrix s,
       algorithm_(algorithm),
       engine_(options) {}
 
+DynamicSimRank::DynamicSimRank(graph::DynamicDiGraph graph, la::ScoreStore s,
+                               const simrank::SimRankOptions& options,
+                               UpdateAlgorithm algorithm)
+    : graph_(std::move(graph)),
+      q_(graph::BuildTransition(graph_)),
+      s_(std::move(s)),
+      options_(options),
+      algorithm_(algorithm),
+      engine_(options) {}
+
 Result<DynamicSimRank> DynamicSimRank::Create(
     graph::DynamicDiGraph graph, const simrank::SimRankOptions& options,
     UpdateAlgorithm algorithm, int batch_iterations) {
@@ -64,6 +74,25 @@ Result<DynamicSimRank> DynamicSimRank::FromState(
   if (s.rows() != graph.num_nodes() || s.cols() != graph.num_nodes()) {
     return Status::InvalidArgument("FromState: S shape does not match graph");
   }
+  return DynamicSimRank(std::move(graph), std::move(s), options, algorithm);
+}
+
+Result<DynamicSimRank> DynamicSimRank::CreateIsolated(
+    std::size_t num_nodes, const simrank::SimRankOptions& options,
+    UpdateAlgorithm algorithm) {
+  if (options.damping <= 0.0 || options.damping >= 1.0) {
+    return Status::InvalidArgument("damping must be in (0, 1)");
+  }
+  if (options.iterations < 1) {
+    return Status::InvalidArgument("iterations must be >= 1");
+  }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
+  graph::DynamicDiGraph graph;
+  graph.AddNodes(num_nodes);
+  la::ScoreStore s =
+      la::ScoreStore::ScaledIdentity(num_nodes, 1.0 - options.damping);
   return DynamicSimRank(std::move(graph), std::move(s), options, algorithm);
 }
 
@@ -125,8 +154,9 @@ graph::NodeId DynamicSimRank::AddNode() {
   // Every row gains a column, so the whole store is rebuilt; previously
   // published views keep serving the old geometry.
   la::DenseMatrix grown(n, n);
+  la::Vector scratch;
   for (std::size_t i = 0; i + 1 < n; ++i) {
-    const double* src = s_.RowPtr(i);
+    const double* src = s_.ReadRow(i, &scratch);
     double* dst = grown.RowPtr(i);
     std::copy(src, src + n - 1, dst);
   }

@@ -68,14 +68,16 @@ inline bool ScoredPairRanksBefore(const ScoredPair& x, const ScoredPair& y) {
 /// count. Bounded min-heap: O(n² log k), O(k) extra space. Generic over
 /// any row-readable score container (la::DenseMatrix, la::ScoreStore, or
 /// a pinned la::ScoreStore::View) so the serving layer can run it on
-/// published snapshots without materializing S.
+/// published snapshots without materializing S; rows are read through
+/// ReadRow so sparse-backed rows gather into one reused scratch buffer.
 template <typename SLike>
 std::vector<ScoredPair> TopKPairsOf(const SLike& s, std::size_t k) {
   const std::size_t n = s.rows();
   std::vector<ScoredPair> heap;  // min-heap on score
   const auto cmp = &ScoredPairRanksBefore;
+  la::Vector scratch;
   for (std::size_t a = 0; a < n; ++a) {
-    const double* row = s.RowPtr(a);
+    const double* row = s.ReadRow(a, &scratch);
     for (std::size_t b = a + 1; b < n; ++b) {
       ScoredPair cand{static_cast<graph::NodeId>(a),
                       static_cast<graph::NodeId>(b), row[b]};
@@ -103,7 +105,8 @@ std::vector<ScoredPair> TopKForOf(const SLike& s, graph::NodeId query,
                                   std::size_t k) {
   const std::size_t n = s.rows();
   const std::size_t q = static_cast<std::size_t>(query);
-  const double* row = s.RowPtr(q);
+  la::Vector scratch;
+  const double* row = s.ReadRow(q, &scratch);
   // Bounded min-heap over the k best seen so far: O(n log k) instead of
   // the former full materialize-and-sort — this is the hot read path the
   // serving layer multiplies by every query. Every candidate shares the
@@ -146,10 +149,26 @@ class DynamicSimRank {
       const simrank::SimRankOptions& options = {},
       UpdateAlgorithm algorithm = UpdateAlgorithm::kIncSR);
 
+  /// Stands up an index over `num_nodes` isolated nodes WITHOUT ever
+  /// materializing a dense n² matrix: for an edgeless graph Q = 0, so the
+  /// matrix-form fixed point S = C·Q·S·Qᵀ + (1−C)·I is exactly (1−C)·I,
+  /// which the score store builds sparse-direct in O(n). This is the entry
+  /// point for an n the dense store cannot hold — grow structure with
+  /// InsertEdge afterwards (rows densify on first write as usual).
+  static Result<DynamicSimRank> CreateIsolated(
+      std::size_t num_nodes, const simrank::SimRankOptions& options = {},
+      UpdateAlgorithm algorithm = UpdateAlgorithm::kIncSR);
+
   const graph::DynamicDiGraph& graph() const { return graph_; }
+  /// Publishes the current adjacency as an immutable byte-stable View in
+  /// O(n) pointer copies; later edge updates copy-on-write only the nodes
+  /// they touch (graph::DynamicDiGraph::Snapshot). Same single-writer
+  /// rule as mutable_score_store(): the caller must be the update thread.
+  graph::DynamicDiGraph::View SnapshotGraph() { return graph_.Snapshot(); }
   /// The maintained similarity matrix, behind the copy-on-write row store.
-  /// Read entries with scores()(a, b) / scores().RowPtr(a); materialize
-  /// with scores().ToDense() when a dense matrix is genuinely needed.
+  /// Read entries with scores()(a, b) / scores().ReadRow(a, &scratch);
+  /// materialize with scores().ToDense() when a dense matrix is genuinely
+  /// needed.
   const la::ScoreStore& scores() const { return s_; }
   /// Mutable access to the score store for the serving layer, which calls
   /// Publish() on it to snapshot an epoch in O(rows touched). The caller
@@ -218,6 +237,11 @@ class DynamicSimRank {
 
  private:
   DynamicSimRank(graph::DynamicDiGraph graph, la::DenseMatrix s,
+                 const simrank::SimRankOptions& options,
+                 UpdateAlgorithm algorithm);
+  // Store-direct variant for backings that never existed densely
+  // (CreateIsolated's sparse identity).
+  DynamicSimRank(graph::DynamicDiGraph graph, la::ScoreStore s,
                  const simrank::SimRankOptions& options,
                  UpdateAlgorithm algorithm);
 

@@ -117,8 +117,8 @@ Status IncSrEngine::ComputeSparseSeed(const graph::EdgeUpdate& update,
   // true column in the last ulp — well inside the C^(K+1) accuracy
   // envelope, and deterministic: every run (any thread count, any shard
   // layout) reads the same bytes.
-  const double* si = s.RowPtr(i);
-  const double* sj = s.RowPtr(j);
+  const double* si = s.ReadRow(i, &seed_row_i_);
+  const double* sj = s.ReadRow(j, &seed_row_j_);
 
   // w = Q·[S]_{·,i} on its support: only rows a reachable by one OLD-graph
   // hop from T = {y : [S]_{y,i} ≠ 0} can be nonzero (these out-neighbor
@@ -433,14 +433,23 @@ Status IncSrEngine::ApplyRowUpdate(graph::NodeId target,
   // partition is bitwise identical.
   la::Vector z(n);
   {
+    // Source rows are resolved serially up front: ReadRow may gather a
+    // sparse-backed row into its scratch, which is a write and therefore
+    // writer-thread-only — workers then stream from stable pointers.
+    if (read_gather_.size() < v.nnz()) read_gather_.resize(v.nnz());
+    read_ptrs_.resize(v.nnz());
+    for (std::size_t k = 0; k < v.nnz(); ++k) {
+      read_ptrs_[k] = s->ReadRow(static_cast<std::size_t>(v.indices()[k]),
+                                 &read_gather_[k]);
+    }
     double* zp = z.data();
+    const double* const* rows = read_ptrs_.data();
     Scheduler::Global().ParallelFor(
         0, n, /*grain=*/2048, threads_,
-        [&v, s, zp](std::size_t lo, std::size_t hi) {
+        [&v, rows, zp](std::size_t lo, std::size_t hi) {
           for (std::size_t k = 0; k < v.nnz(); ++k) {
-            const auto c = static_cast<std::size_t>(v.indices()[k]);
             const double coeff = v.values()[k];
-            const double* __restrict row = s->RowPtr(c);
+            const double* __restrict row = rows[k];
             for (std::size_t y = lo; y < hi; ++y) zp[y] += coeff * row[y];
           }
         });

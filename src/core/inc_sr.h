@@ -37,11 +37,13 @@ namespace incsr::core {
 /// The update entry points are generic over the score container SMatrix —
 /// la::DenseMatrix (in-place, the tests' reference path) or la::ScoreStore
 /// (row-granular copy-on-write, the serving path). SMatrix must provide
-/// rows()/cols(), operator()(i, j) and RowPtr(i) for reads, Col(j), and
-/// MutableRowPtr(i) as the sole write entry point — the engine only ever
-/// takes MutableRowPtr for rows it actually scatters into, which is what
-/// keeps the ScoreStore's COW cost at O(affected rows). Definitions live
-/// in inc_sr.cc with explicit instantiations for both containers.
+/// rows()/cols(), operator()(i, j) and ReadRow(i, scratch) for reads
+/// (representation-agnostic: sparse-backed store rows gather into the
+/// scratch), Col(j), and MutableRowPtr(i) as the sole write entry point —
+/// the engine only ever takes MutableRowPtr for rows it actually scatters
+/// into (densifying sparse rows on write), which is what keeps the
+/// ScoreStore's COW cost at O(affected rows). Definitions live in
+/// inc_sr.cc with explicit instantiations for both containers.
 /// The hot loops — seed scan, support expansion, outer-product scatter —
 /// run on the shared Scheduler with options.num_threads-way parallelism.
 /// S is bitwise identical at every thread count: rows are scattered
@@ -159,6 +161,13 @@ class IncSrEngine {
   std::vector<std::int32_t> scatter_rows_;  // supp(ξ) ∪ supp(η) scratch
   std::vector<double*> scatter_ptrs_;  // pre-materialized row pointers
   std::vector<std::uint8_t> touched_seen_;
+  // ReadRow gather scratches. Like the COW clones, sparse row reads are
+  // resolved serially BEFORE a parallel region (ReadRow writes its
+  // scratch), so workers only ever see stable pointers.
+  la::Vector seed_row_i_;
+  la::Vector seed_row_j_;
+  std::vector<la::Vector> read_gather_;    // one scratch per resolved row
+  std::vector<const double*> read_ptrs_;   // pre-resolved row pointers
 };
 
 }  // namespace incsr::core

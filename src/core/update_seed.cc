@@ -12,8 +12,11 @@ namespace {
 template <typename SMatrix>
 la::Vector SymmetricColumn(const SMatrix& s, std::size_t i) {
   la::Vector out(s.cols());
-  const double* row = s.RowPtr(i);
-  std::copy(row, row + s.cols(), out.data());
+  // ReadRow either hands back the contiguous dense payload (copied below)
+  // or gathers a sparse-backed row straight into `out` and returns its
+  // buffer, in which case the copy is skipped.
+  const double* row = s.ReadRow(i, &out);
+  if (row != out.data()) std::copy(row, row + s.cols(), out.data());
   return out;
 }
 

@@ -95,6 +95,7 @@ Result<EdgeListData> ParseEdgeList(const std::string& text,
       }
       return s;
     }
+    data.edges.push_back({src, dst});
   }
   return data;
 }

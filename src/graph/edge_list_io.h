@@ -20,6 +20,12 @@ struct EdgeListData {
   DynamicDiGraph graph;
   /// original id → dense id (only populated when remapping occurred).
   std::unordered_map<std::int64_t, NodeId> id_map;
+  /// The accepted edges in FILE ORDER (remapped, duplicates/self-loop
+  /// skips removed). SNAP temporal datasets ship their lines in arrival
+  /// order, so this is the edge timeline the figure harnesses replay
+  /// (--edges FILE --temporal); graph.Edges() cannot serve that purpose —
+  /// it re-sorts lexicographically.
+  std::vector<Edge> edges;
   /// Number of duplicate edges skipped during the load.
   std::size_t duplicates_skipped = 0;
 };

@@ -54,6 +54,12 @@ class DenseMatrix {
   /// Write entry point shared with la::ScoreStore (which copy-on-writes
   /// here); for a plain dense matrix it is just the mutable row pointer.
   double* MutableRowPtr(std::size_t i) { return RowPtr(i); }
+  /// Representation-agnostic read entry point shared with la::ScoreStore
+  /// (which gathers sparse rows into *scratch); every row of a plain dense
+  /// matrix is contiguous, so the scratch is never used.
+  const double* ReadRow(std::size_t i, Vector* /*scratch*/) const {
+    return RowPtr(i);
+  }
 
   /// Copies row i into a Vector.
   Vector Row(std::size_t i) const;

@@ -1,0 +1,95 @@
+// RowBlock — the pluggable payload unit behind la::ScoreStore. A block is
+// a tagged struct (no virtual dispatch on the read hot path): either a
+// dense row-major slab of `rows_in_block × cols` doubles, or — for
+// single-row blocks — a threshold-sparsified row stored as sorted column
+// ids with parallel values (index+value compressed layout).
+//
+// Sparsification contract (see docs/score_store.md):
+//   - An entry v is RETAINED when its column is in `keep_cols` (the row's
+//     top-k index columns, so index serving never degrades), or when
+//     |v| >= epsilon and v is not an exact +0.0.
+//   - An exact +0.0 is always dropped: gathering a sparse row fills absent
+//     columns with +0.0, so dropping it is bitwise lossless. This is what
+//     makes epsilon = 0 a pure compression setting — the gathered row is
+//     bitwise identical to the dense original. A -0.0 is kept at
+//     epsilon = 0 for the same reason.
+//   - Every other dropped entry has |v| < epsilon; `dropped` counts them
+//     and `max_dropped_abs` records the largest magnitude lost, which is
+//     what the store folds into its cumulative error bound.
+#ifndef INCSR_LA_ROW_BLOCK_H_
+#define INCSR_LA_ROW_BLOCK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "la/vector.h"
+
+namespace incsr::la {
+
+/// One immutable, reference-counted row block. Blocks are built unshared by
+/// the single writer thread and become immutable once a Publish()ed table
+/// references them.
+struct RowBlock {
+  enum class Kind : std::uint8_t { kDense, kSparse };
+
+  Kind kind = Kind::kDense;
+  /// kDense: rows_in_block × cols doubles, row-major.
+  TrackedDoubles dense;
+  /// kSparse (single-row blocks only): strictly increasing column ids with
+  /// parallel values.
+  TrackedIndices sparse_cols;
+  TrackedDoubles sparse_vals;
+
+  bool is_sparse() const { return kind == Kind::kSparse; }
+
+  /// Bytes of numeric payload actually held (excludes struct overhead).
+  std::size_t payload_bytes() const {
+    return dense.size() * sizeof(double) +
+           sparse_cols.size() * sizeof(std::int32_t) +
+           sparse_vals.size() * sizeof(double);
+  }
+
+  /// Value at `col` of a sparse block (+0.0 when not stored). O(log nnz).
+  double SparseAt(std::size_t col) const;
+
+  /// Expands a sparse block into `dst[0..num_cols)`: absent columns become
+  /// exact +0.0, stored entries keep their bit patterns.
+  void GatherInto(std::size_t num_cols, double* dst) const;
+};
+
+/// Result of sparsifying one dense row.
+struct SparsifyResult {
+  /// The sparse block, or null when the row failed the density gate (its
+  /// retained fraction exceeded max_density) and should stay dense.
+  std::shared_ptr<const RowBlock> block;
+  /// Dropped entries whose bit pattern was not exact +0.0 — i.e. drops a
+  /// reader could observe. Zero means the gathered row is bitwise
+  /// identical to the dense input.
+  std::size_t dropped = 0;
+  /// Largest |v| among those drops (each is < epsilon by construction).
+  double max_dropped_abs = 0.0;
+};
+
+/// Sparsifies one dense row of `num_cols` entries under the retention
+/// contract above. `keep_cols` (any order, duplicates fine) are retained
+/// unconditionally. Bails out with a null block as soon as the retained
+/// count exceeds max_density · num_cols.
+SparsifyResult SparsifyDenseRow(const double* row, std::size_t num_cols,
+                                double epsilon, double max_density,
+                                std::span<const std::int32_t> keep_cols);
+
+/// Expands a sparse block into a fresh single-row dense block.
+std::shared_ptr<const RowBlock> DensifyBlock(const RowBlock& block,
+                                             std::size_t num_cols);
+
+/// Single-row sparse block holding one entry: row[col] = value. This is
+/// the O(1)-per-row construction path for (scaled) identity matrices —
+/// the only way to stand up an n that a dense n² slab cannot hold.
+std::shared_ptr<const RowBlock> MakeSingleEntryRow(std::size_t col,
+                                                   double value);
+
+}  // namespace incsr::la
+
+#endif  // INCSR_LA_ROW_BLOCK_H_

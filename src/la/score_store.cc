@@ -11,12 +11,14 @@ namespace {
 
 bool IsPowerOfTwo(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
 
-// Materializes any row-readable container (store or view) bitwise.
+// Materializes any row-readable container (store or view) bitwise,
+// representation-agnostic via ReadRow.
 template <typename RowsLike>
 DenseMatrix MaterializeRows(const RowsLike& m) {
   DenseMatrix out(m.rows(), m.cols());
+  Vector scratch;
   for (std::size_t i = 0; i < m.rows(); ++i) {
-    const double* src = m.RowPtr(i);
+    const double* src = m.ReadRow(i, &scratch);
     std::copy(src, src + m.cols(), out.RowPtr(i));
   }
   return out;
@@ -42,9 +44,49 @@ ScoreStore::ScoreStore(DenseMatrix dense, std::size_t rows_per_shard) {
   BuildShards(dense);
 }
 
+ScoreStore ScoreStore::ScaledIdentity(std::size_t n, double value) {
+  ScoreStore store;
+  store.rows_ = n;
+  store.cols_ = n;
+  store.shard_shift_ = 0;
+  store.shard_mask_ = 0;
+  store.shards_.resize(n);
+  store.shared_.assign(n, 0);
+  store.all_rows_touched_ = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    store.shards_[i] = MakeSingleEntryRow(i, value);
+    store.stats_.sparse_payload_bytes += store.shards_[i]->payload_bytes();
+  }
+  store.stats_.rows_sparse = n;
+  store.stats_.rows_materialized += n;
+  store.stats_.bytes_materialized += store.stats_.sparse_payload_bytes;
+  return store;
+}
+
+void ScoreStore::set_sparsity(const SparsityConfig& config) {
+  INCSR_CHECK(shard_shift_ == 0,
+              "sparse row blocks need rows_per_shard == 1, have %zu",
+              rows_per_shard());
+  INCSR_CHECK(config.epsilon >= 0.0 && config.max_density > 0.0 &&
+                  config.error_amplification >= 1.0,
+              "invalid sparsity config (eps %g, density %g, amplification %g)",
+              config.epsilon, config.max_density, config.error_amplification);
+  sparsity_ = config;
+  sparsity_enabled_ = true;
+}
+
 std::size_t ScoreStore::RowsInShard(std::size_t shard) const {
   const std::size_t first = shard << shard_shift_;
   return std::min(rows_ - first, std::size_t{1} << shard_shift_);
+}
+
+void ScoreStore::RecordTouchedShard(std::size_t s) {
+  if (all_rows_touched_) return;
+  const std::size_t first = s << shard_shift_;
+  const std::size_t count = RowsInShard(s);
+  for (std::size_t r = 0; r < count; ++r) {
+    touched_rows_.push_back(static_cast<std::int32_t>(first + r));
+  }
 }
 
 void ScoreStore::BuildShards(const DenseMatrix& dense) {
@@ -59,6 +101,10 @@ void ScoreStore::BuildShards(const DenseMatrix& dense) {
   stats_.rows_materialized += rows_;
   stats_.bytes_materialized +=
       static_cast<std::uint64_t>(rows_) * cols_ * sizeof(double);
+  // A full rebuild lands every row dense; the serving layer re-earns the
+  // sparse tier from traffic afterwards.
+  stats_.rows_sparse = 0;
+  stats_.sparse_payload_bytes = 0;
   // Shard payloads are disjoint and each is a pure copy, so the
   // materialization parallelizes deterministically; this is what makes
   // a shard-merge's FromState re-init row-parallel instead of the O(n²)
@@ -70,12 +116,12 @@ void ScoreStore::BuildShards(const DenseMatrix& dense) {
       0, num_shards, grain, Scheduler::ResolveNumThreads(0),
       [this, &dense](std::size_t lo, std::size_t hi) {
         for (std::size_t s = lo; s < hi; ++s) {
-          auto shard = std::make_shared<Shard>();
+          auto shard = std::make_shared<RowBlock>();
           const std::size_t first = s << shard_shift_;
           const std::size_t count = RowsInShard(s);
-          shard->data.resize(count * cols_);
+          shard->dense.resize(count * cols_);
           const double* src = dense.RowPtr(first);
-          std::copy(src, src + count * cols_, shard->data.data());
+          std::copy(src, src + count * cols_, shard->dense.data());
           shards_[s] = std::move(shard);
         }
       });
@@ -84,36 +130,100 @@ void ScoreStore::BuildShards(const DenseMatrix& dense) {
 double* ScoreStore::MutableRowPtr(std::size_t i) {
   INCSR_DCHECK(i < rows_, "row %zu out of %zu", i, rows_);
   const std::size_t s = i >> shard_shift_;
-  if (shared_[s]) {
+  const RowBlock* block = shards_[s].get();
+  if (block->is_sparse()) {
+    // Densify-on-write: kernels always write through a flat row. The
+    // fresh dense block is unshared whether or not the sparse one was —
+    // a still-shared sparse block stays alive for its Views.
+    if (shared_[s]) RecordTouchedShard(s);
+    stats_.sparse_payload_bytes -= block->payload_bytes();
+    --stats_.rows_sparse;
+    ++stats_.rows_densified;
+    shards_[s] = DensifyBlock(*block, cols_);
+    shared_[s] = 0;
+  } else if (shared_[s]) {
     // First write into a shard some published View references: clone it.
     // The old shard stays alive (and byte-stable) for as long as any View
     // holds it; this clone IS the incremental publish cost.
-    auto clone = std::make_shared<Shard>();
-    clone->data = shards_[s]->data;
+    auto clone = std::make_shared<RowBlock>();
+    clone->dense = block->dense;
     stats_.rows_copied += RowsInShard(s);
-    stats_.bytes_copied += clone->data.size() * sizeof(double);
+    stats_.bytes_copied += clone->dense.size() * sizeof(double);
     shards_[s] = std::move(clone);
     shared_[s] = 0;
-    if (!all_rows_touched_) {
-      // The clone happens exactly once per shard per epoch, so this stays
-      // duplicate-free without a lookup.
-      const std::size_t first = s << shard_shift_;
-      const std::size_t count = RowsInShard(s);
-      for (std::size_t r = 0; r < count; ++r) {
-        touched_rows_.push_back(static_cast<std::int32_t>(first + r));
-      }
-    }
+    // The clone happens exactly once per shard per epoch, so this stays
+    // duplicate-free without a lookup.
+    RecordTouchedShard(s);
   }
   // const_cast is sound: an unshared shard is exclusively owned by this
   // store, and only the single writer thread reaches this path.
-  auto* shard = const_cast<Shard*>(shards_[s].get());
-  return &shard->data[(i & shard_mask_) * cols_];
+  auto* shard = const_cast<RowBlock*>(shards_[s].get());
+  return &shard->dense[(i & shard_mask_) * cols_];
+}
+
+bool ScoreStore::SparsifyRow(std::size_t i,
+                             std::span<const std::int32_t> keep_cols,
+                             std::size_t* dropped_out) {
+  INCSR_DCHECK(i < rows_, "row %zu out of %zu", i, rows_);
+  INCSR_CHECK(sparsity_enabled_, "SparsifyRow without set_sparsity");
+  const std::size_t s = i;  // rows_per_shard == 1, enforced by set_sparsity
+  const RowBlock& block = *shards_[s];
+  if (block.is_sparse()) return false;
+  SparsifyResult result =
+      SparsifyDenseRow(block.dense.data(), cols_, sparsity_.epsilon,
+                       sparsity_.max_density, keep_cols);
+  if (!result.block) return false;  // density gate: stay dense
+  // A shared→unshared transition enters the touched delta even when the
+  // readable bytes did not change (dropped == 0): the invariant "unshared
+  // implies already recorded this epoch" is what lets MutableRowPtr skip
+  // the lookup, and a spurious re-rank of a demoted row is cheap.
+  if (shared_[s]) RecordTouchedShard(s);
+  stats_.sparse_payload_bytes += result.block->payload_bytes();
+  ++stats_.rows_sparse;
+  ++stats_.rows_sparsified;
+  stats_.eps_drops += result.dropped;
+  if (result.dropped > 0) {
+    stats_.max_error_bound +=
+        result.max_dropped_abs * sparsity_.error_amplification;
+  }
+  shards_[s] = std::move(result.block);
+  shared_[s] = 0;
+  if (dropped_out != nullptr) *dropped_out = result.dropped;
+  return true;
+}
+
+bool ScoreStore::DensifyRow(std::size_t i) {
+  INCSR_DCHECK(i < rows_, "row %zu out of %zu", i, rows_);
+  const std::size_t s = i >> shard_shift_;
+  const RowBlock& block = *shards_[s];
+  if (!block.is_sparse()) return false;
+  if (shared_[s]) RecordTouchedShard(s);
+  stats_.sparse_payload_bytes -= block.payload_bytes();
+  --stats_.rows_sparse;
+  ++stats_.rows_densified;
+  shards_[s] = DensifyBlock(block, cols_);
+  shared_[s] = 0;
+  return true;
+}
+
+std::uint64_t ScoreStore::bytes_saved() const {
+  const std::uint64_t dense_equiv =
+      stats_.rows_sparse * static_cast<std::uint64_t>(cols_) * sizeof(double);
+  return dense_equiv > stats_.sparse_payload_bytes
+             ? dense_equiv - stats_.sparse_payload_bytes
+             : 0;
+}
+
+std::uint64_t ScoreStore::payload_bytes() const {
+  const std::uint64_t dense_rows =
+      static_cast<std::uint64_t>(rows_) - stats_.rows_sparse;
+  return dense_rows * cols_ * sizeof(double) + stats_.sparse_payload_bytes;
 }
 
 Vector ScoreStore::Col(std::size_t j) const {
   INCSR_DCHECK(j < cols_, "col %zu out of %zu", j, cols_);
   Vector out(rows_);
-  for (std::size_t i = 0; i < rows_; ++i) out[i] = RowPtr(i)[j];
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
   return out;
 }
 
@@ -148,9 +258,11 @@ double MaxAbsDiffRows(const A& a, const B& b) {
               "MaxAbsDiff shape mismatch (%zu,%zu) vs (%zu,%zu)", a.rows(),
               a.cols(), b.rows(), b.cols());
   double max_diff = 0.0;
+  Vector scratch_a;
+  Vector scratch_b;
   for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* pa = a.RowPtr(i);
-    const double* pb = b.RowPtr(i);
+    const double* pa = a.ReadRow(i, &scratch_a);
+    const double* pb = b.ReadRow(i, &scratch_b);
     for (std::size_t j = 0; j < a.cols(); ++j) {
       const double diff = pa[j] > pb[j] ? pa[j] - pb[j] : pb[j] - pa[j];
       if (diff > max_diff) max_diff = diff;

@@ -4,35 +4,48 @@
 // epoch snapshot when a batch touched only a few rows. ScoreStore makes the
 // touched-row structure explicit in storage:
 //
-//   - Rows live in immutable, reference-counted row blocks (shards) behind
-//     a row-pointer table. A shard is `rows_per_shard` consecutive rows
-//     (power of two; default 1, i.e. a pure per-row table).
+//   - Rows live in immutable, reference-counted row blocks behind a
+//     row-pointer table. A block covers `rows_per_shard` consecutive rows
+//     (power of two; default 1, i.e. a pure per-row table), and its payload
+//     is pluggable (la::RowBlock): a dense row-major slab, or — per row,
+//     when sparsity is enabled — a threshold-sparsified index+value layout
+//     holding only entries ≥ ε plus the row's protected top-k columns.
 //   - Publish() snapshots the matrix by copying the POINTER TABLE only —
 //     O(n / rows_per_shard) shared_ptr bumps, never the O(n²) payload —
-//     and marks every shard as shared with that View.
+//     and marks every block as shared with that View.
 //   - MutableRowPtr(i) is the single write entry point: the first write
-//     into a shard that is shared with a live or past View clones it
-//     (copy-on-write), so a pinned View stays byte-stable forever while
-//     the writer keeps mutating. Rows a batch never touches are never
-//     copied; the cumulative clone cost is the publish cost, and it is
-//     O(rows touched), exactly the affected-area bound.
+//     into a block that is shared with a live or past View clones it
+//     (copy-on-write), and a sparse block is densified first
+//     (densify-on-write) so kernels always write through a flat row. The
+//     serving layer re-sparsifies cold rows at publish time
+//     (SparsifyRow/DensifyRow), so the tier a row occupies is earned by
+//     its traffic, not fixed at construction.
+//
+// Accuracy contract when sparsity is enabled (docs/score_store.md): every
+// entry a sparsification drops has |v| < ε, exact +0.0 entries are always
+// dropped losslessly, and stats().max_error_bound accumulates an upper
+// bound on the resulting |served − exact| error. At ε = 0 the gathered
+// bytes are bitwise identical to the dense original.
 //
 // Threading model (matches the serving layer): ONE writer thread calls the
-// mutating methods (MutableRowPtr, Publish, Assign); any number of reader
-// threads read through Views they obtained via a synchronizing handoff
-// (e.g. a shared_ptr swap under a mutex). Shards are immutable once shared
-// and freed by shared_ptr refcounting, so no reader ever races a write —
-// the COW decision uses a writer-private "shared since last clone" flag,
-// not shared_ptr::use_count(), keeping the store TSan-clean by design.
+// mutating methods (MutableRowPtr, SparsifyRow, DensifyRow, Publish,
+// Assign); any number of reader threads read through Views they obtained
+// via a synchronizing handoff (e.g. a shared_ptr swap under a mutex).
+// Blocks are immutable once shared and freed by shared_ptr refcounting, so
+// no reader ever races a write — the COW decision uses a writer-private
+// "shared since last clone" flag, not shared_ptr::use_count(), keeping the
+// store TSan-clean by design.
 #ifndef INCSR_LA_SCORE_STORE_H_
 #define INCSR_LA_SCORE_STORE_H_
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/check.h"
 #include "la/dense_matrix.h"
+#include "la/row_block.h"
 #include "la/vector.h"
 
 namespace incsr::la {
@@ -56,14 +69,43 @@ struct ScoreStoreStats {
   /// representation.
   std::uint64_t rows_materialized = 0;
   std::uint64_t bytes_materialized = 0;
+
+  // ---- Tiered sparse backing ----------------------------------------------
+  /// Cumulative dense→sparse demotions (SparsifyRow) and sparse→dense
+  /// transitions (DensifyRow promotions plus densify-on-write).
+  std::uint64_t rows_sparsified = 0;
+  std::uint64_t rows_densified = 0;
+  /// Entries dropped below ε across all sparsifications (lossy drops only;
+  /// exact +0.0 drops are bitwise lossless and not counted).
+  std::uint64_t eps_drops = 0;
+  /// Gauges describing the CURRENT tier mix, not cumulative counts.
+  std::uint64_t rows_sparse = 0;
+  std::uint64_t sparse_payload_bytes = 0;
+  /// Upper bound on |served − exact| accumulated by lossy drops: the sum
+  /// over sparsification events of max_dropped_abs × error_amplification.
+  /// Never decreases (a re-densified row keeps its embedded drops).
+  double max_error_bound = 0.0;
+};
+
+/// Per-store sparsification policy. ε = 0 with enabled sparsity is a valid
+/// pure-compression setting (bitwise-lossless +0.0 elision only).
+struct SparsityConfig {
+  /// Entries with |v| < epsilon may be dropped (never the protected
+  /// keep_cols an index passes to SparsifyRow).
+  double epsilon = 0.0;
+  /// A row stays dense when its retained fraction exceeds this (an
+  /// index+value pair costs 12 bytes against 8 dense, so compressing past
+  /// ~0.6 density loses; 0.5 leaves headroom for later inserts).
+  double max_density = 0.5;
+  /// Multiplier folded into max_error_bound per drop event. The serving
+  /// layer sets 1/(1−C) to first-order-account for error propagation
+  /// through the C-contractive SimRank iteration.
+  double error_amplification = 1.0;
 };
 
 /// Row-sharded copy-on-write score matrix. See file comment.
 class ScoreStore {
-  struct Shard {
-    TrackedDoubles data;  // rows_in_shard × cols, row-major
-  };
-  using ShardTable = std::vector<std::shared_ptr<const Shard>>;
+  using ShardTable = std::vector<std::shared_ptr<const RowBlock>>;
 
  public:
   /// Immutable snapshot of the row-pointer table. Copying a View copies
@@ -80,13 +122,40 @@ class ScoreStore {
     double operator()(std::size_t i, std::size_t j) const {
       INCSR_DCHECK(i < rows_ && j < cols_, "view index (%zu,%zu) out of (%zu,%zu)",
                    i, j, rows_, cols_);
-      return RowPtr(i)[j];
+      const RowBlock& block = *shards_[i >> shard_shift_];
+      return block.is_sparse() ? block.SparseAt(j)
+                               : block.dense[(i & shard_mask_) * cols_ + j];
     }
 
-    /// Raw pointer to row i (contiguous, cols() entries).
+    /// True when row i is backed by the sparse layout.
+    bool RowIsSparse(std::size_t i) const {
+      INCSR_DCHECK(i < rows_, "view row %zu out of %zu", i, rows_);
+      return shards_[i >> shard_shift_]->is_sparse();
+    }
+
+    /// Raw pointer to row i (contiguous, cols() entries). Valid only for
+    /// dense rows; representation-agnostic readers use ReadRow.
     const double* RowPtr(std::size_t i) const {
       INCSR_DCHECK(i < rows_, "view row %zu out of %zu", i, rows_);
-      return &shards_[i >> shard_shift_]->data[(i & shard_mask_) * cols_];
+      const RowBlock& block = *shards_[i >> shard_shift_];
+      INCSR_DCHECK(!block.is_sparse(), "RowPtr on sparse row %zu", i);
+      return &block.dense[(i & shard_mask_) * cols_];
+    }
+
+    /// Contiguous read access to row i regardless of its representation: a
+    /// dense row returns its payload pointer untouched; a sparse row is
+    /// gathered into *scratch (resized to cols()) and that buffer is
+    /// returned. The pointer is invalidated by the next ReadRow into the
+    /// same scratch.
+    const double* ReadRow(std::size_t i, Vector* scratch) const {
+      INCSR_DCHECK(i < rows_, "view row %zu out of %zu", i, rows_);
+      const RowBlock& block = *shards_[i >> shard_shift_];
+      if (!block.is_sparse()) {
+        return &block.dense[(i & shard_mask_) * cols_];
+      }
+      scratch->Resize(cols_);
+      block.GatherInto(cols_, scratch->data());
+      return scratch->data();
     }
 
     /// Materializes the viewed matrix (bitwise-exact copy).
@@ -106,6 +175,12 @@ class ScoreStore {
   /// two (1 = one shard per row).
   explicit ScoreStore(DenseMatrix dense, std::size_t rows_per_shard = 1);
 
+  /// n×n matrix `value · I` built sparse-direct: one stored entry per row,
+  /// O(n) total instead of the O(n²) dense slab. This is how an engine
+  /// stands up an edgeless-graph state at an n the dense store cannot
+  /// hold (rows densify on first write as usual).
+  static ScoreStore ScaledIdentity(std::size_t n, double value);
+
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   bool empty() const { return rows_ == 0 || cols_ == 0; }
@@ -114,29 +189,84 @@ class ScoreStore {
   double operator()(std::size_t i, std::size_t j) const {
     INCSR_DCHECK(i < rows_ && j < cols_, "index (%zu,%zu) out of (%zu,%zu)", i,
                  j, rows_, cols_);
-    return RowPtr(i)[j];
+    const RowBlock& block = *shards_[i >> shard_shift_];
+    return block.is_sparse() ? block.SparseAt(j)
+                             : block.dense[(i & shard_mask_) * cols_ + j];
+  }
+
+  /// True when row i is backed by the sparse layout.
+  bool RowIsSparse(std::size_t i) const {
+    INCSR_DCHECK(i < rows_, "row %zu out of %zu", i, rows_);
+    return shards_[i >> shard_shift_]->is_sparse();
   }
 
   /// Raw pointer to row i for READS (contiguous, cols() entries). Never
-  /// triggers a copy; do not write through it.
+  /// triggers a copy; do not write through it. Valid only for dense rows —
+  /// representation-agnostic readers use ReadRow.
   const double* RowPtr(std::size_t i) const {
     INCSR_DCHECK(i < rows_, "row %zu out of %zu", i, rows_);
-    return &shards_[i >> shard_shift_]->data[(i & shard_mask_) * cols_];
+    const RowBlock& block = *shards_[i >> shard_shift_];
+    INCSR_DCHECK(!block.is_sparse(), "RowPtr on sparse row %zu", i);
+    return &block.dense[(i & shard_mask_) * cols_];
   }
 
-  /// Raw pointer to row i for WRITES. Clones the containing shard first if
-  /// it is shared with any published View (copy-on-write). Writer thread
-  /// only.
+  /// Contiguous read access to row i regardless of representation (see
+  /// View::ReadRow).
+  const double* ReadRow(std::size_t i, Vector* scratch) const {
+    INCSR_DCHECK(i < rows_, "row %zu out of %zu", i, rows_);
+    const RowBlock& block = *shards_[i >> shard_shift_];
+    if (!block.is_sparse()) {
+      return &block.dense[(i & shard_mask_) * cols_];
+    }
+    scratch->Resize(cols_);
+    block.GatherInto(cols_, scratch->data());
+    return scratch->data();
+  }
+
+  /// Raw pointer to row i for WRITES. Clones the containing block first if
+  /// it is shared with any published View (copy-on-write), densifying a
+  /// sparse block in the same step (densify-on-write). Writer thread only.
   double* MutableRowPtr(std::size_t i);
+
+  // ---- Tiered sparse backing ----------------------------------------------
+
+  /// Enables per-row sparsification under `config`. Requires
+  /// rows_per_shard == 1 (the sparse layout is a per-row structure).
+  void set_sparsity(const SparsityConfig& config);
+  bool sparsity_enabled() const { return sparsity_enabled_; }
+  const SparsityConfig& sparsity() const { return sparsity_; }
+
+  /// Demotes dense row i to the sparse layout, retaining entries ≥ ε plus
+  /// all of `keep_cols` (the row's top-k index columns, any order).
+  /// Returns false — leaving the row dense — when the row is already
+  /// sparse or fails the max_density gate. On success `*dropped_out`
+  /// (optional) receives the number of lossy drops; when it is zero the
+  /// row's readable bytes are unchanged. Writer thread only; like
+  /// MutableRowPtr, a demotion of a shared row records it in the
+  /// touched-row delta so index/cache maintenance sees it.
+  bool SparsifyRow(std::size_t i, std::span<const std::int32_t> keep_cols,
+                   std::size_t* dropped_out = nullptr);
+
+  /// Promotes sparse row i back to the dense layout (content unchanged;
+  /// absent entries become +0.0). Returns false when already dense.
+  /// Writer thread only.
+  bool DensifyRow(std::size_t i);
+
+  /// Dense bytes the currently sparse rows would occupy minus their actual
+  /// sparse payload — the memory the tiering is saving right now.
+  std::uint64_t bytes_saved() const;
+  /// Resident numeric payload across all rows under the current tier mix.
+  std::uint64_t payload_bytes() const;
 
   // ---- Touched-row delta surface -----------------------------------------
   // Between two Publish() calls, the rows whose bytes may differ from the
-  // previous View are exactly the rows written through MutableRowPtr; the
-  // COW clone records them here at shard granularity. The serving layer
-  // reads this (before calling Publish(), which resets it) to re-rank its
-  // per-node top-k index and invalidate its query cache from the rows the
-  // batch ACTUALLY wrote — exact for every update algorithm, unlike the
-  // analytic affected-area statistics. Writer thread only.
+  // previous View are exactly the rows written through MutableRowPtr or
+  // retired/promoted by SparsifyRow/DensifyRow; the COW clone records them
+  // here at shard granularity. The serving layer reads this (before
+  // calling Publish(), which resets it) to re-rank its per-node top-k
+  // index and invalidate its query cache from the rows the batch ACTUALLY
+  // wrote — exact for every update algorithm, unlike the analytic
+  // affected-area statistics. Writer thread only.
 
   /// True when every row must be assumed touched: fresh construction or
   /// Assign(), where writes precede the first Publish() and are not
@@ -162,8 +292,8 @@ class ScoreStore {
   View Publish();
 
   /// Replaces the whole matrix (e.g. after a node-count change). Every
-  /// shard is rebuilt unshared; previously published Views keep serving
-  /// the old content. Writer thread only.
+  /// shard is rebuilt unshared and dense; previously published Views keep
+  /// serving the old content. Writer thread only.
   void Assign(DenseMatrix dense);
 
   const ScoreStoreStats& stats() const { return stats_; }
@@ -171,6 +301,10 @@ class ScoreStore {
  private:
   void BuildShards(const DenseMatrix& dense);
   std::size_t RowsInShard(std::size_t shard) const;
+  // Shared→unshared transition bookkeeping: records the shard's rows in
+  // the touched delta (the transition happens at most once per shard per
+  // epoch, keeping the list duplicate-free without a lookup).
+  void RecordTouchedShard(std::size_t s);
 
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
@@ -184,6 +318,8 @@ class ScoreStore {
   // delta-surface accessors above).
   bool all_rows_touched_ = false;
   std::vector<std::int32_t> touched_rows_;
+  bool sparsity_enabled_ = false;
+  SparsityConfig sparsity_;
   ScoreStoreStats stats_;
 };
 

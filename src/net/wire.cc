@@ -405,6 +405,19 @@ void StatsResponse::EncodeBody(std::string* out) const {
   writer.U64(num_nodes);
   writer.U64(num_edges);
   writer.U8(is_replica ? 1 : 0);
+  // v3 tail: tiered storage, graph COW, adaptive top-k capacities. New
+  // fields append strictly at the end so a frame's layout is a function
+  // of its version alone.
+  writer.U64(stats.rows_sparse);
+  writer.U64(stats.rows_dense);
+  writer.U64(stats.bytes_saved);
+  writer.U64(stats.sparse_eps_drops);
+  writer.F64(stats.sparse_max_error_bound);
+  writer.U64(stats.tier_demotions);
+  writer.U64(stats.tier_promotions);
+  writer.U64(stats.graph_bytes_copied);
+  writer.U64(stats.topk_cap_grows);
+  writer.U64(stats.topk_cap_shrinks);
 }
 
 bool StatsResponse::DecodeBody(std::string_view body, StatsResponse* out) {
@@ -429,7 +442,17 @@ bool StatsResponse::DecodeBody(std::string_view body, StatsResponse* out) {
       reader.U64(&out->stats.cache.evictions) &&
       reader.U64(&out->stats.cache.stale_inserts) &&
       reader.U64(&out->num_nodes) && reader.U64(&out->num_edges) &&
-      reader.U8(&is_replica) && is_replica <= 1 && reader.Complete();
+      reader.U8(&is_replica) && is_replica <= 1 &&
+      reader.U64(&out->stats.rows_sparse) &&
+      reader.U64(&out->stats.rows_dense) &&
+      reader.U64(&out->stats.bytes_saved) &&
+      reader.U64(&out->stats.sparse_eps_drops) &&
+      reader.F64(&out->stats.sparse_max_error_bound) &&
+      reader.U64(&out->stats.tier_demotions) &&
+      reader.U64(&out->stats.tier_promotions) &&
+      reader.U64(&out->stats.graph_bytes_copied) &&
+      reader.U64(&out->stats.topk_cap_grows) &&
+      reader.U64(&out->stats.topk_cap_shrinks) && reader.Complete();
   if (!ok) return false;
   out->stats.queue_depth = static_cast<std::size_t>(queue_depth);
   out->is_replica = is_replica == 1;

@@ -40,7 +40,11 @@ namespace incsr::net::wire {
 /// Protocol version carried in every frame; peers reject mismatches.
 /// v2: StatsResponse carries the pair-merge counters
 /// (topk_pairs_served / topk_pairs_fallbacks).
-inline constexpr std::uint8_t kWireVersion = 2;
+/// v3: StatsResponse carries the tiered-storage block (rows_sparse /
+/// rows_dense / bytes_saved / sparse_eps_drops / sparse_max_error_bound /
+/// tier_demotions / tier_promotions), graph_bytes_copied, and the
+/// adaptive top-k capacity counters (topk_cap_grows / topk_cap_shrinks).
+inline constexpr std::uint8_t kWireVersion = 3;
 /// Bytes of the length prefix.
 inline constexpr std::size_t kFramePrefixBytes = 4;
 /// Maximum frame payload (version + tag + body) a peer may announce.

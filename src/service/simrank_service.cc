@@ -37,10 +37,27 @@ SimRankService::SimRankService(core::DynamicSimRank index,
       replica_(replica),
       index_(std::move(index)),
       cache_(options.cache_capacity),
-      topk_index_(options.topk_index_capacity) {
+      topk_index_(options.topk_index_capacity),
+      tiering_(options.sparse.enabled),
+      adaptive_topk_(options.adaptive_topk_index &&
+                     options.topk_index_capacity > 0) {
+  if (tiering_) {
+    la::SparsityConfig config;
+    config.epsilon = options_.sparse.epsilon;
+    config.max_density = options_.sparse.max_density;
+    // First-order propagation through the C-contractive iteration: a
+    // stored perturbation of δ can grow to at most δ/(1−C) in S.
+    config.error_amplification = 1.0 / (1.0 - index_.options().damping);
+    index_.mutable_score_store()->set_sparsity(config);
+  }
   auto initial = std::make_shared<EpochSnapshot>();
   initial->epoch = 0;
-  initial->graph = index_.graph();
+  // Initial tier pass BEFORE the first publish and index build: with no
+  // traffic yet every row is cold, so a dense-built store starts at the
+  // policy's chosen mix, and the index below ranks the post-demotion
+  // bytes (keep sets are empty on purpose — entries do not exist yet).
+  if (tiering_) ApplyTierPolicy(/*all_touched=*/true);
+  initial->graph = index_.SnapshotGraph();
   // Pointer-table bump, not a matrix copy; marks every row shared so the
   // first batch copy-on-writes exactly the rows it touches.
   initial->scores = index_.mutable_score_store()->Publish();
@@ -50,6 +67,7 @@ SimRankService::SimRankService(core::DynamicSimRank index,
   initial->topk = topk_index_.Publish();
   topk_rows_reranked_.store(topk_index_.rows_reranked(),
                             std::memory_order_relaxed);
+  MirrorStorageCounters();
   snapshot_ = std::move(initial);
   // A replica has no ingest pipeline: its state advances only through
   // ApplyReplicated, synchronously on the replication stream's thread.
@@ -171,12 +189,15 @@ Result<double> SimRankService::Score(graph::NodeId a, graph::NodeId b) const {
   if (!snap->graph.HasNode(a) || !snap->graph.HasNode(b)) {
     return Status::OutOfRange("Score: node out of range");
   }
+  // Row `a` is the one whose storage this read touches.
+  if (tiering_ || adaptive_topk_) sketch_.Bump(a);
   return snap->scores(static_cast<std::size_t>(a),
                       static_cast<std::size_t>(b));
 }
 
 Result<std::vector<core::ScoredPair>> SimRankService::TopKFor(
     graph::NodeId query, std::size_t k) const {
+  if (tiering_ || adaptive_topk_) sketch_.Bump(query);
   std::vector<core::ScoredPair> results;
   if (cache_.Lookup(query, k, &results)) return results;
   std::shared_ptr<const EpochSnapshot> snap = Snapshot();
@@ -191,6 +212,13 @@ Result<std::vector<core::ScoredPair>> SimRankService::TopKFor(
     results = core::TopKForOf(snap->scores, query, k);
     if (topk_index_.enabled()) {
       topk_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      // Queue this node for a capacity grow at the next publish — but
+      // only if a grow could actually cover k (caps clamp at 2× base).
+      if (adaptive_topk_ && k <= 2 * options_.topk_index_capacity) {
+        constexpr std::size_t kGrowQueueCap = 1024;
+        std::lock_guard<std::mutex> lock(grow_mu_);
+        if (grow_queue_.size() < kGrowQueueCap) grow_queue_.push_back(query);
+      }
     }
   }
   cache_.Insert(query, k, snap->epoch, results);
@@ -240,6 +268,17 @@ ServiceStats SimRankService::stats() const {
   out.topk_pairs_served = topk_pairs_served_.load(std::memory_order_relaxed);
   out.topk_pairs_fallbacks =
       topk_pairs_fallbacks_.load(std::memory_order_relaxed);
+  out.rows_sparse = rows_sparse_.load(std::memory_order_relaxed);
+  out.rows_dense = rows_dense_.load(std::memory_order_relaxed);
+  out.bytes_saved = bytes_saved_.load(std::memory_order_relaxed);
+  out.sparse_eps_drops = sparse_eps_drops_.load(std::memory_order_relaxed);
+  out.sparse_max_error_bound =
+      sparse_max_error_bound_.load(std::memory_order_relaxed);
+  out.tier_demotions = tier_demotions_.load(std::memory_order_relaxed);
+  out.tier_promotions = tier_promotions_.load(std::memory_order_relaxed);
+  out.graph_bytes_copied = graph_bytes_copied_.load(std::memory_order_relaxed);
+  out.topk_cap_grows = topk_cap_grows_.load(std::memory_order_relaxed);
+  out.topk_cap_shrinks = topk_cap_shrinks_.load(std::memory_order_relaxed);
   out.cache = cache_.stats();
   return out;
 }
@@ -338,8 +377,18 @@ void SimRankService::ApplyAndPublish(
 }
 
 std::uint64_t SimRankService::Publish() {
+  // Storage policies run FIRST, before the touched-row capture: a row the
+  // tier policy re-represents records itself into the store's touched
+  // delta (shared→unshared transition), so the one re-rank + invalidation
+  // pass below covers batch rows and re-tiered rows alike — and the index
+  // entries it rebuilds rank the FINAL (post-sparsification) bytes.
+  ApplyTierPolicy(index_.AllScoreRowsTouched());
+  std::vector<std::int32_t> rerank_extra;
+  AdaptTopKCapacities(&rerank_extra);
+  if (tiering_ || adaptive_topk_) sketch_.Decay();
+
   auto next = std::make_shared<EpochSnapshot>();
-  next->graph = index_.graph();
+  next->graph = index_.SnapshotGraph();
   // The batch's ground-truth delta: the rows it actually wrote (the score
   // store's COW-clone record), captured before Publish() resets it. Exact
   // for every algorithm — Inc-SR, coalesced groups, Inc-uSR's dense
@@ -349,6 +398,10 @@ std::uint64_t SimRankService::Publish() {
   if (!all_touched) {
     const std::span<const std::int32_t> rows = index_.TouchedScoreRows();
     touched.assign(rows.begin(), rows.end());
+    // Rows whose index capacity grew need a re-rank even though their
+    // score bytes did not change (duplicates are harmless downstream;
+    // the spurious cache invalidation is one extra miss).
+    touched.insert(touched.end(), rerank_extra.begin(), rerank_extra.end());
   }
   // O(rows touched): the batch's writes already COW-cloned exactly the
   // affected rows; publishing is a row-pointer-table copy.
@@ -366,9 +419,7 @@ std::uint64_t SimRankService::Publish() {
     topk_rows_reranked_.store(topk_index_.rows_reranked(),
                               std::memory_order_relaxed);
   }
-  const la::ScoreStoreStats& cow = index_.scores().stats();
-  rows_published_.store(cow.rows_copied, std::memory_order_relaxed);
-  bytes_published_.store(cow.bytes_copied, std::memory_order_relaxed);
+  MirrorStorageCounters();
   std::uint64_t epoch;
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
@@ -385,6 +436,114 @@ std::uint64_t SimRankService::Publish() {
     cache_.OnPublish(epoch, std::span<const std::int32_t>(touched));
   }
   return epoch;
+}
+
+void SimRankService::ApplyTierPolicy(bool all_touched) {
+  if (!tiering_) return;
+  la::ScoreStore* store = index_.mutable_score_store();
+  const std::size_t n = store->rows();
+  if (n == 0) return;
+  const SparsityPolicy& policy = options_.sparse;
+  const auto consider_demote = [&](std::size_t row) {
+    if (store->RowIsSparse(row)) return;
+    if (sketch_.Count(static_cast<graph::NodeId>(row)) >= policy.hot_reads) {
+      return;  // hot rows earn their dense tier
+    }
+    // Protect the row's current index columns: index-served top-k keeps
+    // reading exactly stored values. For a batch-touched row the entry is
+    // one epoch stale, which is safe — the publish re-ranks it from the
+    // final bytes right after this pass.
+    keep_cols_.clear();
+    for (const core::ScoredPair& item : topk_index_.EntryItems(row)) {
+      keep_cols_.push_back(item.b);
+    }
+    if (store->SparsifyRow(row, keep_cols_)) {
+      tier_demotions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  if (all_touched) {
+    // Fresh store / geometry change: one full pass, no sweep needed.
+    for (std::size_t row = 0; row < n; ++row) consider_demote(row);
+    return;
+  }
+  // Batch-touched rows densified on write; the cold ones go straight back
+  // to sparse. Iterate a COPY — SparsifyRow appends to the live list.
+  {
+    const std::vector<std::int32_t> touched = store->touched_rows();
+    for (std::int32_t row : touched) {
+      consider_demote(static_cast<std::size_t>(row));
+    }
+  }
+  // Bounded clock sweep over the whole matrix: demotes cold dense rows no
+  // batch ever writes and promotes sparse rows whose traffic returned.
+  const std::size_t steps = std::min(policy.scan_rows_per_publish, n);
+  for (std::size_t s = 0; s < steps; ++s) {
+    const std::size_t row = tier_clock_;
+    tier_clock_ = (tier_clock_ + 1) % n;
+    if (store->RowIsSparse(row)) {
+      if (sketch_.Count(static_cast<graph::NodeId>(row)) >=
+              policy.promote_reads &&
+          store->DensifyRow(row)) {
+        tier_promotions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      consider_demote(row);
+    }
+  }
+}
+
+void SimRankService::AdaptTopKCapacities(std::vector<std::int32_t>* rerank) {
+  if (!adaptive_topk_) return;
+  // Grow: nodes whose TopKFor missed past their entry since the last
+  // publish earn a doubled capacity (the index clamps at 2× base); the
+  // caller re-ranks them from the published bytes via *rerank.
+  std::vector<graph::NodeId> grew;
+  {
+    std::lock_guard<std::mutex> lock(grow_mu_);
+    grew.swap(grow_queue_);
+  }
+  const std::size_t n = index_.scores().rows();
+  for (graph::NodeId node : grew) {
+    const auto row = static_cast<std::size_t>(node);
+    if (row >= n) continue;
+    const std::size_t current = topk_index_.NodeCapacity(row);
+    if (topk_index_.SetNodeCapacity(row, current * 2) > current) {
+      topk_cap_grows_.fetch_add(1, std::memory_order_relaxed);
+      rerank->push_back(static_cast<std::int32_t>(row));
+    }
+  }
+  // Shrink: grown nodes that went cold decay back toward the base
+  // capacity by entry truncation (exact prefix, no rescan), one bounded
+  // clock slice per publish.
+  if (n == 0) return;
+  const std::size_t steps = std::min(options_.sparse.scan_rows_per_publish, n);
+  for (std::size_t s = 0; s < steps; ++s) {
+    const std::size_t row = cap_clock_;
+    cap_clock_ = (cap_clock_ + 1) % n;
+    const std::size_t current = topk_index_.NodeCapacity(row);
+    if (current <= topk_index_.capacity()) continue;  // never below base
+    if (sketch_.Count(static_cast<graph::NodeId>(row)) > 0) continue;
+    const std::size_t target = std::max(topk_index_.capacity(), current / 2);
+    if (topk_index_.SetNodeCapacity(row, target) < current) {
+      topk_cap_shrinks_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void SimRankService::MirrorStorageCounters() {
+  const la::ScoreStore& store = index_.scores();
+  const la::ScoreStoreStats& stats = store.stats();
+  rows_published_.store(stats.rows_copied, std::memory_order_relaxed);
+  bytes_published_.store(stats.bytes_copied, std::memory_order_relaxed);
+  rows_sparse_.store(stats.rows_sparse, std::memory_order_relaxed);
+  rows_dense_.store(store.rows() - stats.rows_sparse,
+                    std::memory_order_relaxed);
+  bytes_saved_.store(store.bytes_saved(), std::memory_order_relaxed);
+  sparse_eps_drops_.store(stats.eps_drops, std::memory_order_relaxed);
+  sparse_max_error_bound_.store(stats.max_error_bound,
+                                std::memory_order_relaxed);
+  graph_bytes_copied_.store(index_.graph().cow_bytes_copied(),
+                            std::memory_order_relaxed);
 }
 
 }  // namespace incsr::service

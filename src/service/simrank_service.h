@@ -43,6 +43,7 @@
 #define INCSR_SERVICE_SIMRANK_SERVICE_H_
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -71,6 +72,34 @@ enum class BackpressurePolicy {
   kReject,
 };
 
+/// Tiered-storage policy for the score rows (docs/score_store.md). When
+/// enabled, the applier demotes cold rows to the threshold-sparsified
+/// layout at publish time (entries ≥ ε plus the row's protected top-k
+/// index columns survive; see la::ScoreStore::SparsifyRow) and promotes
+/// rows back to dense when read traffic returns. All OFF by default: the
+/// dense store's bitwise guarantees (replica equality, shard-count
+/// invariance) are untouched unless a deployment opts in.
+struct SparsityPolicy {
+  bool enabled = false;
+  /// Sparsification drop threshold: entries with |v| < epsilon may be
+  /// dropped from a demoted row. 0 is valid — pure lossless compression
+  /// (exact +0.0 elision only), bitwise identical to the dense store.
+  double epsilon = 0.0;
+  /// Rows whose retained fraction exceeds this stay dense (index+value
+  /// pairs cost 12 bytes against 8 dense; see la::SparsityConfig).
+  double max_density = 0.5;
+  /// A row with at least this many sketch-counted reads since the last
+  /// decay is "hot" and is not demoted.
+  std::uint32_t hot_reads = 1;
+  /// A sparse row with at least this many reads is promoted back to
+  /// dense (gather once, then O(1) row reads until it cools again).
+  std::uint32_t promote_reads = 4;
+  /// Rows examined per publish by the background clock sweep that demotes
+  /// cold rows batches never touch and promotes re-heated ones. Bounds
+  /// the per-epoch policy cost independently of n.
+  std::size_t scan_rows_per_publish = 256;
+};
+
 /// Serving-layer knobs.
 struct ServiceOptions {
   /// Ingest queue capacity (updates). Must be >= 1.
@@ -97,6 +126,48 @@ struct ServiceOptions {
   /// stealing. Negative = unbound (rotating default). The sharded
   /// façade assigns each shard slot its own group.
   int scheduler_group = -1;
+  /// Tiered sparse row storage (off by default; see SparsityPolicy).
+  SparsityPolicy sparse;
+  /// Adapts per-node top-k index capacities to traffic: a node whose
+  /// TopKFor fell back to the row scan because its entry was too short
+  /// has its capacity doubled at the next publish (clamped to 2× the
+  /// base, re-ranked from the published bytes), and cold grown nodes
+  /// decay back to the base capacity by entry truncation (no rescan).
+  /// Requires topk_index_capacity > 0 to have any effect.
+  bool adaptive_topk_index = false;
+};
+
+/// Fixed-size lossy read-traffic sketch: 2¹⁴ hashed slots of relaxed
+/// atomic counters (64 KiB), bumped by reader threads on the query path
+/// and halved by the applier at each publish. Collisions only ever make a
+/// row look HOTTER than it is — the safe direction for a demotion policy
+/// (a falsely-hot row just stays dense a little longer). Fixed capacity
+/// on purpose: readers index the array lock-free, so it can never be
+/// resized under them.
+class TrafficSketch {
+ public:
+  void Bump(graph::NodeId id) const {
+    slots_[Slot(id)].fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint32_t Count(graph::NodeId id) const {
+    return slots_[Slot(id)].load(std::memory_order_relaxed);
+  }
+  /// Exponential decay (halving) so "hot" means recent, not historical.
+  void Decay() {
+    for (std::atomic<std::uint32_t>& slot : slots_) {
+      slot.store(slot.load(std::memory_order_relaxed) >> 1,
+                 std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kSlotBits = 14;
+  static std::size_t Slot(graph::NodeId id) {
+    // Knuth multiplicative hash; top kSlotBits of the 32-bit product.
+    return (static_cast<std::uint32_t>(id) * 2654435761u) >> (32 - kSlotBits);
+  }
+  mutable std::array<std::atomic<std::uint32_t>, std::size_t{1} << kSlotBits>
+      slots_{};
 };
 
 /// Immutable published state; readers hold it via shared_ptr, so a pinned
@@ -105,7 +176,11 @@ struct ServiceOptions {
 /// the batch), and its bytes never change while the snapshot is pinned.
 struct EpochSnapshot {
   std::uint64_t epoch = 0;
-  graph::DynamicDiGraph graph;
+  /// Copy-on-write adjacency view: publishing costs O(n) pointer copies,
+  /// and the applier's next writes clone only the nodes they touch
+  /// (graph::DynamicDiGraph::Snapshot) — not the former per-epoch O(n+m)
+  /// deep graph copy.
+  graph::DynamicDiGraph::View graph;
   la::ScoreStore::View scores;
   /// Per-node top-k candidate index of this epoch (empty when disabled);
   /// always consistent with `scores` — both were published together.
@@ -142,6 +217,30 @@ struct ServiceStats {
   /// pairs. Both zero when the index is disabled.
   std::uint64_t topk_pairs_served = 0;
   std::uint64_t topk_pairs_fallbacks = 0;
+  /// Tiered sparse storage (all zero while SparsityPolicy is disabled).
+  /// rows_sparse / rows_dense are the CURRENT tier mix of the score rows;
+  /// bytes_saved is the dense footprint the sparse rows shed right now;
+  /// sparse_eps_drops counts cumulative lossy (< ε) entry drops;
+  /// sparse_max_error_bound is the store's accumulated upper bound on
+  /// |served − exact| (la::ScoreStoreStats::max_error_bound);
+  /// tier_demotions / tier_promotions count publish-time dense→sparse and
+  /// sparse→dense moves made by the policy (write-path densification is
+  /// not a promotion and is excluded).
+  std::uint64_t rows_sparse = 0;
+  std::uint64_t rows_dense = 0;
+  std::uint64_t bytes_saved = 0;
+  std::uint64_t sparse_eps_drops = 0;
+  double sparse_max_error_bound = 0.0;
+  std::uint64_t tier_demotions = 0;
+  std::uint64_t tier_promotions = 0;
+  /// Adjacency bytes copy-on-written so published graph views stay
+  /// byte-stable — the true incremental cost of the per-epoch graph
+  /// snapshot (the design it replaces deep-copied O(n+m) per epoch).
+  std::uint64_t graph_bytes_copied = 0;
+  /// Adaptive top-k index capacity moves (zero unless
+  /// ServiceOptions::adaptive_topk_index).
+  std::uint64_t topk_cap_grows = 0;
+  std::uint64_t topk_cap_shrinks = 0;
   QueryCacheStats cache;
 
   /// Aggregation the sharded layer (src/shard/) uses over live and
@@ -166,6 +265,19 @@ struct ServiceStats {
     topk_index_rows_reranked += other.topk_index_rows_reranked;
     topk_pairs_served += other.topk_pairs_served;
     topk_pairs_fallbacks += other.topk_pairs_fallbacks;
+    rows_sparse += other.rows_sparse;
+    rows_dense += other.rows_dense;
+    bytes_saved += other.bytes_saved;
+    sparse_eps_drops += other.sparse_eps_drops;
+    // A bound that holds per shard holds for the union at the worst
+    // shard's value — error bounds aggregate as MAX, not sum.
+    sparse_max_error_bound =
+        std::max(sparse_max_error_bound, other.sparse_max_error_bound);
+    tier_demotions += other.tier_demotions;
+    tier_promotions += other.tier_promotions;
+    graph_bytes_copied += other.graph_bytes_copied;
+    topk_cap_grows += other.topk_cap_grows;
+    topk_cap_shrinks += other.topk_cap_shrinks;
     cache += other.cache;
     return *this;
   }
@@ -278,10 +390,26 @@ class SimRankService {
   /// invalid updates), publishes the resulting epoch, and notifies the
   /// applied-batch listener.
   void ApplyAndPublish(const std::vector<graph::EdgeUpdate>& batch);
-  /// Publishes an epoch: snapshots scores + top-k index, re-ranking index
-  /// entries and invalidating cached queries for exactly the rows the
-  /// batch wrote (the store's touched-row delta). Returns the epoch.
+  /// Publishes an epoch: runs the tier / capacity policies, snapshots
+  /// graph + scores + top-k index, re-ranking index entries and
+  /// invalidating cached queries for exactly the rows the batch wrote
+  /// (the store's touched-row delta, which the policies extend with the
+  /// rows they re-tiered). Returns the epoch.
   std::uint64_t Publish();
+  /// Tier policy (applier, inside Publish BEFORE the touched-row capture):
+  /// demotes cold dense rows to the sparse layout — batch-touched rows
+  /// that write-densified but drew no reads, plus a bounded clock sweep
+  /// over the rest — and promotes re-heated sparse rows. Re-tiered rows
+  /// land in the store's touched delta, so the single re-rank /
+  /// invalidation pass downstream covers them too.
+  void ApplyTierPolicy(bool all_touched);
+  /// Adaptive capacity policy (applier, inside Publish): drains the
+  /// fallback queue into capacity grows (rows appended to *rerank for the
+  /// downstream rebuild) and decays cold grown nodes back to the base
+  /// capacity by truncation.
+  void AdaptTopKCapacities(std::vector<std::int32_t>* rerank);
+  /// Refreshes the atomic mirrors of store/graph accounting (applier).
+  void MirrorStorageCounters();
 
   const ServiceOptions options_;
   const bool replica_;
@@ -307,6 +435,18 @@ class SimRankService {
   mutable TopKQueryCache cache_;
   TopKIndex topk_index_;  // applier thread only; readers use snapshot views
 
+  // ---- Tiered storage + adaptive capacity ---------------------------------
+  const bool tiering_;        // options_.sparse.enabled
+  const bool adaptive_topk_;  // adaptive_topk_index && index enabled
+  TrafficSketch sketch_;      // bumped by readers when either policy is on
+  std::size_t tier_clock_ = 0;  // applier: clock hand of the tier sweep
+  std::size_t cap_clock_ = 0;   // applier: clock hand of the shrink sweep
+  std::vector<std::int32_t> keep_cols_;  // applier scratch for SparsifyRow
+  // Nodes whose TopKFor fell back past their entry, pending a capacity
+  // grow at the next publish. Bounded; written by reader threads.
+  mutable std::mutex grow_mu_;
+  mutable std::vector<graph::NodeId> grow_queue_;
+
   // Cumulative counters (relaxed: read by stats() only).
   std::atomic<std::uint64_t> applied_{0};
   std::atomic<std::uint64_t> rejected_{0};
@@ -323,6 +463,19 @@ class SimRankService {
   std::atomic<std::uint64_t> rows_published_{0};
   std::atomic<std::uint64_t> bytes_published_{0};
   std::atomic<std::uint64_t> topk_rows_reranked_{0};
+  // Tier/capacity policy counters (applier writes, stats() reads) and
+  // publish-time mirrors of the store's tier gauges and the graph's COW
+  // accounting.
+  std::atomic<std::uint64_t> tier_demotions_{0};
+  std::atomic<std::uint64_t> tier_promotions_{0};
+  std::atomic<std::uint64_t> topk_cap_grows_{0};
+  std::atomic<std::uint64_t> topk_cap_shrinks_{0};
+  std::atomic<std::uint64_t> rows_sparse_{0};
+  std::atomic<std::uint64_t> rows_dense_{0};
+  std::atomic<std::uint64_t> bytes_saved_{0};
+  std::atomic<std::uint64_t> sparse_eps_drops_{0};
+  std::atomic<double> sparse_max_error_bound_{0.0};
+  std::atomic<std::uint64_t> graph_bytes_copied_{0};
 
   std::mutex stop_mu_;   // serializes Stop() callers around the join
   std::thread applier_;  // last: joins in Stop()

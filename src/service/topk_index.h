@@ -99,7 +99,29 @@ class TopKIndex {
   explicit TopKIndex(std::size_t capacity) : capacity_(capacity) {}
 
   bool enabled() const { return capacity_ > 0; }
+  /// Base (default per-node) capacity; see NodeCapacity for adapted rows.
   std::size_t capacity() const { return capacity_; }
+
+  /// Effective capacity of `row`: the base capacity unless the serving
+  /// layer adapted it with SetNodeCapacity. Writer thread only.
+  std::size_t NodeCapacity(std::size_t row) const;
+
+  /// Sets `row`'s capacity, clamped to [max(1, base/4), 2·base], and
+  /// returns the clamped value. A SHRINK below the current entry size
+  /// truncates the entry in place — a prefix of the contract total order
+  /// is itself exact, so no row rescan is needed. A GROW does not refill
+  /// the entry: the caller re-ranks the row (RebuildRows) to earn the
+  /// longer prefix. No-op (returns base) when the index is disabled.
+  /// Writer thread only.
+  std::size_t SetNodeCapacity(std::size_t row, std::size_t capacity);
+
+  /// The candidates currently stored for `row` (empty when the index is
+  /// disabled or the entry is not built yet). This is the protected keep
+  /// set a sparsifying score store must retain (la::ScoreStore::
+  /// SparsifyRow's keep_cols) so index-served top-k keeps reading exact
+  /// stored values. Writer thread only.
+  std::span<const core::ScoredPair> EntryItems(std::size_t row) const;
+
   /// Cumulative entries re-ranked by Rebuild* (the maintenance cost).
   std::uint64_t rows_reranked() const { return rows_reranked_; }
 
@@ -125,6 +147,9 @@ class TopKIndex {
   const std::size_t capacity_;
   std::uint64_t rows_reranked_ = 0;
   std::vector<std::shared_ptr<const Entry>> entries_;
+  // Per-node capacity overrides; empty until the first SetNodeCapacity
+  // (the common all-default case pays nothing).
+  std::vector<std::uint32_t> caps_;
 };
 
 }  // namespace incsr::service

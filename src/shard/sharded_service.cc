@@ -144,7 +144,7 @@ Status ShardedSimRankService::MergeAndSubmit(const graph::EdgeUpdate& update) {
   // space.
   graph::DynamicDiGraph merged_graph(merged_n);
   const auto add_edges = [this, &merged_graph](
-                             const graph::DynamicDiGraph& g,
+                             const graph::DynamicDiGraph::View& g,
                              const std::vector<graph::NodeId>& globals) {
     for (const graph::Edge& e : g.Edges()) {
       Status added = merged_graph.AddEdge(
@@ -179,8 +179,11 @@ Status ShardedSimRankService::MergeAndSubmit(const graph::EdgeUpdate& update) {
         0, globals.size(), grain,
         Scheduler::ResolveNumThreads(sr_options_.num_threads),
         [&scores, &merged_s, &to_local](std::size_t lo, std::size_t hi) {
+          // Per-chunk gather scratch: sparse-backed rows of the published
+          // view expand here; dense rows come back as direct pointers.
+          la::Vector scratch;
           for (std::size_t i = lo; i < hi; ++i) {
-            const double* from = scores.RowPtr(i);
+            const double* from = scores.ReadRow(i, &scratch);
             double* to = merged_s.RowPtr(to_local[i]);
             for (std::size_t j = 0; j < to_local.size(); ++j) {
               to[to_local[j]] = from[j];

@@ -203,6 +203,16 @@ TEST(WireRoundTrip, StatsResponse) {
   in.num_nodes = 1000;
   in.num_edges = 5000;
   in.is_replica = true;
+  in.stats.rows_sparse = 700;
+  in.stats.rows_dense = 300;
+  in.stats.bytes_saved = 123456;
+  in.stats.sparse_eps_drops = 42;
+  in.stats.sparse_max_error_bound = 1.25e-4;
+  in.stats.tier_demotions = 12;
+  in.stats.tier_promotions = 7;
+  in.stats.graph_bytes_copied = 2048;
+  in.stats.topk_cap_grows = 3;
+  in.stats.topk_cap_shrinks = 2;
   StatsResponse out = FrameRoundTrip(MessageTag::kStatsResponse, in);
   EXPECT_EQ(out.stats.epoch, 17u);
   EXPECT_EQ(out.stats.submitted, 400u);
@@ -224,6 +234,16 @@ TEST(WireRoundTrip, StatsResponse) {
   EXPECT_EQ(out.num_nodes, 1000u);
   EXPECT_EQ(out.num_edges, 5000u);
   EXPECT_TRUE(out.is_replica);
+  EXPECT_EQ(out.stats.rows_sparse, 700u);
+  EXPECT_EQ(out.stats.rows_dense, 300u);
+  EXPECT_EQ(out.stats.bytes_saved, 123456u);
+  EXPECT_EQ(out.stats.sparse_eps_drops, 42u);
+  EXPECT_EQ(out.stats.sparse_max_error_bound, 1.25e-4);
+  EXPECT_EQ(out.stats.tier_demotions, 12u);
+  EXPECT_EQ(out.stats.tier_promotions, 7u);
+  EXPECT_EQ(out.stats.graph_bytes_copied, 2048u);
+  EXPECT_EQ(out.stats.topk_cap_grows, 3u);
+  EXPECT_EQ(out.stats.topk_cap_shrinks, 2u);
   ExpectAllTruncationsFail(in);
 }
 

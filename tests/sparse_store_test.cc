@@ -1,0 +1,557 @@
+// Property suite for the tiered sparse row backings (docs/score_store.md):
+//   - Row-level drop rule: entries >= eps and protected keep_cols survive a
+//     sparsification, exact +0.0 entries drop losslessly, lossy drops are
+//     counted and bounded, the density gate refuses rows that would not
+//     compress, and eps = 0 is bitwise.
+//   - Serving-layer equivalence: dense-store and tiered-store services fed
+//     the same stream agree bitwise at eps = 0 and within the store's own
+//     recorded error bound at eps > 0 — per UpdateAlgorithm, and through
+//     the sharded facade at shard counts 1 and 4.
+//   - Concurrency: a pinned view's bytes survive tier migration
+//     (SparsifyRow/DensifyRow) racing reader checksums. TSan-clean; CI
+//     runs this suite under -fsanitize=thread and -fsanitize=address.
+//   - Adaptive per-node top-k capacity: clamp/truncate mechanics and the
+//     fallback -> grow -> index-served loop through the service.
+//   - CreateIsolated: the sparse-direct (1-C)I entry point matches the
+//     dense Create on an edgeless graph, before and after inserts.
+//   - Graph COW: snapshots and copies stay byte-stable across mutation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/dynamic_simrank.h"
+#include "graph/generators.h"
+#include "graph/update_stream.h"
+#include "la/score_store.h"
+#include "service/simrank_service.h"
+#include "service/topk_index.h"
+#include "shard/sharded_service.h"
+#include "simrank/options.h"
+
+namespace incsr {
+namespace {
+
+la::DenseMatrix TestMatrix(std::size_t rows, std::size_t cols,
+                           std::uint64_t seed = 7) {
+  Rng rng(seed);
+  la::DenseMatrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    double* row = m.RowPtr(i);
+    for (std::size_t j = 0; j < cols; ++j) row[j] = rng.NextDouble();
+  }
+  return m;
+}
+
+// ---- Row-level drop rule --------------------------------------------------
+
+TEST(SparseRowBlock, DropRuleKeepsLargeAndProtectedEntries) {
+  const std::size_t n = 8;
+  la::DenseMatrix m(n, n);  // zero-initialized
+  // Row 0: a large entry, a protected small entry, an unprotected small
+  // entry, and exact zeros everywhere else.
+  m.RowPtr(0)[1] = 0.5;
+  m.RowPtr(0)[2] = 0.01;  // protected by keep_cols below
+  m.RowPtr(0)[3] = 0.02;  // lossy drop: |v| < eps
+  la::ScoreStore store(std::move(m));
+  store.set_sparsity({.epsilon = 0.1, .max_density = 1.0,
+                      .error_amplification = 2.5});
+
+  const std::int32_t keep[] = {2};
+  std::size_t dropped = 0;
+  ASSERT_TRUE(store.SparsifyRow(0, keep, &dropped));
+  EXPECT_TRUE(store.RowIsSparse(0));
+  EXPECT_EQ(dropped, 1u);  // only the 0.02: zeros are lossless drops
+  EXPECT_EQ(store(0, 1), 0.5);
+  EXPECT_EQ(store(0, 2), 0.01);  // survives despite |v| < eps
+  EXPECT_EQ(store(0, 3), 0.0);   // dropped
+  EXPECT_EQ(store(0, 0), 0.0);
+  EXPECT_EQ(store.stats().eps_drops, 1u);
+  EXPECT_EQ(store.stats().rows_sparse, 1u);
+  // Bound: max dropped magnitude times the configured amplification.
+  EXPECT_DOUBLE_EQ(store.stats().max_error_bound, 0.02 * 2.5);
+  EXPECT_GT(store.bytes_saved(), 0u);
+
+  // Promotion restores the dense layout with the drops baked in (the
+  // bound persists — the information is gone).
+  ASSERT_TRUE(store.DensifyRow(0));
+  EXPECT_FALSE(store.RowIsSparse(0));
+  EXPECT_EQ(store(0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(store.stats().max_error_bound, 0.02 * 2.5);
+}
+
+TEST(SparseRowBlock, EpsilonZeroSparsificationIsBitwise) {
+  const std::size_t n = 12;
+  la::DenseMatrix dense = TestMatrix(n, n, 3);
+  // Plant exact zeros so there is something to elide losslessly.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; j += 3) dense.RowPtr(i)[j] = 0.0;
+  }
+  la::ScoreStore store((la::DenseMatrix(dense)));
+  store.set_sparsity({.epsilon = 0.0, .max_density = 1.0});
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(store.SparsifyRow(i, {}));
+  }
+  EXPECT_EQ(store.stats().rows_sparse, n);
+  EXPECT_EQ(store.stats().eps_drops, 0u);
+  EXPECT_EQ(store.stats().max_error_bound, 0.0);
+  EXPECT_TRUE(la::BitwiseEqual(store.ToDense(), dense));
+  // ReadRow gathers the identical bytes.
+  la::Vector scratch;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = store.ReadRow(i, &scratch);
+    for (std::size_t j = 0; j < n; ++j) EXPECT_EQ(row[j], dense(i, j));
+  }
+}
+
+TEST(SparseRowBlock, DensityGateRefusesIncompressibleRows) {
+  la::ScoreStore store(TestMatrix(6, 6, 5));  // every entry in (0, 1)
+  store.set_sparsity({.epsilon = 1e-6, .max_density = 0.5});
+  EXPECT_FALSE(store.SparsifyRow(2, {}));  // nothing droppable: stays dense
+  EXPECT_FALSE(store.RowIsSparse(2));
+  EXPECT_EQ(store.stats().rows_sparse, 0u);
+  // Re-sparsifying an already-sparse row is refused too.
+  store.set_sparsity({.epsilon = 2.0, .max_density = 1.0});
+  EXPECT_TRUE(store.SparsifyRow(2, {}));
+  EXPECT_FALSE(store.SparsifyRow(2, {}));
+}
+
+TEST(SparseRowBlock, ScaledIdentityIsSparseDirect) {
+  const std::size_t n = 64;
+  la::ScoreStore store = la::ScoreStore::ScaledIdentity(n, 0.4);
+  EXPECT_EQ(store.rows(), n);
+  EXPECT_EQ(store.cols(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(store.RowIsSparse(i));
+    EXPECT_EQ(store(i, i), 0.4);
+    EXPECT_EQ(store(i, (i + 1) % n), 0.0);
+  }
+  // One stored entry per row: payload nowhere near the dense slab.
+  EXPECT_LT(store.payload_bytes(), n * n * sizeof(double) / 4);
+  // Densify-on-write keeps the content.
+  store.MutableRowPtr(5)[9] = 1.25;
+  EXPECT_FALSE(store.RowIsSparse(5));
+  EXPECT_EQ(store(5, 5), 0.4);
+  EXPECT_EQ(store(5, 9), 1.25);
+}
+
+TEST(SparseRowBlock, TierMovesLandInTouchedDeltaAndViewsStayStable) {
+  const std::size_t n = 10;
+  la::DenseMatrix dense = TestMatrix(n, n, 11);
+  dense.RowPtr(4)[0] = 0.0;  // give row 4 something to elide
+  la::ScoreStore store((la::DenseMatrix(dense)));
+  store.set_sparsity({.epsilon = 0.0, .max_density = 1.0});
+  la::ScoreStore::View view = store.Publish();
+
+  ASSERT_TRUE(store.SparsifyRow(4, {}));
+  // The shared->unshared transition recorded the row for the serving
+  // layer's re-rank/invalidation pass.
+  ASSERT_EQ(store.touched_rows().size(), 1u);
+  EXPECT_EQ(store.touched_rows()[0], 4);
+  // The pinned view still reads the dense pre-demotion block, bitwise.
+  EXPECT_FALSE(view.RowIsSparse(4));
+  EXPECT_TRUE(la::BitwiseEqual(view.ToDense(), dense));
+
+  la::ScoreStore::View second = store.Publish();
+  EXPECT_TRUE(second.RowIsSparse(4));
+  ASSERT_TRUE(store.DensifyRow(4));
+  ASSERT_EQ(store.touched_rows().size(), 1u);
+  EXPECT_EQ(store.touched_rows()[0], 4);
+  EXPECT_TRUE(second.RowIsSparse(4));  // the pinned sparse view is stable
+  EXPECT_TRUE(la::BitwiseEqual(second.ToDense(), dense));
+}
+
+// ---- Serving-layer equivalence --------------------------------------------
+
+std::vector<graph::EdgeUpdate> InsertStream(const graph::DynamicDiGraph& graph,
+                                            std::size_t count,
+                                            std::uint64_t seed) {
+  Rng rng(seed);
+  auto ins = graph::SampleInsertions(graph, count, &rng);
+  INCSR_CHECK(ins.ok(), "sampling failed");
+  return std::move(ins).value();
+}
+
+service::ServiceOptions TieredOptions(double epsilon) {
+  service::ServiceOptions options;
+  options.max_batch = 8;
+  options.sparse.enabled = true;
+  options.sparse.epsilon = epsilon;
+  options.sparse.max_density = 1.0;  // compress whenever allowed
+  options.sparse.hot_reads = 1;      // demote anything the sketch missed
+  options.sparse.scan_rows_per_publish = 1024;
+  return options;
+}
+
+// Runs the same stream through a dense-store service and a tiered-store
+// service; returns (dense final S, sparse final S, sparse stats).
+struct EquivalenceRun {
+  la::DenseMatrix dense_s;
+  la::DenseMatrix sparse_s;
+  service::ServiceStats sparse_stats;
+};
+
+EquivalenceRun RunEquivalence(const graph::DynamicDiGraph& graph,
+                              const std::vector<graph::EdgeUpdate>& stream,
+                              core::UpdateAlgorithm algorithm,
+                              double epsilon) {
+  simrank::SimRankOptions sr;
+  sr.damping = 0.6;
+  sr.iterations = 8;
+  EquivalenceRun out;
+  for (bool tiered : {false, true}) {
+    auto index = core::DynamicSimRank::Create(graph, sr, algorithm);
+    EXPECT_TRUE(index.ok());
+    // Identical options either side — batch boundaries change coalescing
+    // and hence FP order, so only the sparsity switch may differ.
+    service::ServiceOptions options = TieredOptions(epsilon);
+    options.sparse.enabled = tiered;
+    auto service =
+        service::SimRankService::Create(std::move(index).value(), options);
+    EXPECT_TRUE(service.ok());
+    // Flush after every Submit pins deterministic unit batches: batch
+    // boundaries depend on applier timing otherwise, and coalescing makes
+    // FP order a function of the boundary (shard_test's idiom).
+    for (const graph::EdgeUpdate& u : stream) {
+      EXPECT_TRUE((*service)->Submit(u).ok());
+      EXPECT_TRUE((*service)->Flush().ok());
+    }
+    if (tiered) {
+      out.sparse_s = (*service)->Snapshot()->scores.ToDense();
+      out.sparse_stats = (*service)->stats();
+    } else {
+      out.dense_s = (*service)->Snapshot()->scores.ToDense();
+    }
+  }
+  return out;
+}
+
+TEST(TieredService, EpsilonZeroIsBitwisePerAlgorithm) {
+  auto seed = graph::ErdosRenyiGnm(20, 50, 5);
+  ASSERT_TRUE(seed.ok());
+  auto graph = graph::MaterializeGraph(20, seed.value());
+  auto stream = InsertStream(graph, 12, 17);
+  for (auto algorithm :
+       {core::UpdateAlgorithm::kIncSR, core::UpdateAlgorithm::kIncUSR}) {
+    EquivalenceRun run = RunEquivalence(graph, stream, algorithm, 0.0);
+    EXPECT_TRUE(la::BitwiseEqual(run.sparse_s, run.dense_s));
+    EXPECT_EQ(run.sparse_stats.sparse_eps_drops, 0u);
+    EXPECT_EQ(run.sparse_stats.sparse_max_error_bound, 0.0);
+    // The policy actually exercised the sparse layout.
+    EXPECT_GT(run.sparse_stats.tier_demotions, 0u);
+  }
+}
+
+TEST(TieredService, EpsilonErrorStaysWithinRecordedBound) {
+  // A sparse graph, so rows carry many sub-epsilon scores to drop.
+  auto seed = graph::ErdosRenyiGnm(40, 60, 9);
+  ASSERT_TRUE(seed.ok());
+  auto graph = graph::MaterializeGraph(40, seed.value());
+  auto stream = InsertStream(graph, 16, 23);
+  for (auto algorithm :
+       {core::UpdateAlgorithm::kIncSR, core::UpdateAlgorithm::kIncUSR}) {
+    EquivalenceRun run = RunEquivalence(graph, stream, algorithm, 1e-4);
+    EXPECT_GT(run.sparse_stats.rows_sparse, 0u);
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < run.dense_s.rows(); ++i) {
+      for (std::size_t j = 0; j < run.dense_s.cols(); ++j) {
+        max_err = std::max(max_err,
+                           std::abs(run.sparse_s(i, j) - run.dense_s(i, j)));
+      }
+    }
+    EXPECT_LE(max_err, run.sparse_stats.sparse_max_error_bound + 1e-15);
+  }
+}
+
+// Four disjoint ER blocks: the shape that shards cleanly, with the stream
+// confined to blocks so every update is intra-shard at any shard count.
+void BuildShardableWorkload(graph::DynamicDiGraph* graph,
+                            std::vector<graph::EdgeUpdate>* stream) {
+  const std::size_t blocks = 4;
+  const std::size_t bn = 10;
+  *graph = graph::DynamicDiGraph(blocks * bn);
+  Rng rng(31);
+  for (std::size_t c = 0; c < blocks; ++c) {
+    auto block_seed = graph::ErdosRenyiGnm(bn, 24, 40 + c);
+    ASSERT_TRUE(block_seed.ok());
+    auto block = graph::MaterializeGraph(bn, block_seed.value());
+    const auto base = static_cast<graph::NodeId>(c * bn);
+    for (const graph::Edge& e : block.Edges()) {
+      ASSERT_TRUE(graph->AddEdge(base + e.src, base + e.dst).ok());
+    }
+    auto ins = graph::SampleInsertions(block, 6, &rng);
+    ASSERT_TRUE(ins.ok());
+    for (graph::EdgeUpdate u : ins.value()) {
+      u.src += base;
+      u.dst += base;
+      stream->push_back(u);
+    }
+  }
+}
+
+TEST(TieredService, ShardedEquivalenceAtOneAndFourShards) {
+  graph::DynamicDiGraph graph;
+  std::vector<graph::EdgeUpdate> stream;
+  BuildShardableWorkload(&graph, &stream);
+  simrank::SimRankOptions sr;
+  sr.damping = 0.6;
+  sr.iterations = 8;
+
+  for (std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    // Dense sharded reference: same per-shard options, sparsity off, so
+    // batch boundaries (and hence FP order) match the tiered run.
+    shard::ShardedServiceOptions dense_options;
+    dense_options.num_shards = shards;
+    dense_options.per_shard = TieredOptions(1e-4);
+    dense_options.per_shard.sparse.enabled = false;
+    auto dense = shard::ShardedSimRankService::Create(graph, sr, dense_options);
+    ASSERT_TRUE(dense.ok());
+    // Tiered sharded candidate (the per-shard options carry the policy).
+    shard::ShardedServiceOptions tiered_options;
+    tiered_options.num_shards = shards;
+    tiered_options.per_shard = TieredOptions(1e-4);
+    auto tiered =
+        shard::ShardedSimRankService::Create(graph, sr, tiered_options);
+    ASSERT_TRUE(tiered.ok());
+
+    // Unit batches (Flush per Submit) so boundaries are deterministic on
+    // both sides — see RunEquivalence.
+    for (const graph::EdgeUpdate& u : stream) {
+      ASSERT_TRUE((*dense)->Submit(u).ok());
+      ASSERT_TRUE((*dense)->Flush().ok());
+      ASSERT_TRUE((*tiered)->Submit(u).ok());
+      ASSERT_TRUE((*tiered)->Flush().ok());
+    }
+
+    const service::ServiceStats totals = (*tiered)->stats().total;
+    EXPECT_GT(totals.rows_sparse, 0u);
+    const double bound = totals.sparse_max_error_bound;
+    const auto n = static_cast<graph::NodeId>(graph.num_nodes());
+    for (graph::NodeId a = 0; a < n; ++a) {
+      for (graph::NodeId b = 0; b < n; ++b) {
+        auto exact = (*dense)->Score(a, b);
+        auto served = (*tiered)->Score(a, b);
+        ASSERT_TRUE(exact.ok() && served.ok());
+        EXPECT_LE(std::abs(*served - *exact), bound + 1e-15)
+            << "pair (" << a << ", " << b << ") at " << shards << " shard(s)";
+      }
+    }
+  }
+}
+
+// ---- Concurrency: pinned views vs tier migration --------------------------
+
+TEST(TieredConcurrency, PinnedViewStaysByteStableUnderTierMigration) {
+  const std::size_t n = 24;
+  la::DenseMatrix initial = TestMatrix(n, n, 41);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; j += 2) initial.RowPtr(i)[j] = 0.0;
+  }
+  la::ScoreStore store((la::DenseMatrix(initial)));
+  store.set_sparsity({.epsilon = 0.0, .max_density = 1.0});
+
+  std::mutex mu;
+  auto latest = std::make_shared<const la::ScoreStore::View>(store.Publish());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> checks{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      la::Vector scratch;
+      do {
+        std::shared_ptr<const la::ScoreStore::View> pinned;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          pinned = latest;
+        }
+        // Checksum twice with tier churn in between; a migration that
+        // mutated shared bytes diverges the sums.
+        double sum1 = 0.0;
+        double sum2 = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double* row = pinned->ReadRow(i, &scratch);
+          for (std::size_t j = 0; j < n; ++j) sum1 += row[j];
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double* row = pinned->ReadRow(i, &scratch);
+          for (std::size_t j = 0; j < n; ++j) sum2 += row[j];
+        }
+        INCSR_CHECK(sum1 == sum2, "pinned view bytes changed");
+        checks.fetch_add(1, std::memory_order_relaxed);
+      } while (!stop.load(std::memory_order_acquire));
+    });
+  }
+
+  Rng rng(55);
+  for (int epoch = 0; epoch < 200; ++epoch) {
+    // Tier churn + writes: every epoch demotes a band, promotes another,
+    // and writes through a third (densify-on-write).
+    for (std::size_t i = 0; i < n; ++i) {
+      switch ((i + static_cast<std::size_t>(epoch)) % 3) {
+        case 0:
+          store.SparsifyRow(i, {});
+          break;
+        case 1:
+          store.DensifyRow(i);
+          break;
+        default:
+          store.MutableRowPtr(i)[rng.NextBounded(n)] = rng.NextDouble();
+      }
+    }
+    auto next = std::make_shared<const la::ScoreStore::View>(store.Publish());
+    std::lock_guard<std::mutex> lock(mu);
+    latest = std::move(next);
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(checks.load(), 0u);
+  EXPECT_GT(store.stats().rows_sparsified, 0u);
+  EXPECT_GT(store.stats().rows_densified, 0u);
+}
+
+// ---- Adaptive per-node top-k capacity --------------------------------------
+
+TEST(AdaptiveTopK, NodeCapacityClampsAndTruncates) {
+  la::ScoreStore scores(TestMatrix(12, 12, 13));
+  service::TopKIndex index(/*capacity=*/4);
+  index.RebuildAll(scores);
+  EXPECT_EQ(index.NodeCapacity(3), 4u);
+  EXPECT_EQ(index.EntryItems(3).size(), 4u);
+
+  // Clamp: [max(1, base/4), 2*base] = [1, 8].
+  EXPECT_EQ(index.SetNodeCapacity(3, 100), 8u);
+  EXPECT_EQ(index.NodeCapacity(3), 8u);
+  // A grow does not refill by itself: the entry is re-earned by a rebuild.
+  EXPECT_EQ(index.EntryItems(3).size(), 4u);
+  const std::int32_t rows[] = {3};
+  index.RebuildRows(scores, rows);
+  EXPECT_EQ(index.EntryItems(3).size(), 8u);
+
+  // Shrink truncates in place to an exact prefix of the contract order.
+  auto before = std::vector<core::ScoredPair>(index.EntryItems(3).begin(),
+                                              index.EntryItems(3).end());
+  EXPECT_EQ(index.SetNodeCapacity(3, 0), 1u);
+  ASSERT_EQ(index.EntryItems(3).size(), 1u);
+  EXPECT_EQ(index.EntryItems(3)[0], before[0]);
+  // Unadapted rows are untouched.
+  EXPECT_EQ(index.NodeCapacity(5), 4u);
+  EXPECT_EQ(index.EntryItems(5).size(), 4u);
+}
+
+TEST(AdaptiveTopK, ServiceGrowsCapacityAfterFallback) {
+  auto seed = graph::ErdosRenyiGnm(16, 40, 19);
+  ASSERT_TRUE(seed.ok());
+  auto graph = graph::MaterializeGraph(16, seed.value());
+  simrank::SimRankOptions sr;
+  sr.damping = 0.6;
+  sr.iterations = 8;
+  auto index = core::DynamicSimRank::Create(graph, sr);
+  ASSERT_TRUE(index.ok());
+  service::ServiceOptions options;
+  options.topk_index_capacity = 4;
+  options.adaptive_topk_index = true;
+  options.cache_capacity = 0;  // every query exercises the index path
+  auto service =
+      service::SimRankService::Create(std::move(index).value(), options);
+  ASSERT_TRUE(service.ok());
+
+  // k = 8 is past the base entry (4) but within the 2x clamp: fallback.
+  const graph::NodeId query = 3;
+  auto first = (*service)->TopKFor(query, 8);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ((*service)->stats().topk_index_fallbacks, 1u);
+
+  // The next publish drains the grow queue and re-ranks the row.
+  auto stream = InsertStream(graph, 2, 29);
+  for (const graph::EdgeUpdate& u : stream) {
+    ASSERT_TRUE((*service)->Submit(u).ok());
+  }
+  ASSERT_TRUE((*service)->Flush().ok());
+  EXPECT_GE((*service)->stats().topk_cap_grows, 1u);
+
+  // Same query now rides the grown entry — and matches the row scan.
+  auto second = (*service)->TopKFor(query, 8);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*service)->stats().topk_index_served, 1u);
+  EXPECT_EQ((*service)->stats().topk_index_fallbacks, 1u);  // unchanged
+  auto snapshot = (*service)->Snapshot();
+  EXPECT_EQ(*second, core::TopKForOf(snapshot->scores, query, 8));
+}
+
+// ---- CreateIsolated --------------------------------------------------------
+
+TEST(CreateIsolated, MatchesDenseCreateBeforeAndAfterInserts) {
+  const std::size_t n = 12;
+  simrank::SimRankOptions sr;
+  sr.damping = 0.6;
+  sr.iterations = 8;
+  auto isolated = core::DynamicSimRank::CreateIsolated(n, sr);
+  auto dense = core::DynamicSimRank::Create(graph::DynamicDiGraph(n), sr);
+  ASSERT_TRUE(isolated.ok());
+  ASSERT_TRUE(dense.ok());
+  EXPECT_EQ(la::MaxAbsDiff(isolated->scores(), dense->scores()), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(isolated->scores().RowIsSparse(i));
+    EXPECT_EQ(isolated->Score(static_cast<graph::NodeId>(i),
+                              static_cast<graph::NodeId>(i)),
+              1.0 - sr.damping);
+  }
+
+  // Same kernels, same bytes once structure grows (rows densify on write).
+  const graph::Edge edges[] = {{0, 1}, {2, 1}, {3, 1}, {0, 4}, {5, 4}, {2, 6}};
+  for (const graph::Edge& e : edges) {
+    ASSERT_TRUE(isolated->InsertEdge(e.src, e.dst).ok());
+    ASSERT_TRUE(dense->InsertEdge(e.src, e.dst).ok());
+  }
+  EXPECT_TRUE(
+      la::BitwiseEqual(isolated->scores().ToDense(), dense->scores().ToDense()));
+}
+
+// ---- Graph COW --------------------------------------------------------------
+
+TEST(GraphCow, SnapshotStaysByteStableAcrossMutation) {
+  graph::DynamicDiGraph g(6);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(2, 1).ok());
+  graph::DynamicDiGraph::View snap = g.Snapshot();
+  EXPECT_EQ(snap.num_edges(), 2u);
+  EXPECT_EQ(g.cow_bytes_copied(), 0u);  // snapshot itself copies nothing
+
+  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  ASSERT_TRUE(g.RemoveEdge(2, 1).ok());
+  EXPECT_GT(g.cow_bytes_copied(), 0u);
+  // The pinned view still serves the pre-mutation adjacency.
+  EXPECT_EQ(snap.num_edges(), 2u);
+  EXPECT_TRUE(snap.HasEdge(2, 1));
+  EXPECT_FALSE(snap.HasEdge(0, 3));
+  ASSERT_EQ(snap.OutNeighbors(0).size(), 1u);
+  EXPECT_EQ(snap.OutNeighbors(0)[0], 1);
+  EXPECT_EQ(g.OutNeighbors(0).size(), 2u);
+}
+
+TEST(GraphCow, CopiesHaveValueSemanticsWithLazyPayload) {
+  graph::DynamicDiGraph g(5);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  graph::DynamicDiGraph copy = g;
+  EXPECT_TRUE(copy == g);
+
+  // Mutating either side never shows through on the other.
+  ASSERT_TRUE(g.AddEdge(3, 4).ok());
+  EXPECT_FALSE(copy.HasEdge(3, 4));
+  ASSERT_TRUE(copy.RemoveEdge(0, 1).ok());
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(copy.num_edges(), 1u);
+}
+
+}  // namespace
+}  // namespace incsr

@@ -11,6 +11,8 @@
 //             [--topk K] [--queue-capacity Q] [--max-batch B]
 //             [--backpressure block|reject] [--damping C] [--iterations K]
 //             [--threads T] [--shards S] [--index-capacity C]
+//             [--sparse-eps E] [--sparse-max-density D]
+//             [--sparse-scan-rows N] [--adaptive-index]
 //
 //   incsr_cli serve <edge_list> --listen HOST:PORT [--updates FILE]
 //             [--replica-of HOST:PORT] [--replication-backlog N] [...]
@@ -89,7 +91,9 @@ void PrintUsage(const char* prog) {
       "          [--max-batch B] [--cache-capacity C]\n"
       "          [--backpressure block|reject] [--damping C]\n"
       "          [--iterations K] [--threads T] [--shards S]\n"
-      "          [--index-capacity C]\n"
+      "          [--index-capacity C] [--sparse-eps E]\n"
+      "          [--sparse-max-density D] [--sparse-scan-rows N]\n"
+      "          [--adaptive-index]\n"
       "       %s serve <edge_list> --listen HOST:PORT [--updates FILE]\n"
       "          [--replica-of HOST:PORT] [--replication-backlog N] [...]\n"
       "       %s client <HOST:PORT> [--ping] [--submit FILE] [--flush]\n"
@@ -292,6 +296,30 @@ Result<ServeOptions> ParseServeArgs(int argc, char** argv) {
       auto v = next_size();
       if (!v.ok()) return v.status();
       options.service.topk_index_capacity = *v;
+    } else if (flag == "--sparse-eps") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      const double eps = std::atof(v->c_str());
+      if (eps < 0.0) {
+        return Status::InvalidArgument("--sparse-eps must be >= 0");
+      }
+      options.service.sparse.enabled = true;
+      options.service.sparse.epsilon = eps;
+    } else if (flag == "--sparse-max-density") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      const double density = std::atof(v->c_str());
+      if (density <= 0.0 || density > 1.0) {
+        return Status::InvalidArgument(
+            "--sparse-max-density must be in (0, 1]");
+      }
+      options.service.sparse.max_density = density;
+    } else if (flag == "--sparse-scan-rows") {
+      auto v = next_size();
+      if (!v.ok()) return v.status();
+      options.service.sparse.scan_rows_per_publish = *v;
+    } else if (flag == "--adaptive-index") {
+      options.service.adaptive_topk_index = true;
     } else if (flag == "--backpressure") {
       auto v = next();
       if (!v.ok()) return v.status();
@@ -491,6 +519,26 @@ int RunServeSharded(const ServeOptions& options,
       "fallbacks\n",
       static_cast<unsigned long long>(stats.total.topk_pairs_served),
       static_cast<unsigned long long>(stats.total.topk_pairs_fallbacks));
+  if (stats.total.rows_sparse > 0 || stats.total.tier_demotions > 0) {
+    std::printf(
+        "tiered store: %llu sparse / %llu dense rows, %.2f MB saved, "
+        "%llu demotions, %llu promotions, %llu eps-drops, "
+        "max error bound %.3g\n",
+        static_cast<unsigned long long>(stats.total.rows_sparse),
+        static_cast<unsigned long long>(stats.total.rows_dense),
+        static_cast<double>(stats.total.bytes_saved) / 1e6,
+        static_cast<unsigned long long>(stats.total.tier_demotions),
+        static_cast<unsigned long long>(stats.total.tier_promotions),
+        static_cast<unsigned long long>(stats.total.sparse_eps_drops),
+        stats.total.sparse_max_error_bound);
+  }
+  if (stats.total.topk_cap_grows > 0 || stats.total.topk_cap_shrinks > 0) {
+    std::printf("adaptive index capacity: %llu grows, %llu shrinks\n",
+                static_cast<unsigned long long>(stats.total.topk_cap_grows),
+                static_cast<unsigned long long>(stats.total.topk_cap_shrinks));
+  }
+  std::printf("graph snapshots copy-on-wrote %.2f KB of adjacency\n",
+              static_cast<double>(stats.total.graph_bytes_copied) / 1e3);
   if (stats.merges > 0) {
     std::printf(
         "shard merges rebuilt %llu score rows (%.2f MB) in %.3f s — the "
@@ -557,6 +605,15 @@ void PrintFinalServiceStats(const service::ServiceStats& stats) {
       static_cast<unsigned long long>(stats.applied),
       static_cast<unsigned long long>(stats.failed),
       static_cast<unsigned long long>(stats.rejected));
+  if (stats.rows_sparse > 0 || stats.tier_demotions > 0) {
+    std::printf(
+        "tiered store: %llu sparse / %llu dense rows, %.2f MB saved, "
+        "max error bound %.3g\n",
+        static_cast<unsigned long long>(stats.rows_sparse),
+        static_cast<unsigned long long>(stats.rows_dense),
+        static_cast<double>(stats.bytes_saved) / 1e6,
+        stats.sparse_max_error_bound);
+  }
 }
 
 // Pre-applies an on-disk update stream through the serving path (so a
@@ -998,6 +1055,26 @@ int RunServe(const ServeOptions& options) {
       "fallbacks\n",
       static_cast<unsigned long long>(stats.topk_pairs_served),
       static_cast<unsigned long long>(stats.topk_pairs_fallbacks));
+  if (stats.rows_sparse > 0 || stats.tier_demotions > 0) {
+    std::printf(
+        "tiered store: %llu sparse / %llu dense rows, %.2f MB saved, "
+        "%llu demotions, %llu promotions, %llu eps-drops, "
+        "max error bound %.3g\n",
+        static_cast<unsigned long long>(stats.rows_sparse),
+        static_cast<unsigned long long>(stats.rows_dense),
+        static_cast<double>(stats.bytes_saved) / 1e6,
+        static_cast<unsigned long long>(stats.tier_demotions),
+        static_cast<unsigned long long>(stats.tier_promotions),
+        static_cast<unsigned long long>(stats.sparse_eps_drops),
+        stats.sparse_max_error_bound);
+  }
+  if (stats.topk_cap_grows > 0 || stats.topk_cap_shrinks > 0) {
+    std::printf("adaptive index capacity: %llu grows, %llu shrinks\n",
+                static_cast<unsigned long long>(stats.topk_cap_grows),
+                static_cast<unsigned long long>(stats.topk_cap_shrinks));
+  }
+  std::printf("graph snapshots copy-on-wrote %.2f KB of adjacency\n",
+              static_cast<double>(stats.graph_bytes_copied) / 1e3);
   // Publish amplification: rows copy-on-written per applied update. The
   // full-copy design this replaced paid n rows per EPOCH regardless of
   // the affected area.
