@@ -52,12 +52,21 @@
 //   factor of the replica tier (replicas serve bitwise-identical epochs,
 //   so spreading is safe).
 //
+// Tracing: --trace-out FILE replays the workload twice more — tracing off
+// then tracing on (obs::Tracer writing FILE) — and reports the applier
+// throughput delta as trace_overhead_pct in the JSON, with
+// trace_overhead_ok asserting the <= 3% budget the serve-path
+// instrumentation is designed to (docs/tracing.md). Latency percentiles
+// everywhere come from streaming obs::Histogram (log-bucketed, mergeable,
+// bounded memory) rather than sorting every sample.
+//
 // Usage: bench_serve_throughput [--nodes N] [--edges M] [--updates U]
 //          [--writers W] [--readers R] [--topk K] [--max-batch B]
 //          [--zipf THETA] [--churn insert|delete-heavy] [--threads T]
 //          [--components C] [--shards K] [--index-capacity C] [--json PATH]
 //          [--connect HOST:PORT] [--replicas R] [--net-batch B]
-//          [--net-clients C] [--measure-seconds S]
+//          [--net-clients C] [--measure-seconds S] [--trace-out FILE]
+//          [--trace-buffer-kb N]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -95,15 +104,16 @@ struct LoadConfig {
   std::size_t net_batch = 64;    // updates per Submit RPC
   std::size_t net_clients = 4;   // query clients per endpoint (sweep)
   double measure_seconds = 1.0;  // read-only measurement window (sweep)
+  std::string trace_out;         // when set, run the tracing-overhead A/B
+  std::size_t trace_buffer_kb = 1024;  // per-thread trace ring size
 };
 
-double Percentile(std::vector<double>* sorted_in_place, double pct) {
-  std::vector<double>& v = *sorted_in_place;
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const auto idx = static_cast<std::size_t>(
-      pct * static_cast<double>(v.size() - 1) + 0.5);
-  return v[std::min(idx, v.size() - 1)];
+// The tracing-overhead budget the serve-path instrumentation must fit in
+// (ISSUE: tracing on must stay within 3% of tracing off).
+constexpr double kTraceOverheadLimitPct = 3.0;
+
+std::uint64_t ElapsedNs(const WallTimer& timer) {
+  return static_cast<std::uint64_t>(timer.ElapsedSeconds() * 1e9);
 }
 
 struct LoadResult {
@@ -111,6 +121,7 @@ struct LoadResult {
   std::uint64_t total_queries = 0;
   double p50_us = 0.0;
   double p99_us = 0.0;
+  obs::HistogramSnapshot query_lat;     // per-query latency, nanoseconds
   service::ServiceStats stats;          // single-service or sharded total
   shard::ShardedStats sharded_stats;    // populated when config.shards > 0
 };
@@ -197,7 +208,10 @@ void DriveLoad(const LoadConfig& config,
                const std::vector<graph::EdgeUpdate>& updates, Service* svc,
                LoadResult* result) {
   std::atomic<bool> done{false};
-  std::vector<std::vector<double>> latencies(config.readers);
+  // One streaming histogram per reader (lock-free Record), merged exactly
+  // at the end — bounded memory however long the closed loop runs, unlike
+  // the sort-every-sample percentile pass this replaced.
+  std::vector<obs::Histogram> latencies(config.readers);
   std::vector<std::thread> threads;
   bench::ZipfSampler zipf(config.nodes, config.zipf_theta);
   WallTimer timer;
@@ -212,13 +226,13 @@ void DriveLoad(const LoadConfig& config,
   for (std::size_t r = 0; r < config.readers; ++r) {
     threads.emplace_back([&, r] {
       Rng rng(999 + static_cast<std::uint64_t>(r));
-      std::vector<double>& mine = latencies[r];
+      obs::Histogram& mine = latencies[r];
       while (!done.load(std::memory_order_acquire)) {
         const auto node = static_cast<graph::NodeId>(zipf.Next(&rng));
         WallTimer query_timer;
         auto top = svc->TopKFor(node, config.topk);
         INCSR_CHECK(top.ok(), "query failed");
-        mine.push_back(query_timer.ElapsedSeconds() * 1e6);
+        mine.Record(ElapsedNs(query_timer));
       }
     });
   }
@@ -229,13 +243,14 @@ void DriveLoad(const LoadConfig& config,
   for (std::size_t t = config.writers; t < threads.size(); ++t) {
     threads[t].join();
   }
-  std::vector<double> merged;
-  for (const auto& per_reader : latencies) {
-    merged.insert(merged.end(), per_reader.begin(), per_reader.end());
+  obs::HistogramSnapshot merged;
+  for (const obs::Histogram& per_reader : latencies) {
+    merged += per_reader.snapshot();
   }
-  result->total_queries = merged.size();
-  result->p50_us = Percentile(&merged, 0.50);
-  result->p99_us = Percentile(&merged, 0.99);
+  result->query_lat = merged;
+  result->total_queries = merged.count;
+  result->p50_us = merged.Percentile(0.50) / 1e3;
+  result->p99_us = merged.Percentile(0.99) / 1e3;
 }
 
 LoadResult RunLoad(const LoadConfig& config,
@@ -419,8 +434,8 @@ NetLoadResult DriveNetLoad(const std::vector<std::string>& endpoints,
   std::atomic<bool> done{false};
   std::atomic<std::uint64_t> accepted{0};
   std::atomic<std::uint64_t> dropped{0};
-  std::vector<std::vector<double>> ingest_lat(writers);
-  std::vector<std::vector<double>> query_lat(readers);
+  std::vector<obs::Histogram> ingest_lat(writers);
+  std::vector<obs::Histogram> query_lat(readers);
   std::vector<std::thread> threads;
   bench::ZipfSampler zipf(num_nodes, zipf_theta);
 
@@ -443,7 +458,7 @@ NetLoadResult DriveNetLoad(const std::vector<std::string>& endpoints,
         auto response = client->Submit(batches[i]);
         INCSR_CHECK(response.ok(), "submit RPC failed: %s",
                     response.status().ToString().c_str());
-        ingest_lat[w].push_back(rpc_timer.ElapsedSeconds() * 1e6);
+        ingest_lat[w].Record(ElapsedNs(rpc_timer));
         accepted.fetch_add(response->accepted, std::memory_order_relaxed);
         dropped.fetch_add(response->rejected, std::memory_order_relaxed);
       }
@@ -462,7 +477,7 @@ NetLoadResult DriveNetLoad(const std::vector<std::string>& endpoints,
         auto top = client->TopKFor(node, static_cast<std::uint32_t>(topk));
         INCSR_CHECK(top.ok(), "query RPC failed: %s",
                     top.status().ToString().c_str());
-        query_lat[r].push_back(query_timer.ElapsedSeconds() * 1e6);
+        query_lat[r].Record(ElapsedNs(query_timer));
       }
     });
   }
@@ -478,22 +493,22 @@ NetLoadResult DriveNetLoad(const std::vector<std::string>& endpoints,
   for (std::size_t t = writers; t < threads.size(); ++t) threads[t].join();
   result.query_seconds = result.ingest_seconds;
 
-  std::vector<double> ingest_merged;
-  for (const auto& per : ingest_lat) {
-    ingest_merged.insert(ingest_merged.end(), per.begin(), per.end());
+  obs::HistogramSnapshot ingest_merged;
+  for (const obs::Histogram& per : ingest_lat) {
+    ingest_merged += per.snapshot();
   }
-  result.ingest_rpcs = ingest_merged.size();
-  result.ingest_p50_us = Percentile(&ingest_merged, 0.50);
-  result.ingest_p99_us = Percentile(&ingest_merged, 0.99);
+  result.ingest_rpcs = ingest_merged.count;
+  result.ingest_p50_us = ingest_merged.Percentile(0.50) / 1e3;
+  result.ingest_p99_us = ingest_merged.Percentile(0.99) / 1e3;
   result.accepted = accepted.load();
   result.dropped = dropped.load();
-  std::vector<double> query_merged;
-  for (const auto& per : query_lat) {
-    query_merged.insert(query_merged.end(), per.begin(), per.end());
+  obs::HistogramSnapshot query_merged;
+  for (const obs::Histogram& per : query_lat) {
+    query_merged += per.snapshot();
   }
-  result.total_queries = query_merged.size();
-  result.p50_us = Percentile(&query_merged, 0.50);
-  result.p99_us = Percentile(&query_merged, 0.99);
+  result.total_queries = query_merged.count;
+  result.p50_us = query_merged.Percentile(0.50) / 1e3;
+  result.p99_us = query_merged.Percentile(0.99) / 1e3;
   return result;
 }
 
@@ -503,7 +518,7 @@ NetLoadResult MeasureNetQueries(const std::vector<std::string>& endpoints,
                                 std::size_t total_clients, double seconds,
                                 std::size_t num_nodes, std::size_t topk,
                                 double zipf_theta) {
-  std::vector<std::vector<double>> query_lat(total_clients);
+  std::vector<obs::Histogram> query_lat(total_clients);
   std::vector<std::thread> threads;
   bench::ZipfSampler zipf(num_nodes, zipf_theta);
   std::atomic<bool> done{false};
@@ -521,7 +536,7 @@ NetLoadResult MeasureNetQueries(const std::vector<std::string>& endpoints,
         auto top = client->TopKFor(node, static_cast<std::uint32_t>(topk));
         INCSR_CHECK(top.ok(), "query RPC failed: %s",
                     top.status().ToString().c_str());
-        query_lat[t].push_back(query_timer.ElapsedSeconds() * 1e6);
+        query_lat[t].Record(ElapsedNs(query_timer));
       }
     });
   }
@@ -532,13 +547,13 @@ NetLoadResult MeasureNetQueries(const std::vector<std::string>& endpoints,
   NetLoadResult result;
   result.query_seconds = timer.ElapsedSeconds();
   for (std::thread& thread : threads) thread.join();
-  std::vector<double> merged;
-  for (const auto& per : query_lat) {
-    merged.insert(merged.end(), per.begin(), per.end());
+  obs::HistogramSnapshot merged;
+  for (const obs::Histogram& per : query_lat) {
+    merged += per.snapshot();
   }
-  result.total_queries = merged.size();
-  result.p50_us = Percentile(&merged, 0.50);
-  result.p99_us = Percentile(&merged, 0.99);
+  result.total_queries = merged.count;
+  result.p50_us = merged.Percentile(0.50) / 1e3;
+  result.p99_us = merged.Percentile(0.99) / 1e3;
   return result;
 }
 
@@ -847,6 +862,12 @@ int main(int argc, char** argv) {
       config.measure_seconds = std::strtod(value, &end);
       INCSR_CHECK(end != value && *end == '\0' && config.measure_seconds > 0.0,
                   "--measure-seconds needs a duration > 0, got '%s'", value);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      INCSR_CHECK(i + 1 < argc, "flag %s needs a value", argv[i]);
+      config.trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-buffer-kb") == 0) {
+      config.trace_buffer_kb = next();
+      INCSR_CHECK(config.trace_buffer_kb >= 1, "--trace-buffer-kb needs >= 1");
     } else if (std::strcmp(argv[i], "--churn") == 0) {
       INCSR_CHECK(i + 1 < argc, "flag %s needs a value", argv[i]);
       const char* mode = argv[++i];
@@ -896,6 +917,78 @@ int main(int argc, char** argv) {
                                 /*cache_capacity=*/0);
   Report("cache off:", config, updates.size(), uncached);
 
+  // Tracing-overhead A/B: interleaved PAIRS of untraced/traced ingest
+  // replays, overhead = median of the per-pair throughput ratios.
+  // Pairing + median is what makes the number usable on a noisy (or
+  // single-core) box: machine-load drift hits both halves of a pair
+  // equally, and the median discards the pairs a descheduling ruined.
+  // The arms run WITHOUT readers: every trace event rides the applier,
+  // readers emit none — they only add closed-loop scheduler noise orders
+  // of magnitude larger than the ~20 ns ring write being measured. Each
+  // traced half is its own Tracer session on config.trace_out, so the
+  // file ends up with the LAST pair's trace — a real multi-epoch artifact
+  // for `incsr_cli trace summarize`.
+  double trace_overhead_pct = 0.0;
+  bool trace_overhead_ok = true;
+  LoadResult trace_off;
+  LoadResult trace_on;
+  if (!config.trace_out.empty()) {
+    constexpr int kPairs = 7;
+    LoadConfig ab = config;
+    ab.readers = 0;
+    std::vector<double> ratios;
+    double off_best = 0.0;
+    double on_best = 0.0;
+    std::uint64_t trace_events = 0;
+    std::uint64_t trace_dropped = 0;
+    for (int pair = 0; pair < kPairs; ++pair) {
+      LoadResult off = RunLoad(ab, graph, updates, /*cache_capacity=*/4096);
+      const double off_ups =
+          static_cast<double>(off.stats.applied) / off.ingest_seconds;
+      obs::Tracer& tracer = obs::Tracer::Instance();
+      Status started =
+          tracer.Start(config.trace_out, config.trace_buffer_kb);
+      INCSR_CHECK(started.ok(), "trace start failed: %s",
+                  started.ToString().c_str());
+      LoadResult on = RunLoad(ab, graph, updates, /*cache_capacity=*/4096);
+      trace_events = tracer.TotalEventsRecorded();
+      trace_dropped = tracer.TotalEventsDropped();
+      tracer.Stop();
+      const double on_ups =
+          static_cast<double>(on.stats.applied) / on.ingest_seconds;
+      // Ratio of applier WORK time (sum of per-batch apply walls from the
+      // always-on apply histogram), not end-to-end wall: both runs apply
+      // the identical update stream, and work time excludes the queue
+      // idle + writer-scheduling gaps that dominate wall-clock jitter.
+      const double off_work = static_cast<double>(off.stats.apply_ns.sum);
+      const double on_work = static_cast<double>(on.stats.apply_ns.sum);
+      if (off_work > 0.0) ratios.push_back(on_work / off_work);
+      if (off_ups > off_best) {
+        off_best = off_ups;
+        trace_off = off;
+      }
+      if (on_ups > on_best) {
+        on_best = on_ups;
+        trace_on = on;
+      }
+    }
+    Report("trace off:", config, updates.size(), trace_off);
+    Report("trace on:", config, updates.size(), trace_on);
+    INCSR_CHECK(!ratios.empty(), "no tracing A/B pairs completed");
+    std::sort(ratios.begin(), ratios.end());
+    trace_overhead_pct = 100.0 * (ratios[ratios.size() / 2] - 1.0);
+    trace_overhead_ok = trace_overhead_pct <= kTraceOverheadLimitPct;
+    std::printf(
+        "tracing overhead: %.2f%% on applier throughput (median of %d "
+        "interleaved pairs; best %.0f vs %.0f upd/s; budget %.1f%%: %s); "
+        "%llu events/run (%llu dropped) -> %s\n",
+        trace_overhead_pct, kPairs, off_best, on_best, kTraceOverheadLimitPct,
+        trace_overhead_ok ? "ok" : "EXCEEDED",
+        static_cast<unsigned long long>(trace_events),
+        static_cast<unsigned long long>(trace_dropped),
+        config.trace_out.c_str());
+  }
+
   if (!config.json_path.empty()) {
     bench::JsonObject root;
     root.Set("bench", "serve_throughput")
@@ -914,6 +1007,14 @@ int main(int argc, char** argv) {
         .Set("topk_index_capacity", config.index_capacity);
     RecordRun(&root, "cache_on", config, cached);
     RecordRun(&root, "cache_off", config, uncached);
+    if (!config.trace_out.empty()) {
+      root.Set("trace_file", config.trace_out)
+          .Set("trace_overhead_pct", trace_overhead_pct)
+          .Set("trace_overhead_limit_pct", kTraceOverheadLimitPct)
+          .Set("trace_overhead_ok", trace_overhead_ok);
+      RecordRun(&root, "trace_off", config, trace_off);
+      RecordRun(&root, "trace_on", config, trace_on);
+    }
     INCSR_CHECK(bench::WriteJsonFile(config.json_path, root),
                 "failed to write %s", config.json_path.c_str());
     std::printf("wrote %s\n", config.json_path.c_str());

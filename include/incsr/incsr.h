@@ -40,6 +40,9 @@
 #include "net/server.h"          // IWYU pragma: export
 #include "net/socket.h"          // IWYU pragma: export
 #include "net/wire.h"            // IWYU pragma: export
+#include "obs/histogram.h"       // IWYU pragma: export
+#include "obs/trace.h"           // IWYU pragma: export
+#include "obs/trace_analysis.h"  // IWYU pragma: export
 #include "service/query_cache.h"     // IWYU pragma: export
 #include "service/simrank_service.h" // IWYU pragma: export
 #include "shard/shard_plan.h"        // IWYU pragma: export

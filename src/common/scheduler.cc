@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/trace.h"
+
 namespace incsr {
 
 namespace {
@@ -175,6 +177,9 @@ void Scheduler::ParallelForChunks(std::size_t begin, std::size_t end,
   const std::size_t tickets =
       std::min(region->max_participants - 1, num_chunks - 1);
   regions_parallel_.fetch_add(1, std::memory_order_relaxed);
+  // Submitter-side span over the whole region: publish + own drain +
+  // completion wait, so the duration is the region's critical path.
+  TRACE_SCOPE_ARG(kSchedRegion, num_chunks);
   PublishTickets(region, tickets);
   // The submitter drains the cursor itself — region completion never
   // depends on a worker picking a ticket up.
@@ -289,7 +294,10 @@ void Scheduler::WorkerLoop(std::size_t worker_index) {
     if (!ticket) {
       for (std::size_t k = 1; k < num_workers && !ticket; ++k) {
         ticket = workers_[(worker_index + k) % num_workers]->ring.TryPop();
-        if (ticket) steals_.fetch_add(1, std::memory_order_relaxed);
+        if (ticket) {
+          steals_.fetch_add(1, std::memory_order_relaxed);
+          TRACE_COUNTER(kSchedSteal, 1);
+        }
       }
     }
     if (ticket) {

@@ -4,6 +4,7 @@
 #include <iterator>
 
 #include "graph/transition.h"
+#include "obs/trace.h"
 
 namespace incsr::core {
 
@@ -97,6 +98,7 @@ Status IncSrEngine::ComputeSparseSeed(const graph::EdgeUpdate& update,
                                       const SMatrix& s,
                                       RankOneUpdate* rank_one,
                                       Workspace* theta) {
+  TRACE_SCOPE(kKernelSeed);
   Result<RankOneUpdate> decomposition = ComputeRankOneUpdate(q, update);
   if (!decomposition.ok()) return decomposition.status();
   *rank_one = std::move(decomposition).value();
@@ -202,6 +204,7 @@ Status IncSrEngine::ComputeSparseSeed(const graph::EdgeUpdate& update,
 void IncSrEngine::AdvanceSparse(const graph::DynamicDiGraph& new_graph,
                                 double scale, const Workspace& cur,
                                 Workspace* next) {
+  TRACE_SCOPE_ARG(kKernelExpand, cur.indices.size());
   next->EnsureSize(cur.values.size());
   next->Clear();
   RunChunkedExpansion(
@@ -228,6 +231,7 @@ void IncSrEngine::AdvanceSparse(const graph::DynamicDiGraph& new_graph,
 template <typename SMatrix>
 void IncSrEngine::ScatterOuter(const Workspace& xi, const Workspace& eta,
                                SMatrix* s) {
+  TRACE_SCOPE_ARG(kKernelScatter, xi.indices.size() + eta.indices.size());
   // S += ξ·ηᵀ + η·ξᵀ, row-parallel over supp(ξ) ∪ supp(η). Each touched
   // row gets its ξ-term writes and then its η-term writes — the exact
   // serial sequence — and rows are disjoint, so the result is bitwise

@@ -5,6 +5,7 @@
 
 #include "common/scheduler.h"
 #include "graph/transition.h"
+#include "obs/trace.h"
 
 namespace incsr::core {
 
@@ -12,7 +13,10 @@ template <typename SMatrix>
 Result<la::DenseMatrix> IncUsrAuxiliaryM(
     const la::DynamicRowMatrix& q, const SMatrix& s,
     const graph::EdgeUpdate& update, const simrank::SimRankOptions& options) {
-  Result<UpdateSeed> seed = ComputeUpdateSeed(q, s, update, options);
+  Result<UpdateSeed> seed = [&]() -> Result<UpdateSeed> {
+    TRACE_SCOPE(kKernelSeed);
+    return ComputeUpdateSeed(q, s, update, options);
+  }();
   if (!seed.ok()) return seed.status();
 
   const std::size_t n = q.rows();
@@ -34,6 +38,7 @@ Result<la::DenseMatrix> IncUsrAuxiliaryM(
   m.AddOuterProduct(1.0, xi, eta, threads);
 
   for (int k = 0; k < options.iterations; ++k) {
+    TRACE_SCOPE_ARG(kKernelExpand, k);
     // ξ ← C·(Q·ξ + (vᵀξ)·u); η ← Q·η + (vᵀη)·u   (lines 15-16). The
     // (vᵀ·)·u correction realizes Q̃ = Q + u·vᵀ without materializing Q̃.
     double v_dot_xi = v.DotDense(xi);
@@ -86,6 +91,7 @@ Status IncUsrApplyUpdate(const graph::EdgeUpdate& update,
   // only), then the rows are streamed in parallel. Rows are disjoint and
   // each keeps the serial M-then-Mᵀ write order, so the result is bitwise
   // identical at any thread count.
+  TRACE_SCOPE_ARG(kKernelScatter, s->rows());
   const std::size_t n = s->rows();
   const std::size_t threads = Scheduler::ResolveNumThreads(options.num_threads);
   std::vector<double*> rows(n);

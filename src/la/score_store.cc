@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/scheduler.h"
+#include "obs/trace.h"
 
 namespace incsr::la {
 
@@ -139,6 +140,7 @@ double* ScoreStore::MutableRowPtr(std::size_t i) {
     stats_.sparse_payload_bytes -= block->payload_bytes();
     --stats_.rows_sparse;
     ++stats_.rows_densified;
+    TRACE_COUNTER_ARG(kStoreTierPromote, i, 1);
     shards_[s] = DensifyBlock(*block, cols_);
     shared_[s] = 0;
   } else if (shared_[s]) {
@@ -149,6 +151,8 @@ double* ScoreStore::MutableRowPtr(std::size_t i) {
     clone->dense = block->dense;
     stats_.rows_copied += RowsInShard(s);
     stats_.bytes_copied += clone->dense.size() * sizeof(double);
+    TRACE_COUNTER_ARG(kStoreRowCow, RowsInShard(s),
+                      clone->dense.size() * sizeof(double));
     shards_[s] = std::move(clone);
     shared_[s] = 0;
     // The clone happens exactly once per shard per epoch, so this stays
@@ -181,6 +185,7 @@ bool ScoreStore::SparsifyRow(std::size_t i,
   stats_.sparse_payload_bytes += result.block->payload_bytes();
   ++stats_.rows_sparse;
   ++stats_.rows_sparsified;
+  TRACE_COUNTER_ARG(kStoreTierDemote, i, result.block->payload_bytes());
   stats_.eps_drops += result.dropped;
   if (result.dropped > 0) {
     stats_.max_error_bound +=
@@ -201,6 +206,7 @@ bool ScoreStore::DensifyRow(std::size_t i) {
   stats_.sparse_payload_bytes -= block.payload_bytes();
   --stats_.rows_sparse;
   ++stats_.rows_densified;
+  TRACE_COUNTER_ARG(kStoreTierPromote, i, 1);
   shards_[s] = DensifyBlock(block, cols_);
   shared_[s] = 0;
   return true;

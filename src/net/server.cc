@@ -12,6 +12,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace incsr::net {
 
 namespace internal {
@@ -448,6 +450,9 @@ void IncSrServer::SendError(Connection* conn, wire::RpcStatus status,
 void IncSrServer::DispatchFrame(Connection* conn, wire::MessageTag tag,
                                 std::string_view body) {
   requests_served_.fetch_add(1, std::memory_order_relaxed);
+  // One span per RPC: decode + backend call + response encode (the write
+  // back to the socket is the event loop's, not this frame's).
+  TRACE_SCOPE_ARG(kRpc, static_cast<std::uint8_t>(tag));
   switch (tag) {
     case wire::MessageTag::kPingRequest: {
       if (!body.empty()) {

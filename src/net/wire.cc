@@ -1,5 +1,7 @@
 #include "net/wire.h"
 
+#include "obs/histogram.h"
+
 namespace incsr::net::wire {
 
 namespace {
@@ -380,6 +382,55 @@ bool SuggestResponse::DecodeBody(std::string_view body, SuggestResponse* out) {
 
 // ---- Stats -----------------------------------------------------------------
 
+namespace {
+
+// Sparse histogram encoding (wire v4): sum, min, max, then only the
+// non-zero buckets as (u8 index, u64 count) pairs in strictly increasing
+// index order. `count` is not sent — the snapshot invariant count ==
+// Σ buckets makes it derivable, and deriving it keeps the two from ever
+// disagreeing on the wire.
+void EncodeHistogram(Writer* writer, const obs::HistogramSnapshot& hist) {
+  writer->U64(hist.sum);
+  writer->U64(hist.min);
+  writer->U64(hist.max);
+  std::uint32_t nonzero = 0;
+  for (std::uint64_t bucket : hist.buckets) nonzero += bucket != 0;
+  writer->U32(nonzero);
+  for (std::size_t i = 0; i < obs::kHistogramBuckets; ++i) {
+    if (hist.buckets[i] == 0) continue;
+    writer->U8(static_cast<std::uint8_t>(i));
+    writer->U64(hist.buckets[i]);
+  }
+}
+
+// Rejects non-canonical encodings: indices must strictly increase and a
+// listed bucket must be non-zero (every valid histogram has exactly one
+// canonical byte string, so fuzzed permutations fail instead of aliasing).
+bool DecodeHistogram(Reader* reader, obs::HistogramSnapshot* out) {
+  *out = obs::HistogramSnapshot{};
+  std::uint32_t nonzero;
+  if (!reader->U64(&out->sum) || !reader->U64(&out->min) ||
+      !reader->U64(&out->max) || !reader->U32(&nonzero) ||
+      nonzero > obs::kHistogramBuckets) {
+    return false;
+  }
+  int last_index = -1;
+  for (std::uint32_t k = 0; k < nonzero; ++k) {
+    std::uint8_t index;
+    std::uint64_t count;
+    if (!reader->U8(&index) || !reader->U64(&count) || count == 0 ||
+        static_cast<int>(index) <= last_index) {
+      return false;
+    }
+    last_index = index;
+    out->buckets[index] = count;
+    out->count += count;
+  }
+  return true;
+}
+
+}  // namespace
+
 void StatsResponse::EncodeBody(std::string* out) const {
   Writer writer(out);
   writer.U8(static_cast<std::uint8_t>(status));
@@ -418,6 +469,9 @@ void StatsResponse::EncodeBody(std::string* out) const {
   writer.U64(stats.graph_bytes_copied);
   writer.U64(stats.topk_cap_grows);
   writer.U64(stats.topk_cap_shrinks);
+  // v4 tail: server-side latency histograms.
+  EncodeHistogram(&writer, stats.queue_wait_ns);
+  EncodeHistogram(&writer, stats.apply_ns);
 }
 
 bool StatsResponse::DecodeBody(std::string_view body, StatsResponse* out) {
@@ -452,7 +506,9 @@ bool StatsResponse::DecodeBody(std::string_view body, StatsResponse* out) {
       reader.U64(&out->stats.tier_promotions) &&
       reader.U64(&out->stats.graph_bytes_copied) &&
       reader.U64(&out->stats.topk_cap_grows) &&
-      reader.U64(&out->stats.topk_cap_shrinks) && reader.Complete();
+      reader.U64(&out->stats.topk_cap_shrinks) &&
+      DecodeHistogram(&reader, &out->stats.queue_wait_ns) &&
+      DecodeHistogram(&reader, &out->stats.apply_ns) && reader.Complete();
   if (!ok) return false;
   out->stats.queue_depth = static_cast<std::size_t>(queue_depth);
   out->is_replica = is_replica == 1;

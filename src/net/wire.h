@@ -44,7 +44,12 @@ namespace incsr::net::wire {
 /// rows_dense / bytes_saved / sparse_eps_drops / sparse_max_error_bound /
 /// tier_demotions / tier_promotions), graph_bytes_copied, and the
 /// adaptive top-k capacity counters (topk_cap_grows / topk_cap_shrinks).
-inline constexpr std::uint8_t kWireVersion = 3;
+/// v4: StatsResponse carries the server-side latency histograms
+/// (queue_wait_ns / apply_ns, obs::HistogramSnapshot) sparsely encoded:
+/// sum, min, max, then only the non-zero buckets as (u8 index, u64
+/// count) pairs with strictly increasing indices; `count` is derived on
+/// decode as the bucket sum. Shard aggregators merge these bucket-wise.
+inline constexpr std::uint8_t kWireVersion = 4;
 /// Bytes of the length prefix.
 inline constexpr std::size_t kFramePrefixBytes = 4;
 /// Maximum frame payload (version + tag + body) a peer may announce.

@@ -1,0 +1,81 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace incsr::obs {
+
+std::size_t HistogramBucketFor(std::uint64_t v) {
+  if (v < 8) return static_cast<std::size_t>(v);
+  // e = position of the leading one (>= 3 here); the two bits below it
+  // pick one of 4 sub-buckets inside the octave [2^e, 2^(e+1)).
+  const unsigned e = static_cast<unsigned>(std::bit_width(v)) - 1;
+  const std::uint64_t sub = (v >> (e - 2)) & 3;
+  // Octave e=3 starts at index 8; e=63 tops out at index 251 < 256.
+  return 8 + (static_cast<std::size_t>(e) - 3) * 4 +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t HistogramBucketLowerBound(std::size_t index) {
+  if (index < 8) return static_cast<std::uint64_t>(index);
+  const std::size_t e = 3 + (index - 8) / 4;
+  const std::uint64_t sub = (index - 8) % 4;
+  return (std::uint64_t{4} + sub) << (e - 2);
+}
+
+HistogramSnapshot& HistogramSnapshot::operator+=(
+    const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  return *this;
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th value among `count` samples (nearest-rank with
+  // interpolation inside the bucket).
+  const double target = q * static_cast<double>(count - 1);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    const std::uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) > target) {
+      const double within =
+          in_bucket <= 1
+              ? 0.0
+              : (target - static_cast<double>(seen)) /
+                    static_cast<double>(in_bucket - 1);
+      const double lo = static_cast<double>(HistogramBucketLowerBound(i));
+      const double hi =
+          i + 1 < kHistogramBuckets
+              ? static_cast<double>(HistogramBucketLowerBound(i + 1))
+              : lo * 2.0;
+      const double value = lo + within * (hi - lo);
+      // The true extremes are tracked exactly; never report outside them.
+      return std::clamp(value, static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(max);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    out.count += out.buckets[i];
+  }
+  out.sum = sum_.load(std::memory_order_relaxed);
+  out.min = min_.load(std::memory_order_relaxed);
+  out.max = max_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace incsr::obs

@@ -1,0 +1,107 @@
+// Offline trace decoding + summarization (the consumer half of the
+// writer/analyzer split in obs/trace.h). ReadTraceFile parses a trace
+// into raw per-thread events; Summarize rolls them into the report
+// `incsr_cli trace summarize` prints: per-phase wall-time breakdowns
+// (with the applier pipeline's queue / coalesce / kernel / publish
+// coverage check against thread wall time), per-epoch batch timelines,
+// latency histograms per span id, and the per-ring dropped-event
+// accounting that says whether the trace is complete.
+//
+// Decoding is defensive like the wire Reader: truncated files (a crashed
+// producer) keep every complete block and report the footer as missing;
+// malformed blocks fail cleanly, never over-read.
+#ifndef INCSR_OBS_TRACE_ANALYSIS_H_
+#define INCSR_OBS_TRACE_ANALYSIS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
+
+namespace incsr::obs {
+
+/// A decoded trace file: events grouped by producing thread, plus the
+/// footer's accounting when present.
+struct TraceFile {
+  std::uint32_t version = 0;
+  /// thread id -> events in push order.
+  std::map<std::uint32_t, std::vector<TraceEvent>> threads;
+  /// Footer accounting (empty when the footer is missing — truncated
+  /// file; the events above are still the complete prefix).
+  struct RingAccount {
+    std::uint32_t thread_id = 0;
+    std::uint64_t written = 0;
+    std::uint64_t dropped = 0;
+  };
+  std::vector<RingAccount> rings;
+  bool footer_present = false;
+  std::uint64_t start_ns = 0;
+  std::uint64_t stop_ns = 0;
+
+  std::uint64_t total_events() const;
+  std::uint64_t total_dropped() const;
+};
+
+/// Parses a trace file from disk. Fails on a bad magic/version or a
+/// structurally malformed block; tolerates truncation after any complete
+/// block (footer_present = false).
+Result<TraceFile> ReadTraceFile(const std::string& path);
+
+/// Aggregated per-event statistics.
+struct PhaseStat {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;  ///< spans: Σ duration; counters: Σ value
+  std::uint64_t arg_sum = 0;   ///< Σ arg (batch sizes, row counts, ...)
+  HistogramSnapshot durations; ///< spans only: duration distribution
+};
+
+/// One published epoch on the applier timeline.
+struct EpochPoint {
+  std::uint32_t epoch = 0;
+  std::uint64_t ts_ns = 0;      ///< relative to the trace's first event
+  std::uint64_t batch_size = 0;
+};
+
+/// Per-thread activity extent.
+struct ThreadExtent {
+  std::uint32_t thread_id = 0;
+  std::uint64_t first_ns = 0;  ///< relative to the trace's first event
+  std::uint64_t last_ns = 0;
+  std::uint64_t events = 0;
+  bool is_applier = false;  ///< emitted batch.apply spans
+};
+
+struct TraceSummary {
+  std::map<std::uint16_t, PhaseStat> spans;
+  std::map<std::uint16_t, PhaseStat> counters;
+  std::vector<EpochPoint> epochs;
+  std::vector<ThreadExtent> threads;
+  std::uint64_t first_ts_ns = 0;  ///< absolute steady-clock origin
+  std::uint64_t wall_ns = 0;      ///< last event end - first event start
+  std::uint64_t total_events = 0;
+  std::uint64_t total_dropped = 0;
+  bool footer_present = false;
+  /// Applier coverage: Σ of the top-level pipeline phases (queue.idle,
+  /// coalesce, kernel.apply, publish) over the applier threads' summed
+  /// wall extents. The acceptance bar is >= 0.9 — the pipeline spans
+  /// account for the applier's time, so a regression shows up IN a phase
+  /// rather than between them. 0 when no applier thread traced.
+  double applier_coverage = 0.0;
+  std::uint64_t applier_phase_ns = 0;
+  std::uint64_t applier_wall_ns = 0;
+};
+
+TraceSummary Summarize(const TraceFile& file);
+
+/// Renders the summary as the human-readable report of
+/// `incsr_cli trace summarize` (per-phase table, coverage line, epoch
+/// timeline tail, drop accounting).
+std::string RenderSummary(const TraceSummary& summary);
+
+}  // namespace incsr::obs
+
+#endif  // INCSR_OBS_TRACE_ANALYSIS_H_

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/scheduler.h"
+#include "obs/trace.h"
 
 namespace incsr::service {
 
@@ -100,7 +101,7 @@ Status SimRankService::Submit(const graph::EdgeUpdate& update) {
       return Status::FailedPrecondition("SimRankService stopped while waiting");
     }
   }
-  queue_.push_back(update);
+  queue_.push_back({update, obs::Tracer::NowNs()});
   ++accepted_;
   queue_not_empty_.notify_one();
   return Status::OK();
@@ -279,6 +280,8 @@ ServiceStats SimRankService::stats() const {
   out.graph_bytes_copied = graph_bytes_copied_.load(std::memory_order_relaxed);
   out.topk_cap_grows = topk_cap_grows_.load(std::memory_order_relaxed);
   out.topk_cap_shrinks = topk_cap_shrinks_.load(std::memory_order_relaxed);
+  out.queue_wait_ns = queue_wait_hist_.snapshot();
+  out.apply_ns = apply_hist_.snapshot();
   out.cache = cache_.stats();
   return out;
 }
@@ -290,14 +293,32 @@ void SimRankService::ApplierLoop() {
   std::vector<graph::EdgeUpdate> batch;
   for (;;) {
     std::unique_lock<std::mutex> lock(mu_);
-    queue_not_empty_.wait(lock,
-                          [this] { return stopping_ || !queue_.empty(); });
+    {
+      // queue.idle: applier parked with nothing to apply — the phase that
+      // distinguishes "underloaded" from "kernel-bound" in a trace.
+      TRACE_SCOPE(kQueueIdle);
+      queue_not_empty_.wait(lock,
+                            [this] { return stopping_ || !queue_.empty(); });
+    }
     if (queue_.empty()) break;  // stopping, fully drained
     batch.clear();
+    const std::uint64_t drain_ns = obs::Tracer::NowNs();
+    std::uint64_t waited_ns = 0;
     while (!queue_.empty() && batch.size() < options_.max_batch) {
-      batch.push_back(queue_.front());
+      const QueuedUpdate& queued = queue_.front();
+      // Saturate: enqueue stamped outside mu_, so a racing Submit can be a
+      // hair "later" than this drain's clock read.
+      const std::uint64_t wait =
+          drain_ns > queued.enqueue_ns ? drain_ns - queued.enqueue_ns : 0;
+      queue_wait_hist_.Record(wait);
+      waited_ns += wait;
+      batch.push_back(queued.update);
       queue_.pop_front();
     }
+    // One counter event per BATCH (value = summed wait, arg = updates
+    // drained): bounds trace volume while the histogram above keeps the
+    // full per-update distribution.
+    TRACE_COUNTER_ARG(kQueueWait, batch.size(), waited_ns);
     queue_not_full_.notify_all();
     lock.unlock();
 
@@ -311,6 +332,8 @@ void SimRankService::ApplierLoop() {
 
 void SimRankService::ApplyAndPublish(
     const std::vector<graph::EdgeUpdate>& batch) {
+  TRACE_SCOPE_ARG(kBatchApply, batch.size());
+  const std::uint64_t apply_start_ns = obs::Tracer::NowNs();
   // Pre-validate the drained batch against the applier's authoritative
   // graph (plus an overlay of the batch's own earlier effects): updates
   // that are invalid in the state they meet — duplicate inserts, absent
@@ -318,28 +341,32 @@ void SimRankService::ApplyAndPublish(
   // apply below runs on a batch that cannot fail halfway.
   std::vector<graph::EdgeUpdate> valid;
   valid.reserve(batch.size());
-  std::unordered_map<std::uint64_t, bool> overlay;  // key -> edge present
-  const graph::DynamicDiGraph& current = index_.graph();
-  for (const graph::EdgeUpdate& update : batch) {
-    if (!current.HasNode(update.src) || !current.HasNode(update.dst)) {
-      failed_.fetch_add(1, std::memory_order_relaxed);
-      continue;
+  {
+    TRACE_SCOPE_ARG(kCoalesce, batch.size());
+    std::unordered_map<std::uint64_t, bool> overlay;  // key -> edge present
+    const graph::DynamicDiGraph& current = index_.graph();
+    for (const graph::EdgeUpdate& update : batch) {
+      if (!current.HasNode(update.src) || !current.HasNode(update.dst)) {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const std::uint64_t key = graph::EdgeKey(update.src, update.dst);
+      auto it = overlay.find(key);
+      const bool present = it != overlay.end()
+                               ? it->second
+                               : current.HasEdge(update.src, update.dst);
+      const bool want_insert = update.kind == graph::UpdateKind::kInsert;
+      if (present == want_insert) {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      overlay[key] = want_insert;
+      valid.push_back(update);
     }
-    const std::uint64_t key = graph::EdgeKey(update.src, update.dst);
-    auto it = overlay.find(key);
-    const bool present = it != overlay.end()
-                             ? it->second
-                             : current.HasEdge(update.src, update.dst);
-    const bool want_insert = update.kind == graph::UpdateKind::kInsert;
-    if (present == want_insert) {
-      failed_.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-    overlay[key] = want_insert;
-    valid.push_back(update);
   }
 
   if (!valid.empty()) {
+    TRACE_SCOPE_ARG(kKernelApply, valid.size());
     Status applied =
         index_.algorithm() == core::UpdateAlgorithm::kIncSR
             ? index_.ApplyBatchCoalesced(valid)
@@ -364,6 +391,8 @@ void SimRankService::ApplyAndPublish(
   }
   batches_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t epoch = Publish();
+  apply_hist_.Record(obs::Tracer::NowNs() - apply_start_ns);
+  TRACE_INSTANT(kEpochPublished, epoch, valid.size());
   // Replication fan-out: ship the batch exactly as applied (validated, in
   // apply order, empty batches included — they still publish an epoch).
   // A replica replaying this stream against the same initial state
@@ -377,18 +406,25 @@ void SimRankService::ApplyAndPublish(
 }
 
 std::uint64_t SimRankService::Publish() {
+  TRACE_SCOPE(kPublish);
   // Storage policies run FIRST, before the touched-row capture: a row the
   // tier policy re-represents records itself into the store's touched
   // delta (shared→unshared transition), so the one re-rank + invalidation
   // pass below covers batch rows and re-tiered rows alike — and the index
   // entries it rebuilds rank the FINAL (post-sparsification) bytes.
-  ApplyTierPolicy(index_.AllScoreRowsTouched());
   std::vector<std::int32_t> rerank_extra;
-  AdaptTopKCapacities(&rerank_extra);
-  if (tiering_ || adaptive_topk_) sketch_.Decay();
+  {
+    TRACE_SCOPE(kTierPolicy);
+    ApplyTierPolicy(index_.AllScoreRowsTouched());
+    AdaptTopKCapacities(&rerank_extra);
+    if (tiering_ || adaptive_topk_) sketch_.Decay();
+  }
 
   auto next = std::make_shared<EpochSnapshot>();
-  next->graph = index_.SnapshotGraph();
+  {
+    TRACE_SCOPE(kGraphSnapshot);
+    next->graph = index_.SnapshotGraph();
+  }
   // The batch's ground-truth delta: the rows it actually wrote (the score
   // store's COW-clone record), captured before Publish() resets it. Exact
   // for every algorithm — Inc-SR, coalesced groups, Inc-uSR's dense
@@ -405,7 +441,10 @@ std::uint64_t SimRankService::Publish() {
   }
   // O(rows touched): the batch's writes already COW-cloned exactly the
   // affected rows; publishing is a row-pointer-table copy.
-  next->scores = index_.mutable_score_store()->Publish();
+  {
+    TRACE_SCOPE(kStorePublish);
+    next->scores = index_.mutable_score_store()->Publish();
+  }
   if (topk_index_.enabled()) {
     // Incremental maintenance rule: re-rank ONLY the touched rows, each
     // by one scan of its already-materialized COW'd row. Untouched
@@ -430,10 +469,13 @@ std::uint64_t SimRankService::Publish() {
   // Invalidate after the swap: a reader that cached from the outgoing
   // snapshot either had its node erased here or (if it inserts later) is
   // rejected by the cache's epoch admission check.
-  if (all_touched) {
-    cache_.InvalidateAll(epoch);
-  } else {
-    cache_.OnPublish(epoch, std::span<const std::int32_t>(touched));
+  {
+    TRACE_SCOPE_ARG(kCacheInvalidate, touched.size());
+    if (all_touched) {
+      cache_.InvalidateAll(epoch);
+    } else {
+      cache_.OnPublish(epoch, std::span<const std::int32_t>(touched));
+    }
   }
   return epoch;
 }

@@ -59,6 +59,7 @@
 #include "graph/digraph.h"
 #include "graph/update_stream.h"
 #include "la/score_store.h"
+#include "obs/histogram.h"
 #include "service/query_cache.h"
 #include "service/topk_index.h"
 
@@ -241,6 +242,14 @@ struct ServiceStats {
   /// ServiceOptions::adaptive_topk_index).
   std::uint64_t topk_cap_grows = 0;
   std::uint64_t topk_cap_shrinks = 0;
+  /// Server-side latency distributions (obs/histogram.h), in nanoseconds.
+  /// queue_wait_ns: per-update time from Submit's enqueue to the applier
+  /// draining it — the ingest backlog the client cannot see from its own
+  /// round-trip timing. apply_ns: per-batch ApplyAndPublish wall time
+  /// (validate + kernels + publish). Both travel through the wire v4
+  /// StatsResponse tail and merge bucket-wise across shards.
+  obs::HistogramSnapshot queue_wait_ns;
+  obs::HistogramSnapshot apply_ns;
   QueryCacheStats cache;
 
   /// Aggregation the sharded layer (src/shard/) uses over live and
@@ -278,6 +287,8 @@ struct ServiceStats {
     graph_bytes_copied += other.graph_bytes_copied;
     topk_cap_grows += other.topk_cap_grows;
     topk_cap_shrinks += other.topk_cap_shrinks;
+    queue_wait_ns += other.queue_wait_ns;
+    apply_ns += other.apply_ns;
     cache += other.cache;
     return *this;
   }
@@ -415,11 +426,18 @@ class SimRankService {
   const bool replica_;
   core::DynamicSimRank index_;  // applier thread only, once started
 
+  /// A queued update plus its enqueue timestamp (steady-clock ns), so the
+  /// applier can charge each update's queue wait to the stats histogram.
+  struct QueuedUpdate {
+    graph::EdgeUpdate update;
+    std::uint64_t enqueue_ns;
+  };
+
   mutable std::mutex mu_;  // queue, sequence counters, lifecycle
   std::condition_variable queue_not_full_;
   std::condition_variable queue_not_empty_;
   std::condition_variable progress_;  // Flush waiters
-  std::deque<graph::EdgeUpdate> queue_;
+  std::deque<QueuedUpdate> queue_;
   std::uint64_t accepted_ = 0;   // updates ever enqueued
   std::uint64_t published_ = 0;  // updates applied AND visible to readers
   bool stopping_ = false;
@@ -476,6 +494,11 @@ class SimRankService {
   std::atomic<std::uint64_t> sparse_eps_drops_{0};
   std::atomic<double> sparse_max_error_bound_{0.0};
   std::atomic<std::uint64_t> graph_bytes_copied_{0};
+  // Latency histograms (relaxed atomics inside; applier records, stats()
+  // snapshots from any thread). Always on — one bucket fetch_add per
+  // sample — independent of whether event tracing is enabled.
+  obs::Histogram queue_wait_hist_;
+  obs::Histogram apply_hist_;
 
   std::mutex stop_mu_;   // serializes Stop() callers around the join
   std::thread applier_;  // last: joins in Stop()

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace incsr::service {
 
@@ -160,6 +161,7 @@ std::shared_ptr<const TopKIndex::Entry> TopKIndex::BuildEntry(
 void TopKIndex::RebuildRows(const la::ScoreStore& scores,
                             std::span<const std::int32_t> rows) {
   if (capacity_ == 0) return;
+  TRACE_SCOPE_ARG(kRerank, rows.size());
   INCSR_CHECK(entries_.size() == scores.rows(),
               "TopKIndex geometry mismatch: %zu entries for %zu rows",
               entries_.size(), scores.rows());
@@ -171,6 +173,7 @@ void TopKIndex::RebuildRows(const la::ScoreStore& scores,
 
 void TopKIndex::RebuildAll(const la::ScoreStore& scores) {
   if (capacity_ == 0) return;
+  TRACE_SCOPE_ARG(kRerank, scores.rows());
   entries_.resize(scores.rows());
   if (!caps_.empty()) {
     caps_.resize(entries_.size(), static_cast<std::uint32_t>(capacity_));

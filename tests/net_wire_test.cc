@@ -21,6 +21,7 @@
 #include "core/dynamic_simrank.h"
 #include "graph/update_stream.h"
 #include "net/wire.h"
+#include "obs/histogram.h"
 
 namespace incsr::net::wire {
 namespace {
@@ -213,6 +214,21 @@ TEST(WireRoundTrip, StatsResponse) {
   in.stats.graph_bytes_copied = 2048;
   in.stats.topk_cap_grows = 3;
   in.stats.topk_cap_shrinks = 2;
+  // v4 latency histograms, populated through the real recorder so the
+  // encoded snapshots carry the count == Σ buckets invariant the sparse
+  // decoder reconstructs.
+  {
+    obs::Histogram queue_wait;
+    for (std::uint64_t v : {0ull, 800ull, 1500ull, 1500ull, 1ull << 20}) {
+      queue_wait.Record(v);
+    }
+    in.stats.queue_wait_ns = queue_wait.snapshot();
+    obs::Histogram apply;
+    for (std::uint64_t v : {250'000ull, 900'000ull, 12'000'000ull}) {
+      apply.Record(v);
+    }
+    in.stats.apply_ns = apply.snapshot();
+  }
   StatsResponse out = FrameRoundTrip(MessageTag::kStatsResponse, in);
   EXPECT_EQ(out.stats.epoch, 17u);
   EXPECT_EQ(out.stats.submitted, 400u);
@@ -244,7 +260,63 @@ TEST(WireRoundTrip, StatsResponse) {
   EXPECT_EQ(out.stats.graph_bytes_copied, 2048u);
   EXPECT_EQ(out.stats.topk_cap_grows, 3u);
   EXPECT_EQ(out.stats.topk_cap_shrinks, 2u);
+  EXPECT_EQ(out.stats.queue_wait_ns.count, 5u);
+  EXPECT_EQ(out.stats.queue_wait_ns.sum, in.stats.queue_wait_ns.sum);
+  EXPECT_EQ(out.stats.queue_wait_ns.min, 0u);
+  EXPECT_EQ(out.stats.queue_wait_ns.max, 1u << 20);
+  EXPECT_EQ(out.stats.queue_wait_ns.buckets, in.stats.queue_wait_ns.buckets);
+  EXPECT_EQ(out.stats.apply_ns.count, 3u);
+  EXPECT_EQ(out.stats.apply_ns.buckets, in.stats.apply_ns.buckets);
+  // Percentiles computed from the decoded snapshot match the source's —
+  // the histogram travels losslessly, not as pre-baked quantiles.
+  EXPECT_EQ(out.stats.apply_ns.Percentile(0.99),
+            in.stats.apply_ns.Percentile(0.99));
   ExpectAllTruncationsFail(in);
+}
+
+TEST(WireRoundTrip, StatsResponseEmptyHistogramsStayEmpty) {
+  StatsResponse in;  // default: both histograms empty
+  StatsResponse out = FrameRoundTrip(MessageTag::kStatsResponse, in);
+  EXPECT_TRUE(out.stats.queue_wait_ns.empty());
+  EXPECT_TRUE(out.stats.apply_ns.empty());
+  ExpectAllTruncationsFail(in);
+}
+
+TEST(WireHostileInput, StatsHistogramRejectsMalformedBucketLists) {
+  StatsResponse in;
+  obs::Histogram hist;
+  hist.Record(100);
+  hist.Record(7'000);
+  hist.Record(7'000);
+  in.stats.queue_wait_ns = hist.snapshot();
+  std::string body;
+  in.EncodeBody(&body);
+  {
+    StatsResponse out;
+    ASSERT_TRUE(StatsResponse::DecodeBody(body, &out));  // baseline sane
+  }
+  // The queue_wait histogram tail: sum/min/max (24 B) + nonzero (4 B) +
+  // two (u8, u64) pairs; apply_ns (empty) follows as 28 B of zeros.
+  const std::size_t apply_bytes = 8 * 3 + 4;
+  const std::size_t pairs_at = body.size() - apply_bytes - 2 * 9;
+  const std::size_t nonzero_at = pairs_at - 4;
+
+  // Bucket count claiming more buckets than exist: rejected (and the
+  // Reader's bounds check keeps the pair loop from over-reading).
+  std::string inflated = body;
+  inflated[nonzero_at] = '\x09';
+  StatsResponse out;
+  EXPECT_FALSE(StatsResponse::DecodeBody(inflated, &out));
+
+  // Non-increasing bucket indices: rejected (canonical encodings only).
+  std::string reordered = body;
+  std::swap(reordered[pairs_at], reordered[pairs_at + 9]);
+  EXPECT_FALSE(StatsResponse::DecodeBody(reordered, &out));
+
+  // A listed bucket with a zero count: rejected.
+  std::string zeroed = body;
+  for (std::size_t i = 0; i < 8; ++i) zeroed[pairs_at + 1 + i] = '\0';
+  EXPECT_FALSE(StatsResponse::DecodeBody(zeroed, &out));
 }
 
 TEST(WireRoundTrip, FlushResponse) {

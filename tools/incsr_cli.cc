@@ -93,13 +93,15 @@ void PrintUsage(const char* prog) {
       "          [--iterations K] [--threads T] [--shards S]\n"
       "          [--index-capacity C] [--sparse-eps E]\n"
       "          [--sparse-max-density D] [--sparse-scan-rows N]\n"
-      "          [--adaptive-index]\n"
+      "          [--adaptive-index] [--trace-out FILE]\n"
+      "          [--trace-buffer-kb N]\n"
       "       %s serve <edge_list> --listen HOST:PORT [--updates FILE]\n"
       "          [--replica-of HOST:PORT] [--replication-backlog N] [...]\n"
       "       %s client <HOST:PORT> [--ping] [--submit FILE] [--flush]\n"
       "          [--score A B] [--query NODE] [--pairs] [--topk K]\n"
-      "          [--suggest N1,N2,...] [--stats]\n",
-      prog, prog, prog, prog);
+      "          [--suggest N1,N2,...] [--stats]\n"
+      "       %s trace summarize <trace_file>\n",
+      prog, prog, prog, prog, prog);
 }
 
 Result<CliOptions> ParseArgs(int argc, char** argv) {
@@ -237,6 +239,12 @@ struct ServeOptions {
   std::string replica_of;
   // Applied batches the primary retains for replica catch-up.
   std::size_t replication_backlog = 4096;
+  // When non-empty, record a binary serve-path trace to this file
+  // (`incsr_cli trace summarize FILE` decodes it). "%p" expands to the pid.
+  std::string trace_out;
+  // Per-thread trace ring size. Undersized rings drop events (counted in
+  // the trace footer) instead of ever blocking the serve path.
+  std::size_t trace_buffer_kb = 1024;
 };
 
 Result<ServeOptions> ParseServeArgs(int argc, char** argv) {
@@ -358,6 +366,17 @@ Result<ServeOptions> ParseServeArgs(int argc, char** argv) {
       auto v = next_size();
       if (!v.ok()) return v.status();
       options.replication_backlog = *v;
+    } else if (flag == "--trace-out") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      options.trace_out = *v;
+    } else if (flag == "--trace-buffer-kb") {
+      auto v = next_size();
+      if (!v.ok()) return v.status();
+      if (*v == 0) {
+        return Status::InvalidArgument("--trace-buffer-kb must be >= 1");
+      }
+      options.trace_buffer_kb = *v;
     } else {
       return Status::InvalidArgument("unknown serve flag '" + flag + "'");
     }
@@ -968,11 +987,67 @@ int RunClient(const ClientCommand& command) {
         static_cast<unsigned long long>(s.applied),
         static_cast<unsigned long long>(s.failed),
         static_cast<unsigned long long>(s.rejected));
+    auto print_latency = [](const char* label,
+                            const obs::HistogramSnapshot& hist) {
+      if (hist.empty()) return;
+      std::printf(
+          "%s: p50 %.1f us, p99 %.1f us, mean %.1f us, max %.1f us "
+          "(%llu samples)\n",
+          label, hist.Percentile(0.5) / 1e3, hist.Percentile(0.99) / 1e3,
+          hist.Mean() / 1e3, static_cast<double>(hist.max) / 1e3,
+          static_cast<unsigned long long>(hist.count));
+    };
+    print_latency("queue wait", s.queue_wait_ns);
+    print_latency("batch apply", s.apply_ns);
   }
   return 0;
 }
 
+// Owns the serve-path trace for the lifetime of a serve run. Started
+// before mode dispatch so the listen, sharded, and local-replay paths are
+// all covered; the destructor runs on every exit path and reports where
+// the trace landed plus how much (if anything) the rings dropped.
+class TraceSession {
+ public:
+  explicit TraceSession(const ServeOptions& options) {
+    if (options.trace_out.empty()) return;
+    Status started = obs::Tracer::Instance().Start(options.trace_out,
+                                                   options.trace_buffer_kb);
+    if (!started.ok()) {
+      std::fprintf(stderr, "warning: tracing disabled: %s\n",
+                   started.ToString().c_str());
+      return;
+    }
+    active_ = true;
+    std::printf("tracing serve path to %s (%zu KB per thread ring)\n",
+                obs::Tracer::Instance().active_path().c_str(),
+                options.trace_buffer_kb);
+  }
+
+  ~TraceSession() {
+    if (!active_) return;
+    obs::Tracer& tracer = obs::Tracer::Instance();
+    const std::string path = tracer.active_path();
+    const std::uint64_t recorded = tracer.TotalEventsRecorded();
+    const std::uint64_t dropped = tracer.TotalEventsDropped();
+    const std::size_t rings = tracer.ring_count();
+    tracer.Stop();
+    std::printf(
+        "trace: %s (%llu events from %zu threads, %llu dropped)\n"
+        "trace: decode with `incsr_cli trace summarize %s`\n",
+        path.c_str(), static_cast<unsigned long long>(recorded), rings,
+        static_cast<unsigned long long>(dropped), path.c_str());
+  }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
 int RunServe(const ServeOptions& options) {
+  TraceSession trace(options);
   if (!options.listen.empty()) return RunServeListen(options);
   auto data = graph::ReadEdgeListFile(options.edge_list);
   if (!data.ok()) {
@@ -1103,6 +1178,26 @@ int RunServe(const ServeOptions& options) {
   return 0;
 }
 
+int RunTrace(int argc, char** argv) {
+  // argv: trace summarize <trace_file>
+  if (argc < 3 || std::strcmp(argv[2], "summarize") != 0) {
+    std::fprintf(stderr, "error: trace: expected `summarize <trace_file>`\n");
+    return 2;
+  }
+  if (argc < 4) {
+    std::fprintf(stderr, "error: trace summarize: missing trace file\n");
+    return 2;
+  }
+  auto file = obs::ReadTraceFile(argv[3]);
+  if (!file.ok()) {
+    std::fprintf(stderr, "error: %s\n", file.status().ToString().c_str());
+    return 1;
+  }
+  obs::TraceSummary summary = obs::Summarize(file.value());
+  std::fputs(obs::RenderSummary(summary).c_str(), stdout);
+  return 0;
+}
+
 int Run(const CliOptions& options) {
   auto data = graph::ReadEdgeListFile(options.edge_list);
   if (!data.ok()) {
@@ -1183,6 +1278,9 @@ int main(int argc, char** argv) {
       return 2;
     }
     return RunServe(options.value());
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "trace") == 0) {
+    return RunTrace(argc, argv);
   }
   if (argc >= 2 && std::strcmp(argv[1], "client") == 0) {
     auto command = ParseClientArgs(argc, argv);
