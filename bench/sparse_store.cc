@@ -18,9 +18,24 @@
 // front (at the default n = 131072 that slab is ~137 GB; this process
 // never allocates it).
 //
+// Phase C (--churn, off by default): sustained ingest against a
+// mostly-sparse store. A power-law insert stream is applied in batches to
+// an isolated-node index (all rows start sparse), every touched row is
+// re-sparsified after each batch (the publish-time tier policy's job in
+// the serving tier), and Publish() closes the epoch. The same stream runs
+// twice — densify-on-write (the legacy MutableRowPtr path) vs the
+// sparse-native RowWriter path — and the headline number is the peak
+// transient dense footprint: max over epochs of epoch_peak_dense_bytes,
+// the high-water mark of dense payload *during* each batch. Densify-on-
+// write inflates every touched sparse row to a full n-entry dense row for
+// the duration of the batch; the sparse-native path merges scatter sets
+// in place and only spills rows that trip the max_density gate.
+//
 // Usage: bench_sparse_store [--nodes N] [--updates U] [--queries Q]
 //          [--epsilon E] [--topk K] [--big-nodes N] [--big-updates U]
-//          [--json PATH]
+//          [--churn] [--churn-nodes N] [--churn-updates U]
+//          [--churn-batch B] [--json PATH]
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +58,11 @@ struct Config {
   std::size_t topk = 10;
   std::size_t big_nodes = 131072;
   std::size_t big_updates = 64;
+  bool churn = false;
+  std::size_t churn_nodes = 16384;
+  std::size_t churn_updates = 2048;
+  std::size_t churn_batch = 32;
+  double churn_epsilon = 1e-5;
   std::string json_path = "BENCH_sparse_store.json";
 };
 
@@ -119,6 +139,69 @@ void ReportRun(const char* label, const Config& config, const RunResult& r) {
       static_cast<double>(config.queries) / r.query_seconds, resident / 1e6,
       static_cast<unsigned long long>(r.stats.rows_sparse),
       static_cast<unsigned long long>(r.stats.rows_dense));
+}
+
+struct ChurnResult {
+  double ingest_seconds = 0.0;
+  std::size_t applied = 0;
+  std::uint64_t peak_dense_bytes = 0;  // max over epochs of the watermark
+  la::ScoreStoreStats store_stats;
+};
+
+// One churn run: batches of power-law inserts into an isolated-node index
+// whose rows all start sparse, re-sparsifying touched rows after each
+// batch (standing in for the serving tier's publish-time policy) and
+// closing the epoch with Publish() so epoch_peak_dense_bytes measures the
+// transient dense footprint of exactly one batch.
+ChurnResult RunChurn(const Config& config,
+                     const std::vector<graph::EdgeUpdate>& updates,
+                     la::ScoreStore::WriteMode mode) {
+  simrank::SimRankOptions options;
+  options.damping = 0.6;
+  options.iterations = 15;
+  auto index = core::DynamicSimRank::CreateIsolated(
+      config.churn_nodes, options, core::UpdateAlgorithm::kIncSR);
+  INCSR_CHECK(index.ok(), "churn index failed: %s",
+              index.status().ToString().c_str());
+  la::ScoreStore* store = index->mutable_score_store();
+  la::SparsityConfig sparsity;
+  sparsity.epsilon = config.churn_epsilon;
+  sparsity.max_density = 0.5;
+  sparsity.error_amplification = 1.0 / (1.0 - options.damping);
+  store->set_sparsity(sparsity);
+  store->set_write_mode(mode);
+  store->Publish();  // settle the construction epoch: watermark := resident
+
+  ChurnResult result;
+  WallTimer timer;
+  for (std::size_t start = 0; start < updates.size();
+       start += config.churn_batch) {
+    const std::size_t end =
+        std::min(start + config.churn_batch, updates.size());
+    const std::vector<graph::EdgeUpdate> batch(updates.begin() + start,
+                                               updates.begin() + end);
+    INCSR_CHECK(index->ApplyBatch(batch).ok(), "churn batch failed");
+    result.applied += batch.size();
+    // Publish-time tier policy stand-in: push every touched row back to
+    // the sparse tier. Under the sparse-native path rows the batch kept
+    // sparse early-return here; under densify-on-write every touched row
+    // was inflated dense and must be re-compressed.
+    if (index->AllScoreRowsTouched()) {
+      for (std::size_t i = 0; i < config.churn_nodes; ++i) {
+        store->SparsifyRow(i, {});
+      }
+    } else {
+      for (std::int32_t row : index->TouchedScoreRows()) {
+        store->SparsifyRow(static_cast<std::size_t>(row), {});
+      }
+    }
+    result.peak_dense_bytes = std::max(result.peak_dense_bytes,
+                                       store->stats().epoch_peak_dense_bytes);
+    store->Publish();
+  }
+  result.ingest_seconds = timer.ElapsedSeconds();
+  result.store_stats = store->stats();
+  return result;
 }
 
 int Run(const Config& config) {
@@ -237,6 +320,60 @@ int Run(const Config& config) {
         static_cast<unsigned long long>(stats.rows_dense));
   }
 
+  // Phase C: sustained-ingest churn, densify-on-write vs sparse-native.
+  ChurnResult churn_legacy;
+  ChurnResult churn_native;
+  double churn_peak_reduction = 0.0;
+  if (config.churn) {
+    bench::PrintHeader("sparse_store — churn: transient dense footprint");
+    graph::CitationModelParams churn_params;
+    churn_params.num_nodes = config.churn_nodes;
+    churn_params.seed = 11;
+    auto churn_stream = graph::PreferentialCitation(churn_params);
+    INCSR_CHECK(churn_stream.ok(), "churn generator failed");
+    std::vector<graph::EdgeUpdate> churn_updates;
+    for (const auto& e : *churn_stream) {
+      if (churn_updates.size() >= config.churn_updates) break;
+      churn_updates.push_back(
+          {graph::UpdateKind::kInsert, e.edge.src, e.edge.dst});
+    }
+    std::printf("n = %zu, %zu power-law inserts in batches of %zu, "
+                "eps = %g, max_density 0.5\n",
+                config.churn_nodes, churn_updates.size(), config.churn_batch,
+                config.churn_epsilon);
+    churn_legacy = RunChurn(config, churn_updates,
+                            la::ScoreStore::WriteMode::kDensifyOnWrite);
+    churn_native = RunChurn(config, churn_updates,
+                            la::ScoreStore::WriteMode::kSparseNative);
+    const auto report = [&](const char* label, const ChurnResult& r) {
+      std::printf(
+          "%-18s %9.0f upd/s  peak transient dense %8.3f MB  "
+          "(%llu spills, %llu sparse merges)\n",
+          label,
+          static_cast<double>(r.applied) / r.ingest_seconds,
+          static_cast<double>(r.peak_dense_bytes) / 1e6,
+          static_cast<unsigned long long>(r.store_stats.rows_spilled_dense),
+          static_cast<unsigned long long>(r.store_stats.sparse_write_merges));
+    };
+    report("densify-on-write:", churn_legacy);
+    report("sparse-native:", churn_native);
+    churn_peak_reduction =
+        static_cast<double>(churn_legacy.peak_dense_bytes) /
+        static_cast<double>(std::max<std::uint64_t>(
+            churn_native.peak_dense_bytes, 1));
+    const double upd_ratio =
+        (static_cast<double>(churn_native.applied) /
+         churn_native.ingest_seconds) /
+        (static_cast<double>(churn_legacy.applied) /
+         churn_legacy.ingest_seconds);
+    std::printf("peak transient dense bytes: %.1fx reduction, "
+                "sparse-native ingest at %.2fx of baseline\n",
+                churn_peak_reduction, upd_ratio);
+    INCSR_CHECK(churn_peak_reduction >= 5.0,
+                "churn peak reduction %.2fx below the 5x deliverable",
+                churn_peak_reduction);
+  }
+
   if (!config.json_path.empty()) {
     bench::JsonObject root;
     root.Set("bench", "sparse_store")
@@ -275,6 +412,27 @@ int Run(const Config& config) {
         .Set("big_dense_bytes", static_cast<double>(config.big_nodes) *
                                     static_cast<double>(config.big_nodes) * 8)
         .Set("big_ingest_seconds", big_ingest_seconds);
+    if (config.churn) {
+      const ChurnResult* churn_runs[] = {&churn_legacy, &churn_native};
+      const char* churn_labels[] = {"densify_on_write", "sparse_native"};
+      for (int i = 0; i < 2; ++i) {
+        const ChurnResult& r = *churn_runs[i];
+        bench::JsonObject* run = root.AddObject("churn_runs");
+        run->Set("label", churn_labels[i])
+            .Set("updates_per_sec",
+                 static_cast<double>(r.applied) / r.ingest_seconds)
+            .Set("peak_transient_dense_bytes", r.peak_dense_bytes)
+            .Set("rows_spilled_dense", r.store_stats.rows_spilled_dense)
+            .Set("sparse_write_merges", r.store_stats.sparse_write_merges)
+            .Set("rows_sparsified", r.store_stats.rows_sparsified)
+            .Set("rows_densified", r.store_stats.rows_densified);
+      }
+      root.Set("churn_nodes", config.churn_nodes)
+          .Set("churn_updates", churn_native.applied)
+          .Set("churn_batch", config.churn_batch)
+          .Set("churn_epsilon", config.churn_epsilon)
+          .Set("churn_peak_reduction", churn_peak_reduction);
+    }
     INCSR_CHECK(bench::WriteJsonFile(config.json_path, root),
                 "failed to write %s", config.json_path.c_str());
     std::printf("wrote %s\n", config.json_path.c_str());
@@ -306,6 +464,16 @@ int main(int argc, char** argv) {
       config.big_nodes = static_cast<std::size_t>(std::atoll(next()));
     } else if (std::strcmp(argv[i], "--big-updates") == 0) {
       config.big_updates = static_cast<std::size_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[i], "--churn") == 0) {
+      config.churn = true;
+    } else if (std::strcmp(argv[i], "--churn-nodes") == 0) {
+      config.churn_nodes = static_cast<std::size_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[i], "--churn-updates") == 0) {
+      config.churn_updates = static_cast<std::size_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[i], "--churn-batch") == 0) {
+      config.churn_batch = static_cast<std::size_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[i], "--churn-epsilon") == 0) {
+      config.churn_epsilon = std::atof(next());
     } else if (std::strcmp(argv[i], "--json") == 0) {
       config.json_path = next();
     } else {

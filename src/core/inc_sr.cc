@@ -235,17 +235,23 @@ void IncSrEngine::ScatterOuter(const Workspace& xi, const Workspace& eta,
   // S += ξ·ηᵀ + η·ξᵀ, row-parallel over supp(ξ) ∪ supp(η). Each touched
   // row gets its ξ-term writes and then its η-term writes — the exact
   // serial sequence — and rows are disjoint, so the result is bitwise
-  // identical to the serial kernel at any thread count. COW clones are
-  // materialized serially up front: MutableRowPtr may clone a shard and
-  // is writer-thread-only, so workers must only ever stream into rows
-  // the store already owns exclusively.
+  // identical to the serial kernel at any thread count. Write sessions
+  // are opened serially up front: BeginWriteRow may COW-clone a shard and
+  // is writer-thread-only. Filling a session (Add / the dense fast path)
+  // touches only writer-local state plus immutable base blocks, so the
+  // workers stream safely; commits are serial again. A sparse-backed row
+  // accumulates (column, delta) pairs seeded from its stored values —
+  // the same per-column FP sequence as writing through a densified row —
+  // and commit index-merges them, so the row never leaves its tier.
   scatter_rows_.clear();
   std::set_union(xi.indices.begin(), xi.indices.end(), eta.indices.begin(),
                  eta.indices.end(), std::back_inserter(scatter_rows_));
-  scatter_ptrs_.resize(scatter_rows_.size());
+  if (scatter_writers_.size() < scatter_rows_.size()) {
+    scatter_writers_.resize(scatter_rows_.size());
+  }
   for (std::size_t k = 0; k < scatter_rows_.size(); ++k) {
-    scatter_ptrs_[k] =
-        s->MutableRowPtr(static_cast<std::size_t>(scatter_rows_[k]));
+    s->BeginWriteRow(static_cast<std::size_t>(scatter_rows_[k]),
+                     &scatter_writers_[k]);
   }
   const std::size_t per_row = xi.indices.size() + eta.indices.size();
   const std::size_t grain = std::max<std::size_t>(
@@ -255,23 +261,46 @@ void IncSrEngine::ScatterOuter(const Workspace& xi, const Workspace& eta,
       [this, &xi, &eta](std::size_t lo, std::size_t hi) {
         for (std::size_t k = lo; k < hi; ++k) {
           const auto r = static_cast<std::size_t>(scatter_rows_[k]);
-          double* __restrict row = scatter_ptrs_[k];
+          la::RowWriter& w = scatter_writers_[k];
+          if (w.is_dense()) {
+            // Dense fast path: identical to the old flat-pointer kernel.
+            double* __restrict row = w.Dense();
+            if (xi.seen[r]) {
+              const double xr = xi.values[r];
+              for (std::int32_t b : eta.indices) {
+                row[static_cast<std::size_t>(b)] +=
+                    xr * eta.values[static_cast<std::size_t>(b)];
+              }
+            }
+            if (eta.seen[r]) {
+              const double er = eta.values[r];
+              for (std::int32_t a : xi.indices) {
+                row[static_cast<std::size_t>(a)] +=
+                    er * xi.values[static_cast<std::size_t>(a)];
+              }
+            }
+            continue;
+          }
+          // Sparse-native path: same deltas, same emission order.
           if (xi.seen[r]) {
             const double xr = xi.values[r];
             for (std::int32_t b : eta.indices) {
-              row[static_cast<std::size_t>(b)] +=
-                  xr * eta.values[static_cast<std::size_t>(b)];
+              w.Add(static_cast<std::size_t>(b),
+                    xr * eta.values[static_cast<std::size_t>(b)]);
             }
           }
           if (eta.seen[r]) {
             const double er = eta.values[r];
             for (std::int32_t a : xi.indices) {
-              row[static_cast<std::size_t>(a)] +=
-                  er * xi.values[static_cast<std::size_t>(a)];
+              w.Add(static_cast<std::size_t>(a),
+                    er * xi.values[static_cast<std::size_t>(a)]);
             }
           }
         }
       });
+  for (std::size_t k = 0; k < scatter_rows_.size(); ++k) {
+    s->CommitWriteRow(&scatter_writers_[k]);
+  }
 }
 
 void IncSrEngine::RecordTouched(const Workspace& ws) {

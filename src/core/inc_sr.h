@@ -24,6 +24,7 @@
 #include "graph/digraph.h"
 #include "graph/update_stream.h"
 #include "la/dense_matrix.h"
+#include "la/row_writer.h"
 #include "la/score_store.h"
 #include "la/sparse_matrix.h"
 #include "simrank/options.h"
@@ -39,11 +40,15 @@ namespace incsr::core {
 /// (row-granular copy-on-write, the serving path). SMatrix must provide
 /// rows()/cols(), operator()(i, j) and ReadRow(i, scratch) for reads
 /// (representation-agnostic: sparse-backed store rows gather into the
-/// scratch), Col(j), and MutableRowPtr(i) as the sole write entry point —
-/// the engine only ever takes MutableRowPtr for rows it actually scatters
-/// into (densifying sparse rows on write), which is what keeps the
-/// ScoreStore's COW cost at O(affected rows). Definitions live in
-/// inc_sr.cc with explicit instantiations for both containers.
+/// scratch), Col(j), and BeginWriteRow(i, writer)/CommitWriteRow(writer)
+/// as the sole write entry point: kernels emit (column, delta) pairs into
+/// the la::RowWriter session and the container merges them into whatever
+/// backing the row has — dense-direct for dense rows, a sparse index-merge
+/// for sparse rows (no densify-on-write). The engine only ever opens
+/// sessions for rows it actually scatters into, which is what keeps the
+/// ScoreStore's COW cost at O(affected rows) and its transient dense
+/// footprint at O(spilled rows) instead of O(touched · n). Definitions
+/// live in inc_sr.cc with explicit instantiations for both containers.
 /// The hot loops — seed scan, support expansion, outer-product scatter —
 /// run on the shared Scheduler with options.num_threads-way parallelism.
 /// S is bitwise identical at every thread count: rows are scattered
@@ -127,9 +132,11 @@ class IncSrEngine {
                      const Workspace& cur, Workspace* next);
 
   // S += ξ·ηᵀ + η·ξᵀ restricted to the touched supports, row-parallel
-  // over supp(ξ) ∪ supp(η). COW clones are pre-materialized serially
-  // (MutableRowPtr is single-threaded); each row's write sequence equals
-  // the serial kernel's, so the result is bitwise identical to serial.
+  // over supp(ξ) ∪ supp(η). Write sessions are opened serially
+  // (BeginWriteRow is writer-thread-only), filled in parallel (disjoint
+  // rows ⇒ disjoint writers), and committed serially; each row's write
+  // sequence equals the serial kernel's, so the result is bitwise
+  // identical to serial whatever backing each row has.
   template <typename SMatrix>
   void ScatterOuter(const Workspace& xi, const Workspace& eta, SMatrix* s);
 
@@ -159,7 +166,7 @@ class IncSrEngine {
   // component-local run matches the full-graph run, see src/shard/).
   std::vector<std::int32_t> expand_sources_;
   std::vector<std::int32_t> scatter_rows_;  // supp(ξ) ∪ supp(η) scratch
-  std::vector<double*> scatter_ptrs_;  // pre-materialized row pointers
+  std::vector<la::RowWriter> scatter_writers_;  // one write session per row
   std::vector<std::uint8_t> touched_seen_;
   // ReadRow gather scratches. Like the COW clones, sparse row reads are
   // resolved serially BEFORE a parallel region (ReadRow writes its

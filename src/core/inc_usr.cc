@@ -5,6 +5,7 @@
 
 #include "common/scheduler.h"
 #include "graph/transition.h"
+#include "la/row_writer.h"
 #include "obs/trace.h"
 
 namespace incsr::core {
@@ -86,21 +87,26 @@ Status IncUsrApplyUpdate(const graph::EdgeUpdate& update,
   graph::RefreshTransitionRow(*graph, update.dst, q);
   // S += M + Mᵀ without materializing the transpose: per row, the M-term
   // row pass then a blocked pass for the Mᵀ term (cache-friendly tiles).
-  // Inc-uSR has no pruning, so the update touches every row; the COW
-  // clones are pre-materialized serially (MutableRowPtr is writer-thread-
-  // only), then the rows are streamed in parallel. Rows are disjoint and
-  // each keeps the serial M-then-Mᵀ write order, so the result is bitwise
-  // identical at any thread count.
+  // Inc-uSR has no pruning, so the update touches every COLUMN of every
+  // row — this kernel is inherently dense. Write sessions are opened
+  // serially (BeginWriteRow is writer-thread-only); each worker then
+  // takes its rows' flat pointers via RowWriter::Dense(), which for a
+  // sparse-backed row gathers into a writer-LOCAL buffer (safe in the
+  // parallel region — only immutable base blocks and writer state are
+  // touched) and commits as a counted write-path spill. Rows are disjoint
+  // and each keeps the serial M-then-Mᵀ write order, so the result is
+  // bitwise identical at any thread count.
   TRACE_SCOPE_ARG(kKernelScatter, s->rows());
   const std::size_t n = s->rows();
   const std::size_t threads = Scheduler::ResolveNumThreads(options.num_threads);
-  std::vector<double*> rows(n);
-  for (std::size_t i = 0; i < n; ++i) rows[i] = s->MutableRowPtr(i);
+  std::vector<la::RowWriter> writers(n);
+  for (std::size_t i = 0; i < n; ++i) s->BeginWriteRow(i, &writers[i]);
   constexpr std::size_t kBlock = 64;
   Scheduler::Global().ParallelFor(
-      0, n, kBlock, threads, [&rows, &m, n](std::size_t lo, std::size_t hi) {
+      0, n, kBlock, threads,
+      [&writers, &m, n](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
-          double* __restrict row = rows[i];
+          double* __restrict row = writers[i].Dense();
           const double* mi = m->RowPtr(i);
           for (std::size_t j = 0; j < n; ++j) row[j] += mi[j];
         }
@@ -109,7 +115,7 @@ Status IncUsrApplyUpdate(const graph::EdgeUpdate& update,
           for (std::size_t jb = 0; jb < n; jb += kBlock) {
             const std::size_t jmax = std::min(n, jb + kBlock);
             for (std::size_t i = ib; i < imax; ++i) {
-              double* row = rows[i];
+              double* row = writers[i].Dense();
               for (std::size_t j = jb; j < jmax; ++j) {
                 row[j] += (*m)(j, i);
               }
@@ -117,6 +123,7 @@ Status IncUsrApplyUpdate(const graph::EdgeUpdate& update,
           }
         }
       });
+  for (std::size_t i = 0; i < n; ++i) s->CommitWriteRow(&writers[i]);
   return Status::OK();
 }
 

@@ -7,14 +7,6 @@
 
 namespace incsr::la {
 
-namespace {
-
-// An exact +0.0 (not -0.0): the one value a gather reproduces bitwise, so
-// dropping it is always lossless.
-bool IsPositiveZero(double v) { return v == 0.0 && !std::signbit(v); }
-
-}  // namespace
-
 double RowBlock::SparseAt(std::size_t col) const {
   INCSR_DCHECK(is_sparse(), "SparseAt on a dense block");
   const auto it = std::lower_bound(sparse_cols.begin(), sparse_cols.end(),

@@ -19,6 +19,7 @@
 #ifndef INCSR_LA_ROW_BLOCK_H_
 #define INCSR_LA_ROW_BLOCK_H_
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -27,6 +28,11 @@
 #include "la/vector.h"
 
 namespace incsr::la {
+
+/// An exact +0.0 (not -0.0): the one value a gather reproduces bitwise, so
+/// dropping it from a sparse layout is always lossless. Shared by the
+/// sparsifier and the sparse-native write path (RowWriter merges).
+inline bool IsPositiveZero(double v) { return v == 0.0 && !std::signbit(v); }
 
 /// One immutable, reference-counted row block. Blocks are built unshared by
 /// the single writer thread and become immutable once a Publish()ed table
@@ -58,6 +64,23 @@ struct RowBlock {
   /// exact +0.0, stored entries keep their bit patterns.
   void GatherInto(std::size_t num_cols, double* dst) const;
 };
+
+/// Contiguous read access to one row of `block` regardless of its
+/// representation: a dense row returns its payload pointer untouched; a
+/// sparse row is gathered into *scratch (resized to num_cols) and that
+/// buffer is returned. `local_row` is the row's offset within the block.
+/// This is the single scratch-gather implementation behind both
+/// ScoreStore::ReadRow and ScoreStore::View::ReadRow.
+inline const double* ReadRowFromBlock(const RowBlock& block,
+                                      std::size_t local_row,
+                                      std::size_t num_cols, Vector* scratch) {
+  if (!block.is_sparse()) {
+    return &block.dense[local_row * num_cols];
+  }
+  scratch->Resize(num_cols);
+  block.GatherInto(num_cols, scratch->data());
+  return scratch->data();
+}
 
 /// Result of sparsifying one dense row.
 struct SparsifyResult {

@@ -1,0 +1,163 @@
+#include "la/row_writer.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace incsr::la {
+
+namespace {
+
+// Mixes the column id so consecutive columns spread across the table
+// (Fibonacci hashing; the xor-fold keeps entropy when masking low bits).
+std::size_t HashCol(std::size_t col) {
+  std::uint64_t h = static_cast<std::uint64_t>(col) * 0x9E3779B97F4A7C15ull;
+  return static_cast<std::size_t>(h ^ (h >> 32));
+}
+
+constexpr std::size_t kInitialSlots = 64;
+
+}  // namespace
+
+void RowWriter::BeginDense(std::size_t row, double* dense) {
+  mode_ = Mode::kDenseDirect;
+  spilled_ = false;
+  row_ = row;
+  cols_ = 0;
+  dense_ = dense;
+  base_.reset();
+  touched_cols_.clear();
+  touched_vals_.clear();
+}
+
+void RowWriter::BeginSparse(std::size_t row, std::size_t cols,
+                            std::shared_ptr<const RowBlock> base) {
+  INCSR_DCHECK(base != nullptr && base->is_sparse(),
+               "BeginSparse needs a sparse base block");
+  mode_ = Mode::kSparseSession;
+  spilled_ = false;
+  row_ = row;
+  cols_ = cols;
+  dense_ = nullptr;
+  base_ = std::move(base);
+  touched_cols_.clear();
+  touched_vals_.clear();
+  std::fill(slots_.begin(), slots_.end(), std::int32_t{-1});
+}
+
+std::size_t RowWriter::Probe(std::size_t col) const {
+  std::size_t slot = HashCol(col) & slot_mask_;
+  while (slots_[slot] >= 0 &&
+         touched_cols_[static_cast<std::size_t>(slots_[slot])] !=
+             static_cast<std::int32_t>(col)) {
+    slot = (slot + 1) & slot_mask_;
+  }
+  return slot;
+}
+
+void RowWriter::Rehash(std::size_t new_capacity) {
+  slots_.assign(new_capacity, -1);
+  slot_mask_ = new_capacity - 1;
+  for (std::size_t k = 0; k < touched_cols_.size(); ++k) {
+    std::size_t slot =
+        HashCol(static_cast<std::size_t>(touched_cols_[k])) & slot_mask_;
+    while (slots_[slot] >= 0) slot = (slot + 1) & slot_mask_;
+    slots_[slot] = static_cast<std::int32_t>(k);
+  }
+}
+
+void RowWriter::AddSparse(std::size_t col, double delta) {
+  if (slots_.empty()) Rehash(kInitialSlots);
+  std::size_t slot = Probe(col);
+  if (slots_[slot] < 0) {
+    if ((touched_cols_.size() + 1) * 2 > slots_.size()) {
+      Rehash(slots_.size() * 2);
+      slot = Probe(col);
+    }
+    slots_[slot] = static_cast<std::int32_t>(touched_cols_.size());
+    touched_cols_.push_back(static_cast<std::int32_t>(col));
+    // Seed with the base block's stored value (exact +0.0 when absent) so
+    // the accumulation sequence matches a densified row's bytes exactly.
+    touched_vals_.push_back(base_->SparseAt(col));
+  }
+  touched_vals_[static_cast<std::size_t>(slots_[slot])] += delta;
+}
+
+double* RowWriter::Dense() {
+  if (dense_ != nullptr) return dense_;
+  INCSR_DCHECK(mode_ == Mode::kSparseSession, "Dense outside a session");
+  dense_buf_.resize(cols_);
+  base_->GatherInto(cols_, dense_buf_.data());
+  // The accumulators were seeded from base, so flushing is an overwrite:
+  // the buffer ends up exactly as if the row had densified before the Adds.
+  for (std::size_t k = 0; k < touched_cols_.size(); ++k) {
+    dense_buf_[static_cast<std::size_t>(touched_cols_[k])] = touched_vals_[k];
+  }
+  spilled_ = true;
+  dense_ = dense_buf_.data();
+  return dense_;
+}
+
+bool RowWriter::MergeSparse(std::size_t max_nnz, TrackedIndices* cols,
+                            TrackedDoubles* vals) {
+  INCSR_DCHECK(mode_ == Mode::kSparseSession && !spilled_,
+               "MergeSparse on a non-sparse session");
+  cols->clear();
+  vals->clear();
+  order_.resize(touched_cols_.size());
+  std::iota(order_.begin(), order_.end(), 0);
+  std::sort(order_.begin(), order_.end(),
+            [this](std::int32_t a, std::int32_t b) {
+              return touched_cols_[static_cast<std::size_t>(a)] <
+                     touched_cols_[static_cast<std::size_t>(b)];
+            });
+  const TrackedIndices& base_cols = base_->sparse_cols;
+  const TrackedDoubles& base_vals = base_->sparse_vals;
+  cols->reserve(base_cols.size() + order_.size());
+  vals->reserve(base_cols.size() + order_.size());
+  // Base entries between touched columns copy through in bulk runs: no
+  // producer ever stores a +0.0 (SparsifyDenseRow and this merge both
+  // elide it), so only the touched accumulators need the drop check. The
+  // gate matches SparsifyDenseRow's: fail as soon as the retained count
+  // would pass max_nnz.
+  std::size_t a = 0;  // cursor over base entries (sorted)
+  for (std::size_t b = 0; b < order_.size(); ++b) {
+    const std::int32_t touched_col =
+        touched_cols_[static_cast<std::size_t>(order_[b])];
+    const std::size_t run_end = static_cast<std::size_t>(
+        std::lower_bound(base_cols.begin() + static_cast<std::ptrdiff_t>(a),
+                         base_cols.end(), touched_col) -
+        base_cols.begin());
+    if (cols->size() + (run_end - a) > max_nnz) return false;
+    cols->insert(cols->end(), base_cols.begin() + a, base_cols.begin() + run_end);
+    vals->insert(vals->end(), base_vals.begin() + a, base_vals.begin() + run_end);
+    a = run_end;
+    // The accumulator already folded the base value in (first-touch
+    // seeding), so it replaces any overlapping base entry.
+    if (a < base_cols.size() && base_cols[a] == touched_col) ++a;
+    const double v = touched_vals_[static_cast<std::size_t>(order_[b])];
+    if (IsPositiveZero(v)) continue;  // lossless drop, a gather refills it
+    if (cols->size() >= max_nnz) return false;
+    cols->push_back(touched_col);
+    vals->push_back(v);
+  }
+  if (cols->size() + (base_cols.size() - a) > max_nnz) return false;
+  cols->insert(cols->end(), base_cols.begin() + a, base_cols.end());
+  vals->insert(vals->end(), base_vals.begin() + a, base_vals.end());
+  return true;
+}
+
+TrackedDoubles RowWriter::TakeDense() {
+  INCSR_DCHECK(spilled_, "TakeDense without a spill");
+  dense_ = nullptr;
+  spilled_ = false;
+  return std::move(dense_buf_);
+}
+
+void RowWriter::Finish() {
+  mode_ = Mode::kIdle;
+  spilled_ = false;
+  dense_ = nullptr;
+  base_.reset();
+}
+
+}  // namespace incsr::la

@@ -106,6 +106,7 @@ void ScoreStore::BuildShards(const DenseMatrix& dense) {
   // sparse tier from traffic afterwards.
   stats_.rows_sparse = 0;
   stats_.sparse_payload_bytes = 0;
+  BumpDensePeak();
   // Shard payloads are disjoint and each is a pure copy, so the
   // materialization parallelizes deterministically; this is what makes
   // a shard-merge's FromState re-init row-parallel instead of the O(n²)
@@ -128,21 +129,36 @@ void ScoreStore::BuildShards(const DenseMatrix& dense) {
       });
 }
 
+std::uint64_t ScoreStore::DensePayloadBytes() const {
+  const std::uint64_t dense_rows =
+      static_cast<std::uint64_t>(rows_) - stats_.rows_sparse;
+  return dense_rows * cols_ * sizeof(double);
+}
+
+void ScoreStore::BumpDensePeak() {
+  const std::uint64_t current = DensePayloadBytes();
+  if (current > stats_.epoch_peak_dense_bytes) {
+    stats_.epoch_peak_dense_bytes = current;
+  }
+}
+
 double* ScoreStore::MutableRowPtr(std::size_t i) {
   INCSR_DCHECK(i < rows_, "row %zu out of %zu", i, rows_);
   const std::size_t s = i >> shard_shift_;
   const RowBlock* block = shards_[s].get();
   if (block->is_sparse()) {
-    // Densify-on-write: kernels always write through a flat row. The
-    // fresh dense block is unshared whether or not the sparse one was —
-    // a still-shared sparse block stays alive for its Views.
+    // Densify-on-write (legacy shim semantics): the caller wants a flat
+    // row, whatever the tier. The fresh dense block is unshared whether or
+    // not the sparse one was — a still-shared sparse block stays alive for
+    // its Views. Counted as a write-path spill, not a tier promotion.
     if (shared_[s]) RecordTouchedShard(s);
     stats_.sparse_payload_bytes -= block->payload_bytes();
     --stats_.rows_sparse;
-    ++stats_.rows_densified;
-    TRACE_COUNTER_ARG(kStoreTierPromote, i, 1);
+    ++stats_.rows_spilled_dense;
+    TRACE_COUNTER_ARG(kStoreWriteSpill, i, 1);
     shards_[s] = DensifyBlock(*block, cols_);
     shared_[s] = 0;
+    BumpDensePeak();
   } else if (shared_[s]) {
     // First write into a shard some published View references: clone it.
     // The old shard stays alive (and byte-stable) for as long as any View
@@ -163,6 +179,94 @@ double* ScoreStore::MutableRowPtr(std::size_t i) {
   // store, and only the single writer thread reaches this path.
   auto* shard = const_cast<RowBlock*>(shards_[s].get());
   return &shard->dense[(i & shard_mask_) * cols_];
+}
+
+void ScoreStore::BeginWriteRow(std::size_t i, RowWriter* w) {
+  INCSR_DCHECK(i < rows_, "row %zu out of %zu", i, rows_);
+  const std::size_t s = i >> shard_shift_;
+  if (shards_[s]->is_sparse() && write_mode_ == WriteMode::kSparseNative) {
+    // Sparse-native session: deltas accumulate against the pinned base
+    // block, and nothing in the shard table changes until commit — so a
+    // reader (or a parallel Add on another row's writer) never observes a
+    // half-written row. Sparse blocks exist only at rows_per_shard == 1.
+    w->BeginSparse(i, cols_, shards_[s]);
+    return;
+  }
+  // Dense-backed row — or the legacy densify-on-write mode: resolve COW
+  // (and the densify, with its spill accounting) exactly like the shim.
+  w->BeginDense(i, MutableRowPtr(i));
+}
+
+void ScoreStore::CommitWriteRow(RowWriter* w) {
+  if (w->direct_dense()) {
+    // The writes already landed through the flat pointer; Begin did the
+    // COW/touched bookkeeping.
+    w->Finish();
+    return;
+  }
+  if (!w->touched()) {
+    // Zero writes: the row's readable bytes are unchanged, so keep the
+    // base block (and its shared flag) as they are.
+    w->Finish();
+    return;
+  }
+  const std::size_t s = w->row();  // sparse sessions ⇒ rows_per_shard == 1
+  const std::size_t max_nnz = static_cast<std::size_t>(
+      sparsity_.max_density * static_cast<double>(cols_));
+  bool landed_sparse = false;
+  if (!w->spilled()) {
+    landed_sparse =
+        w->MergeSparse(max_nnz, &merge_scratch_cols_, &merge_scratch_vals_);
+    if (landed_sparse && !shared_[s]) {
+      // The shard is already writer-private this epoch, so — by the same
+      // exclusivity argument as MutableRowPtr's const_cast — the merged
+      // arrays can swap into the live block directly. The displaced arrays
+      // become the next commit's scratch, so a row merged repeatedly
+      // within one batch allocates nothing after the first merge. The
+      // writer's pinned base is this very block, but MergeSparse finished
+      // reading it before the swap and Finish() only drops the pin.
+      auto* block = const_cast<RowBlock*>(shards_[s].get());
+      stats_.sparse_payload_bytes -= block->payload_bytes();
+      block->sparse_cols.swap(merge_scratch_cols_);
+      block->sparse_vals.swap(merge_scratch_vals_);
+      stats_.sparse_payload_bytes += block->payload_bytes();
+      ++stats_.sparse_write_merges;
+      TRACE_COUNTER_ARG(kStoreSparseMerge, w->row(), block->payload_bytes());
+      w->Finish();
+      return;
+    }
+    if (!landed_sparse) {
+      // Past the max_density gate: the row is no longer worth compressing.
+      w->Dense();
+    }
+  }
+  auto block = std::make_shared<RowBlock>();
+  if (w->spilled()) {
+    block->kind = RowBlock::Kind::kDense;
+    block->dense = w->TakeDense();
+  } else {
+    block->kind = RowBlock::Kind::kSparse;
+    block->sparse_cols = std::move(merge_scratch_cols_);
+    block->sparse_vals = std::move(merge_scratch_vals_);
+  }
+  stats_.sparse_payload_bytes -= shards_[s]->payload_bytes();
+  if (landed_sparse) {
+    stats_.sparse_payload_bytes += block->payload_bytes();
+    ++stats_.sparse_write_merges;
+    TRACE_COUNTER_ARG(kStoreSparseMerge, w->row(), block->payload_bytes());
+  } else {
+    --stats_.rows_sparse;
+    ++stats_.rows_spilled_dense;
+    TRACE_COUNTER_ARG(kStoreWriteSpill, w->row(), 1);
+  }
+  // Same shared→unshared bookkeeping as a COW clone: the swap happens at
+  // most once per shard per epoch while shared, keeping the touched delta
+  // duplicate-free.
+  if (shared_[s]) RecordTouchedShard(s);
+  shards_[s] = std::move(block);
+  shared_[s] = 0;
+  if (!landed_sparse) BumpDensePeak();
+  w->Finish();
 }
 
 bool ScoreStore::SparsifyRow(std::size_t i,
@@ -209,6 +313,7 @@ bool ScoreStore::DensifyRow(std::size_t i) {
   TRACE_COUNTER_ARG(kStoreTierPromote, i, 1);
   shards_[s] = DensifyBlock(block, cols_);
   shared_[s] = 0;
+  BumpDensePeak();
   return true;
 }
 
@@ -243,9 +348,11 @@ ScoreStore::View ScoreStore::Publish() {
   view.shard_mask_ = shard_mask_;
   view.shards_ = shards_;  // O(#shards) pointer copies — the whole cost
   std::fill(shared_.begin(), shared_.end(), std::uint8_t{1});
-  // The published view now IS the previous epoch: the delta restarts empty.
+  // The published view now IS the previous epoch: the delta restarts empty,
+  // and the transient-dense watermark restarts at the resident footprint.
   all_rows_touched_ = false;
   touched_rows_.clear();
+  stats_.epoch_peak_dense_bytes = DensePayloadBytes();
   ++stats_.publishes;
   return view;
 }

@@ -13,13 +13,22 @@
 //   - Publish() snapshots the matrix by copying the POINTER TABLE only —
 //     O(n / rows_per_shard) shared_ptr bumps, never the O(n²) payload —
 //     and marks every block as shared with that View.
-//   - MutableRowPtr(i) is the single write entry point: the first write
-//     into a block that is shared with a live or past View clones it
-//     (copy-on-write), and a sparse block is densified first
-//     (densify-on-write) so kernels always write through a flat row. The
-//     serving layer re-sparsifies cold rows at publish time
-//     (SparsifyRow/DensifyRow), so the tier a row occupies is earned by
-//     its traffic, not fixed at construction.
+//   - BeginWriteRow(i)/CommitWriteRow() is the write entry point: the
+//     store opens a representation-aware RowWriter session per row. A
+//     dense-backed row hands out its flat pointer (cloning the block first
+//     if it is shared with a live or past View — copy-on-write); a
+//     sparse-backed row, under the default kSparseNative write mode, stays
+//     sparse: the kernel's (column, delta) stream accumulates in the
+//     writer and commit index-merges it with the immutable base block,
+//     spilling to dense only past the max_density gate (counted as
+//     rows_spilled_dense, separate from explicit DensifyRow promotions).
+//     MutableRowPtr(i) remains as a compatibility shim with the old
+//     densify-on-write semantics, which kDensifyOnWrite mode restores for
+//     the whole store (the A/B baseline). The serving layer re-sparsifies
+//     cold rows at publish time (SparsifyRow/DensifyRow), so the tier a
+//     row occupies is earned by its traffic, not fixed at construction —
+//     but under sparse-native writes a batch-touched sparse row never
+//     leaves its tier, so publish no longer pays a re-sparsify for it.
 //
 // Accuracy contract when sparsity is enabled (docs/score_store.md): every
 // entry a sparsification drops has |v| < ε, exact +0.0 entries are always
@@ -46,6 +55,7 @@
 #include "common/check.h"
 #include "la/dense_matrix.h"
 #include "la/row_block.h"
+#include "la/row_writer.h"
 #include "la/vector.h"
 
 namespace incsr::la {
@@ -71,13 +81,27 @@ struct ScoreStoreStats {
   std::uint64_t bytes_materialized = 0;
 
   // ---- Tiered sparse backing ----------------------------------------------
-  /// Cumulative dense→sparse demotions (SparsifyRow) and sparse→dense
-  /// transitions (DensifyRow promotions plus densify-on-write).
+  /// Cumulative dense→sparse demotions (SparsifyRow).
   std::uint64_t rows_sparsified = 0;
+  /// Cumulative sparse→dense transitions, split by cause:
+  /// `rows_densified` counts EXPLICIT DensifyRow promotions (tier policy
+  /// promoting a hot row); `rows_spilled_dense` counts write-path
+  /// densifications (MutableRowPtr densify-on-write, RowWriter Dense()
+  /// spills, and sparse-native commits past the max_density gate). Their
+  /// sum equals the single conflated counter older benches recorded.
   std::uint64_t rows_densified = 0;
+  std::uint64_t rows_spilled_dense = 0;
+  /// Sparse-native write sessions that committed as an index-merge (the
+  /// row stayed in its sparse tier through a batch write).
+  std::uint64_t sparse_write_merges = 0;
   /// Entries dropped below ε across all sparsifications (lossy drops only;
-  /// exact +0.0 drops are bitwise lossless and not counted).
+  /// exact +0.0 drops are bitwise lossless and not counted). The write
+  /// path never drops lossily — exactness loss is confined to SparsifyRow.
   std::uint64_t eps_drops = 0;
+  /// High-water mark of resident dense payload bytes since the last
+  /// Publish() — the transient dense footprint the current batch has
+  /// materialized. Reset to the then-current dense payload at Publish().
+  std::uint64_t epoch_peak_dense_bytes = 0;
   /// Gauges describing the CURRENT tier mix, not cumulative counts.
   std::uint64_t rows_sparse = 0;
   std::uint64_t sparse_payload_bytes = 0;
@@ -149,13 +173,8 @@ class ScoreStore {
     /// same scratch.
     const double* ReadRow(std::size_t i, Vector* scratch) const {
       INCSR_DCHECK(i < rows_, "view row %zu out of %zu", i, rows_);
-      const RowBlock& block = *shards_[i >> shard_shift_];
-      if (!block.is_sparse()) {
-        return &block.dense[(i & shard_mask_) * cols_];
-      }
-      scratch->Resize(cols_);
-      block.GatherInto(cols_, scratch->data());
-      return scratch->data();
+      return ReadRowFromBlock(*shards_[i >> shard_shift_], i & shard_mask_,
+                              cols_, scratch);
     }
 
     /// Materializes the viewed matrix (bitwise-exact copy).
@@ -214,19 +233,42 @@ class ScoreStore {
   /// View::ReadRow).
   const double* ReadRow(std::size_t i, Vector* scratch) const {
     INCSR_DCHECK(i < rows_, "row %zu out of %zu", i, rows_);
-    const RowBlock& block = *shards_[i >> shard_shift_];
-    if (!block.is_sparse()) {
-      return &block.dense[(i & shard_mask_) * cols_];
-    }
-    scratch->Resize(cols_);
-    block.GatherInto(cols_, scratch->data());
-    return scratch->data();
+    return ReadRowFromBlock(*shards_[i >> shard_shift_], i & shard_mask_,
+                            cols_, scratch);
   }
 
-  /// Raw pointer to row i for WRITES. Clones the containing block first if
-  /// it is shared with any published View (copy-on-write), densifying a
-  /// sparse block in the same step (densify-on-write). Writer thread only.
+  /// Raw pointer to row i for WRITES — the densify-on-write compatibility
+  /// shim. Clones the containing block first if it is shared with any
+  /// published View (copy-on-write), densifying a sparse block in the same
+  /// step (counted as rows_spilled_dense). New code uses BeginWriteRow/
+  /// CommitWriteRow, which keeps sparse rows sparse. Writer thread only.
   double* MutableRowPtr(std::size_t i);
+
+  /// How writes land on sparse-backed rows. kSparseNative (the default)
+  /// keeps them sparse via RowWriter accumulation sessions; kDensifyOnWrite
+  /// restores the legacy behavior — every touched sparse row densifies —
+  /// as the A/B baseline and for representation-bisection debugging. Both
+  /// modes produce bitwise-identical readable bytes at ε = 0.
+  enum class WriteMode : std::uint8_t { kSparseNative, kDensifyOnWrite };
+  void set_write_mode(WriteMode mode) { write_mode_ = mode; }
+  WriteMode write_mode() const { return write_mode_; }
+
+  /// Opens a write session for row i on *w (see la::RowWriter): dense rows
+  /// (and sparse rows under kDensifyOnWrite) get a dense-direct session
+  /// after the usual COW resolution; sparse rows under kSparseNative get
+  /// an accumulation session against the immutable base block — nothing
+  /// the store publishes changes until CommitWriteRow. Writer thread only;
+  /// sessions on DISJOINT rows may be filled (Add/Dense) from parallel
+  /// workers between Begin and Commit.
+  void BeginWriteRow(std::size_t i, RowWriter* w);
+
+  /// Closes a session opened by BeginWriteRow. Dense-direct sessions are a
+  /// no-op (the writes already landed). A sparse session with no writes
+  /// leaves the row untouched (no swap, no delta record); otherwise the
+  /// merged block — sparse, or dense past the max_density gate / after a
+  /// Dense() spill — is swapped in and the touched-row delta recorded.
+  /// Writer thread only.
+  void CommitWriteRow(RowWriter* w);
 
   // ---- Tiered sparse backing ----------------------------------------------
 
@@ -305,6 +347,10 @@ class ScoreStore {
   // the touched delta (the transition happens at most once per shard per
   // epoch, keeping the list duplicate-free without a lookup).
   void RecordTouchedShard(std::size_t s);
+  // Resident dense payload bytes right now, and the watermark bump every
+  // dense-increasing transition calls (epoch_peak_dense_bytes).
+  std::uint64_t DensePayloadBytes() const;
+  void BumpDensePeak();
 
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
@@ -320,6 +366,12 @@ class ScoreStore {
   std::vector<std::int32_t> touched_rows_;
   bool sparsity_enabled_ = false;
   SparsityConfig sparsity_;
+  WriteMode write_mode_ = WriteMode::kSparseNative;
+  // CommitWriteRow merge scratch: a commit into a writer-private shard
+  // swaps these with the block's arrays, so sustained churn on the same
+  // rows recycles the same two buffers instead of allocating per merge.
+  TrackedIndices merge_scratch_cols_;
+  TrackedDoubles merge_scratch_vals_;
   ScoreStoreStats stats_;
 };
 

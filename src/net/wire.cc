@@ -472,6 +472,9 @@ void StatsResponse::EncodeBody(std::string* out) const {
   // v4 tail: server-side latency histograms.
   EncodeHistogram(&writer, stats.queue_wait_ns);
   EncodeHistogram(&writer, stats.apply_ns);
+  // v5 tail: sparse-native write-path counters.
+  writer.U64(stats.rows_spilled_dense);
+  writer.U64(stats.sparse_write_merges);
 }
 
 bool StatsResponse::DecodeBody(std::string_view body, StatsResponse* out) {
@@ -508,7 +511,9 @@ bool StatsResponse::DecodeBody(std::string_view body, StatsResponse* out) {
       reader.U64(&out->stats.topk_cap_grows) &&
       reader.U64(&out->stats.topk_cap_shrinks) &&
       DecodeHistogram(&reader, &out->stats.queue_wait_ns) &&
-      DecodeHistogram(&reader, &out->stats.apply_ns) && reader.Complete();
+      DecodeHistogram(&reader, &out->stats.apply_ns) &&
+      reader.U64(&out->stats.rows_spilled_dense) &&
+      reader.U64(&out->stats.sparse_write_merges) && reader.Complete();
   if (!ok) return false;
   out->stats.queue_depth = static_cast<std::size_t>(queue_depth);
   out->is_replica = is_replica == 1;

@@ -49,7 +49,9 @@ namespace incsr::net::wire {
 /// sum, min, max, then only the non-zero buckets as (u8 index, u64
 /// count) pairs with strictly increasing indices; `count` is derived on
 /// decode as the bucket sum. Shard aggregators merge these bucket-wise.
-inline constexpr std::uint8_t kWireVersion = 4;
+/// v5: StatsResponse carries the sparse-native write-path counters
+/// (rows_spilled_dense / sparse_write_merges).
+inline constexpr std::uint8_t kWireVersion = 5;
 /// Bytes of the length prefix.
 inline constexpr std::size_t kFramePrefixBytes = 4;
 /// Maximum frame payload (version + tag + body) a peer may announce.

@@ -64,6 +64,8 @@ const char* EventName(EventId id) {
     case EventId::kStoreTierDemote: return "store.tier_demote";
     case EventId::kStoreTierPromote: return "store.tier_promote";
     case EventId::kRpc: return "rpc";
+    case EventId::kStoreWriteSpill: return "store.write_spill";
+    case EventId::kStoreSparseMerge: return "store.sparse_merge";
   }
   return "unknown";
 }

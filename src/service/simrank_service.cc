@@ -50,6 +50,12 @@ SimRankService::SimRankService(core::DynamicSimRank index,
     // stored perturbation of δ can grow to at most δ/(1−C) in S.
     config.error_amplification = 1.0 / (1.0 - index_.options().damping);
     index_.mutable_score_store()->set_sparsity(config);
+    // Sparse-native writes are the store's default; the policy flag
+    // restores the legacy densify-on-write behavior as an A/B baseline.
+    index_.mutable_score_store()->set_write_mode(
+        options_.sparse.densify_on_write
+            ? la::ScoreStore::WriteMode::kDensifyOnWrite
+            : la::ScoreStore::WriteMode::kSparseNative);
   }
   auto initial = std::make_shared<EpochSnapshot>();
   initial->epoch = 0;
@@ -277,6 +283,10 @@ ServiceStats SimRankService::stats() const {
       sparse_max_error_bound_.load(std::memory_order_relaxed);
   out.tier_demotions = tier_demotions_.load(std::memory_order_relaxed);
   out.tier_promotions = tier_promotions_.load(std::memory_order_relaxed);
+  out.rows_spilled_dense =
+      rows_spilled_dense_.load(std::memory_order_relaxed);
+  out.sparse_write_merges =
+      sparse_write_merges_.load(std::memory_order_relaxed);
   out.graph_bytes_copied = graph_bytes_copied_.load(std::memory_order_relaxed);
   out.topk_cap_grows = topk_cap_grows_.load(std::memory_order_relaxed);
   out.topk_cap_shrinks = topk_cap_shrinks_.load(std::memory_order_relaxed);
@@ -508,8 +518,13 @@ void SimRankService::ApplyTierPolicy(bool all_touched) {
     for (std::size_t row = 0; row < n; ++row) consider_demote(row);
     return;
   }
-  // Batch-touched rows densified on write; the cold ones go straight back
-  // to sparse. Iterate a COPY — SparsifyRow appends to the live list.
+  // Batch-touched rows that the write path left dense (COW'd dense rows,
+  // spills past the max_density gate, or the legacy densify-on-write
+  // mode) go back to sparse when cold. Under sparse-native writes most
+  // touched rows stayed in their sparse tier, so consider_demote
+  // early-returns on them and this pass costs almost nothing — the
+  // re-sparsify the old write path forced every epoch is gone. Iterate a
+  // COPY — SparsifyRow appends to the live list.
   {
     const std::vector<std::int32_t> touched = store->touched_rows();
     for (std::int32_t row : touched) {
@@ -584,6 +599,10 @@ void SimRankService::MirrorStorageCounters() {
   sparse_eps_drops_.store(stats.eps_drops, std::memory_order_relaxed);
   sparse_max_error_bound_.store(stats.max_error_bound,
                                 std::memory_order_relaxed);
+  rows_spilled_dense_.store(stats.rows_spilled_dense,
+                            std::memory_order_relaxed);
+  sparse_write_merges_.store(stats.sparse_write_merges,
+                             std::memory_order_relaxed);
   graph_bytes_copied_.store(index_.graph().cow_bytes_copied(),
                             std::memory_order_relaxed);
 }

@@ -99,6 +99,13 @@ struct SparsityPolicy {
   /// cold rows batches never touch and promotes re-heated ones. Bounds
   /// the per-epoch policy cost independently of n.
   std::size_t scan_rows_per_publish = 256;
+  /// Legacy write-path toggle (A/B baseline): when true the store runs in
+  /// kDensifyOnWrite mode — every batch-touched sparse row transiently
+  /// densifies and the publish-time policy re-sparsifies it, the behavior
+  /// before the sparse-native RowWriter path. Readable bytes are identical
+  /// either way at ε = 0; only the transient dense footprint (and the
+  /// rows_spilled_dense / sparse_write_merges counters) differ.
+  bool densify_on_write = false;
 };
 
 /// Serving-layer knobs.
@@ -226,7 +233,7 @@ struct ServiceStats {
   /// |served − exact| (la::ScoreStoreStats::max_error_bound);
   /// tier_demotions / tier_promotions count publish-time dense→sparse and
   /// sparse→dense moves made by the policy (write-path densification is
-  /// not a promotion and is excluded).
+  /// not a promotion and is excluded — it is rows_spilled_dense below).
   std::uint64_t rows_sparse = 0;
   std::uint64_t rows_dense = 0;
   std::uint64_t bytes_saved = 0;
@@ -234,6 +241,14 @@ struct ServiceStats {
   double sparse_max_error_bound = 0.0;
   std::uint64_t tier_demotions = 0;
   std::uint64_t tier_promotions = 0;
+  /// Sparse-native write path (la::ScoreStore RowWriter sessions):
+  /// rows_spilled_dense counts sparse rows the WRITE path densified
+  /// (legacy densify-on-write, Dense() spills, merges past the max_density
+  /// gate) — with sparse-native writes on a mostly-sparse store this stays
+  /// near zero, which is the point; sparse_write_merges counts batch
+  /// writes that committed as an in-tier sparse index-merge instead.
+  std::uint64_t rows_spilled_dense = 0;
+  std::uint64_t sparse_write_merges = 0;
   /// Adjacency bytes copy-on-written so published graph views stay
   /// byte-stable — the true incremental cost of the per-epoch graph
   /// snapshot (the design it replaces deep-copied O(n+m) per epoch).
@@ -284,6 +299,8 @@ struct ServiceStats {
         std::max(sparse_max_error_bound, other.sparse_max_error_bound);
     tier_demotions += other.tier_demotions;
     tier_promotions += other.tier_promotions;
+    rows_spilled_dense += other.rows_spilled_dense;
+    sparse_write_merges += other.sparse_write_merges;
     graph_bytes_copied += other.graph_bytes_copied;
     topk_cap_grows += other.topk_cap_grows;
     topk_cap_shrinks += other.topk_cap_shrinks;
@@ -493,6 +510,8 @@ class SimRankService {
   std::atomic<std::uint64_t> bytes_saved_{0};
   std::atomic<std::uint64_t> sparse_eps_drops_{0};
   std::atomic<double> sparse_max_error_bound_{0.0};
+  std::atomic<std::uint64_t> rows_spilled_dense_{0};
+  std::atomic<std::uint64_t> sparse_write_merges_{0};
   std::atomic<std::uint64_t> graph_bytes_copied_{0};
   // Latency histograms (relaxed atomics inside; applier records, stats()
   // snapshots from any thread). Always on — one bucket fetch_add per

@@ -214,6 +214,8 @@ TEST(WireRoundTrip, StatsResponse) {
   in.stats.graph_bytes_copied = 2048;
   in.stats.topk_cap_grows = 3;
   in.stats.topk_cap_shrinks = 2;
+  in.stats.rows_spilled_dense = 9;
+  in.stats.sparse_write_merges = 811;
   // v4 latency histograms, populated through the real recorder so the
   // encoded snapshots carry the count == Σ buckets invariant the sparse
   // decoder reconstructs.
@@ -260,6 +262,8 @@ TEST(WireRoundTrip, StatsResponse) {
   EXPECT_EQ(out.stats.graph_bytes_copied, 2048u);
   EXPECT_EQ(out.stats.topk_cap_grows, 3u);
   EXPECT_EQ(out.stats.topk_cap_shrinks, 2u);
+  EXPECT_EQ(out.stats.rows_spilled_dense, 9u);
+  EXPECT_EQ(out.stats.sparse_write_merges, 811u);
   EXPECT_EQ(out.stats.queue_wait_ns.count, 5u);
   EXPECT_EQ(out.stats.queue_wait_ns.sum, in.stats.queue_wait_ns.sum);
   EXPECT_EQ(out.stats.queue_wait_ns.min, 0u);
@@ -296,9 +300,11 @@ TEST(WireHostileInput, StatsHistogramRejectsMalformedBucketLists) {
     ASSERT_TRUE(StatsResponse::DecodeBody(body, &out));  // baseline sane
   }
   // The queue_wait histogram tail: sum/min/max (24 B) + nonzero (4 B) +
-  // two (u8, u64) pairs; apply_ns (empty) follows as 28 B of zeros.
+  // two (u8, u64) pairs; apply_ns (empty) follows as 28 B of zeros, then
+  // the v5 write-path counters (2 × u64) close the body.
+  const std::size_t v5_tail = 8 * 2;
   const std::size_t apply_bytes = 8 * 3 + 4;
-  const std::size_t pairs_at = body.size() - apply_bytes - 2 * 9;
+  const std::size_t pairs_at = body.size() - v5_tail - apply_bytes - 2 * 9;
   const std::size_t nonzero_at = pairs_at - 4;
 
   // Bucket count claiming more buckets than exist: rejected (and the

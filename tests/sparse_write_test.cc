@@ -1,0 +1,413 @@
+// Property suite for the sparse-native write path (docs/score_store.md):
+//   - RowWriter sessions: merge commits keep rows sparse and reproduce the
+//     densified byte sequence exactly (first-touch seeding + in-order
+//     deltas), exact +0.0 merge results elide losslessly, the max_density
+//     gate spills to dense, kernels may spill explicitly via Dense(), and
+//     an untouched session is a no-op.
+//   - Counter split: write-path spills (rows_spilled_dense) and explicit
+//     promotions (rows_densified) count separately; their sum is the old
+//     conflated counter. epoch_peak_dense_bytes watermarks the transient
+//     dense footprint and resets at Publish().
+//   - Write-mode equivalence through the service: sparse-native vs the
+//     legacy densify-on-write mode agree bitwise at eps = 0 and each stays
+//     within its own recorded error bound at eps > 0, per UpdateAlgorithm.
+//     CI runs this suite at INCSR_THREADS 1 and 4 under TSan and ASan.
+//   - Concurrency: pinned View bytes survive concurrent sparse merge
+//     commits (including the writer-private in-place swap) and tier moves.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/dynamic_simrank.h"
+#include "graph/generators.h"
+#include "graph/update_stream.h"
+#include "la/row_writer.h"
+#include "la/score_store.h"
+#include "service/simrank_service.h"
+#include "simrank/options.h"
+
+namespace incsr {
+namespace {
+
+la::DenseMatrix TestMatrix(std::size_t rows, std::size_t cols,
+                           std::uint64_t seed = 7) {
+  Rng rng(seed);
+  la::DenseMatrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    double* row = m.RowPtr(i);
+    for (std::size_t j = 0; j < cols; ++j) row[j] = rng.NextDouble();
+  }
+  return m;
+}
+
+// All-sparse store with one diagonal entry per row — the CreateIsolated
+// shape, and the simplest base for write-session assertions.
+la::ScoreStore SparseIdentity(std::size_t n, double value) {
+  la::ScoreStore store = la::ScoreStore::ScaledIdentity(n, value);
+  store.set_sparsity({.epsilon = 0.0, .max_density = 1.0});
+  return store;
+}
+
+// ---- RowWriter sessions ----------------------------------------------------
+
+TEST(RowWriterSession, SeedsFromBaseAndAccumulatesInEmissionOrder) {
+  la::ScoreStore store = SparseIdentity(8, 0.4);
+  la::RowWriter w;
+  store.BeginWriteRow(2, &w);
+  EXPECT_FALSE(w.is_dense());
+  w.Add(2, 0.1);   // existing entry: accumulator seeds with 0.4
+  w.Add(5, 0.25);  // absent entry: seeds with exact +0.0
+  w.Add(5, 0.25);
+  store.CommitWriteRow(&w);
+
+  EXPECT_TRUE(store.RowIsSparse(2));
+  EXPECT_EQ(store(2, 2), 0.4 + 0.1);  // same FP sequence as a dense row
+  EXPECT_EQ(store(2, 5), (0.0 + 0.25) + 0.25);
+  EXPECT_EQ(store.stats().sparse_write_merges, 1u);
+  EXPECT_EQ(store.stats().rows_spilled_dense, 0u);
+  EXPECT_EQ(store.stats().rows_sparse, 8u);
+}
+
+TEST(RowWriterSession, IdenticalSessionsMatchDensifyOnWriteBitwise) {
+  const std::size_t n = 16;
+  la::DenseMatrix initial(n, n);  // zero-initialized
+  for (std::size_t i = 0; i < n; ++i) initial.RowPtr(i)[i] = 0.4;
+
+  // Two stores, same bytes, opposite write modes; replay one identical
+  // session sequence (repeat columns, overlapping entries) through both.
+  auto run = [&](la::ScoreStore::WriteMode mode) {
+    la::ScoreStore store((la::DenseMatrix(initial)));
+    store.set_sparsity({.epsilon = 0.0, .max_density = 1.0});
+    for (std::size_t i = 0; i < n; ++i) EXPECT_TRUE(store.SparsifyRow(i, {}));
+    store.set_write_mode(mode);
+    Rng rng(77);
+    la::RowWriter w;
+    for (int round = 0; round < 4; ++round) {
+      for (std::size_t i = 0; i < n; ++i) {
+        store.BeginWriteRow(i, &w);
+        for (int k = 0; k < 6; ++k) {
+          w.Add(rng.NextBounded(n), rng.NextDouble() - 0.5);
+        }
+        store.CommitWriteRow(&w);
+      }
+    }
+    return store.ToDense();
+  };
+  la::DenseMatrix native = run(la::ScoreStore::WriteMode::kSparseNative);
+  la::DenseMatrix legacy = run(la::ScoreStore::WriteMode::kDensifyOnWrite);
+  EXPECT_TRUE(la::BitwiseEqual(native, legacy));
+}
+
+TEST(RowWriterSession, ExactPositiveZeroMergeResultElidesLosslessly) {
+  la::ScoreStore store = SparseIdentity(8, 0.5);
+  const std::uint64_t payload_before = store.stats().sparse_payload_bytes;
+  la::RowWriter w;
+  store.BeginWriteRow(3, &w);
+  w.Add(3, -0.5);  // 0.5 + (-0.5) == +0.0 exactly: the entry vanishes
+  store.CommitWriteRow(&w);
+
+  EXPECT_TRUE(store.RowIsSparse(3));
+  EXPECT_EQ(store(3, 3), 0.0);
+  EXPECT_LT(store.stats().sparse_payload_bytes, payload_before);
+  // Lossless: nothing entered the error ledger.
+  EXPECT_EQ(store.stats().eps_drops, 0u);
+  EXPECT_EQ(store.stats().max_error_bound, 0.0);
+}
+
+TEST(RowWriterSession, MaxDensityGateSpillsToDense) {
+  la::ScoreStore store = SparseIdentity(8, 0.4);
+  store.set_sparsity({.epsilon = 0.0, .max_density = 0.25});  // max_nnz = 2
+  la::RowWriter w;
+  store.BeginWriteRow(1, &w);
+  for (std::size_t col = 2; col < 6; ++col) w.Add(col, 0.125);
+  store.CommitWriteRow(&w);
+
+  EXPECT_FALSE(store.RowIsSparse(1));
+  EXPECT_EQ(store.stats().rows_spilled_dense, 1u);
+  EXPECT_EQ(store.stats().rows_densified, 0u);  // not a tier promotion
+  EXPECT_EQ(store.stats().rows_sparse, 7u);
+  EXPECT_EQ(store(1, 1), 0.4);  // base entry survived the spill gather
+  for (std::size_t col = 2; col < 6; ++col) EXPECT_EQ(store(1, col), 0.125);
+}
+
+TEST(RowWriterSession, KernelSpillViaDensePointer) {
+  la::ScoreStore store = SparseIdentity(8, 0.4);
+  la::RowWriter w;
+  store.BeginWriteRow(1, &w);
+  w.Add(6, 0.2);  // accumulated before the spill: must flush onto it
+  double* row = w.Dense();
+  EXPECT_TRUE(w.is_dense());
+  EXPECT_EQ(row[1], 0.4);  // gathered base
+  EXPECT_EQ(row[6], 0.2);  // flushed accumulator
+  row[0] += 0.3;
+  store.CommitWriteRow(&w);
+
+  EXPECT_FALSE(store.RowIsSparse(1));
+  EXPECT_EQ(store.stats().rows_spilled_dense, 1u);
+  EXPECT_EQ(store(1, 0), 0.3);
+  EXPECT_EQ(store(1, 1), 0.4);
+  EXPECT_EQ(store(1, 6), 0.2);
+}
+
+TEST(RowWriterSession, UntouchedSessionIsANoOp) {
+  la::ScoreStore store = SparseIdentity(8, 0.4);
+  la::ScoreStore::View view = store.Publish();
+  la::RowWriter w;
+  store.BeginWriteRow(4, &w);
+  store.CommitWriteRow(&w);
+
+  EXPECT_TRUE(store.RowIsSparse(4));
+  EXPECT_EQ(store.stats().sparse_write_merges, 0u);
+  EXPECT_EQ(store.stats().rows_spilled_dense, 0u);
+  // The readable bytes never changed, so the touched delta stays empty.
+  EXPECT_TRUE(store.touched_rows().empty());
+  EXPECT_EQ(view(4, 4), 0.4);
+}
+
+TEST(RowWriterSession, CommitCopiesOnWriteThenMergesInPlace) {
+  la::ScoreStore store = SparseIdentity(8, 0.4);
+  la::ScoreStore::View view = store.Publish();
+  la::RowWriter w;
+
+  // First commit after a publish: the shared block is displaced (COW).
+  store.BeginWriteRow(2, &w);
+  w.Add(5, 0.7);
+  store.CommitWriteRow(&w);
+  ASSERT_EQ(store.touched_rows().size(), 1u);
+  EXPECT_EQ(store.touched_rows()[0], 2);
+
+  // Second commit in the same epoch rides the writer-private in-place
+  // swap; the pinned view must keep reading the pre-publish bytes.
+  store.BeginWriteRow(2, &w);
+  w.Add(6, 0.1);
+  store.CommitWriteRow(&w);
+
+  EXPECT_EQ(view(2, 5), 0.0);
+  EXPECT_EQ(view(2, 6), 0.0);
+  EXPECT_EQ(store(2, 5), 0.7);
+  EXPECT_EQ(store(2, 6), 0.1);
+  EXPECT_TRUE(store.RowIsSparse(2));
+  EXPECT_EQ(store.stats().sparse_write_merges, 2u);
+  // Still exactly one touched record: the in-place path is unshared.
+  EXPECT_EQ(store.touched_rows().size(), 1u);
+}
+
+// ---- Counter split and the transient-dense watermark -----------------------
+
+TEST(StoreCounters, WriteSpillsAndPromotionsCountSeparately) {
+  la::ScoreStore store = SparseIdentity(8, 0.4);
+  store.MutableRowPtr(0)[3] = 1.0;  // legacy shim: a write-path spill
+  ASSERT_TRUE(store.DensifyRow(1));  // an explicit tier promotion
+  EXPECT_EQ(store.stats().rows_spilled_dense, 1u);
+  EXPECT_EQ(store.stats().rows_densified, 1u);
+  // Sum continuity with the pre-split conflated counter.
+  EXPECT_EQ(store.stats().rows_spilled_dense + store.stats().rows_densified,
+            2u);
+  EXPECT_EQ(store.stats().rows_sparse, 6u);
+}
+
+TEST(StoreCounters, EpochPeakDenseBytesWatermarksAndResets) {
+  const std::size_t n = 8;
+  la::ScoreStore store = SparseIdentity(n, 0.4);
+  store.Publish();
+  EXPECT_EQ(store.stats().epoch_peak_dense_bytes, 0u);
+
+  // A transient densify bumps the watermark...
+  store.MutableRowPtr(0)[3] = 1.0;
+  const std::uint64_t one_row = n * sizeof(double);
+  EXPECT_EQ(store.stats().epoch_peak_dense_bytes, one_row);
+  // ...and re-sparsifying does not lower it: it records the PEAK.
+  ASSERT_TRUE(store.SparsifyRow(0, {}));
+  EXPECT_EQ(store.stats().epoch_peak_dense_bytes, one_row);
+
+  // Publish restarts the watermark at the resident footprint.
+  store.Publish();
+  EXPECT_EQ(store.stats().epoch_peak_dense_bytes, 0u);
+}
+
+// ---- Write-mode equivalence through the service -----------------------------
+
+std::vector<graph::EdgeUpdate> InsertStream(const graph::DynamicDiGraph& graph,
+                                            std::size_t count,
+                                            std::uint64_t seed) {
+  Rng rng(seed);
+  auto ins = graph::SampleInsertions(graph, count, &rng);
+  INCSR_CHECK(ins.ok(), "sampling failed");
+  return std::move(ins).value();
+}
+
+service::ServiceOptions TieredOptions(double epsilon) {
+  service::ServiceOptions options;
+  options.max_batch = 8;
+  options.sparse.enabled = true;
+  options.sparse.epsilon = epsilon;
+  options.sparse.max_density = 1.0;  // compress whenever allowed
+  options.sparse.hot_reads = 1;      // demote anything the sketch missed
+  options.sparse.scan_rows_per_publish = 1024;
+  return options;
+}
+
+// Replays the stream with unit batches (Flush per Submit pins batch
+// boundaries, hence FP order — sparse_store_test's idiom) and returns the
+// final scores plus stats.
+struct ModeRun {
+  la::DenseMatrix s;
+  service::ServiceStats stats;
+};
+
+ModeRun RunMode(const graph::DynamicDiGraph& graph,
+                const std::vector<graph::EdgeUpdate>& stream,
+                core::UpdateAlgorithm algorithm,
+                const service::ServiceOptions& options) {
+  simrank::SimRankOptions sr;
+  sr.damping = 0.6;
+  sr.iterations = 8;
+  auto index = core::DynamicSimRank::Create(graph, sr, algorithm);
+  EXPECT_TRUE(index.ok());
+  auto service =
+      service::SimRankService::Create(std::move(index).value(), options);
+  EXPECT_TRUE(service.ok());
+  for (const graph::EdgeUpdate& u : stream) {
+    EXPECT_TRUE((*service)->Submit(u).ok());
+    EXPECT_TRUE((*service)->Flush().ok());
+  }
+  ModeRun out;
+  out.s = (*service)->Snapshot()->scores.ToDense();
+  out.stats = (*service)->stats();
+  return out;
+}
+
+TEST(WriteModeEquivalence, BitwiseAtEpsilonZeroPerAlgorithm) {
+  auto seed = graph::ErdosRenyiGnm(20, 50, 5);
+  ASSERT_TRUE(seed.ok());
+  auto graph = graph::MaterializeGraph(20, seed.value());
+  auto stream = InsertStream(graph, 12, 17);
+  for (auto algorithm :
+       {core::UpdateAlgorithm::kIncSR, core::UpdateAlgorithm::kIncUSR}) {
+    service::ServiceOptions native_options = TieredOptions(0.0);
+    ModeRun native = RunMode(graph, stream, algorithm, native_options);
+    service::ServiceOptions legacy_options = TieredOptions(0.0);
+    legacy_options.sparse.densify_on_write = true;
+    ModeRun legacy = RunMode(graph, stream, algorithm, legacy_options);
+
+    EXPECT_TRUE(la::BitwiseEqual(native.s, legacy.s));
+    EXPECT_EQ(native.stats.sparse_max_error_bound, 0.0);
+    EXPECT_EQ(legacy.stats.sparse_max_error_bound, 0.0);
+    // Each mode actually took its own write path.
+    EXPECT_EQ(legacy.stats.sparse_write_merges, 0u);
+    EXPECT_GT(legacy.stats.rows_spilled_dense, 0u);
+    if (algorithm == core::UpdateAlgorithm::kIncSR) {
+      EXPECT_GT(native.stats.sparse_write_merges, 0u);
+    }
+  }
+}
+
+TEST(WriteModeEquivalence, WithinRecordedBoundAtEpsilonPerAlgorithm) {
+  auto seed = graph::ErdosRenyiGnm(40, 60, 9);
+  ASSERT_TRUE(seed.ok());
+  auto graph = graph::MaterializeGraph(40, seed.value());
+  auto stream = InsertStream(graph, 16, 23);
+  for (auto algorithm :
+       {core::UpdateAlgorithm::kIncSR, core::UpdateAlgorithm::kIncUSR}) {
+    // Exact reference: same unit batches, sparsity off entirely.
+    service::ServiceOptions dense_options = TieredOptions(1e-4);
+    dense_options.sparse.enabled = false;
+    ModeRun exact = RunMode(graph, stream, algorithm, dense_options);
+    for (bool densify_on_write : {false, true}) {
+      service::ServiceOptions options = TieredOptions(1e-4);
+      options.sparse.densify_on_write = densify_on_write;
+      ModeRun run = RunMode(graph, stream, algorithm, options);
+      EXPECT_GT(run.stats.rows_sparse, 0u);
+      double max_err = 0.0;
+      for (std::size_t i = 0; i < exact.s.rows(); ++i) {
+        for (std::size_t j = 0; j < exact.s.cols(); ++j) {
+          max_err =
+              std::max(max_err, std::abs(run.s(i, j) - exact.s(i, j)));
+        }
+      }
+      EXPECT_LE(max_err, run.stats.sparse_max_error_bound + 1e-15)
+          << "densify_on_write = " << densify_on_write;
+    }
+  }
+}
+
+// ---- Concurrency: pinned views vs sparse merge commits ----------------------
+
+TEST(WriteModeConcurrency, PinnedViewStaysByteStableUnderMergeCommits) {
+  const std::size_t n = 24;
+  la::ScoreStore store = SparseIdentity(n, 0.4);
+
+  std::mutex mu;
+  auto latest = std::make_shared<const la::ScoreStore::View>(store.Publish());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> checks{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      la::Vector scratch;
+      do {
+        std::shared_ptr<const la::ScoreStore::View> pinned;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          pinned = latest;
+        }
+        // Checksum twice with merge commits racing in between; a commit
+        // that mutated shared bytes diverges the sums.
+        double sum1 = 0.0;
+        double sum2 = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double* row = pinned->ReadRow(i, &scratch);
+          for (std::size_t j = 0; j < n; ++j) sum1 += row[j];
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double* row = pinned->ReadRow(i, &scratch);
+          for (std::size_t j = 0; j < n; ++j) sum2 += row[j];
+        }
+        INCSR_CHECK(sum1 == sum2, "pinned view bytes changed");
+        checks.fetch_add(1, std::memory_order_relaxed);
+      } while (!stop.load(std::memory_order_acquire));
+    });
+  }
+
+  Rng rng(55);
+  la::RowWriter w;
+  for (int epoch = 0; epoch < 200; ++epoch) {
+    // Merge-write a band (COW on the first commit per epoch, then the
+    // writer-private in-place swap), and churn tiers through the rest.
+    for (std::size_t i = 0; i < n; ++i) {
+      switch ((i + static_cast<std::size_t>(epoch)) % 3) {
+        case 0:
+          store.BeginWriteRow(i, &w);
+          w.Add(rng.NextBounded(n), rng.NextDouble() - 0.5);
+          w.Add(rng.NextBounded(n), rng.NextDouble() - 0.5);
+          store.CommitWriteRow(&w);
+          break;
+        case 1:
+          store.DensifyRow(i);
+          break;
+        default:
+          store.SparsifyRow(i, {});
+      }
+    }
+    auto next = std::make_shared<const la::ScoreStore::View>(store.Publish());
+    std::lock_guard<std::mutex> lock(mu);
+    latest = std::move(next);
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(checks.load(), 0u);
+  EXPECT_GT(store.stats().sparse_write_merges, 0u);
+  EXPECT_GT(store.stats().rows_densified, 0u);
+  EXPECT_GT(store.stats().rows_sparsified, 0u);
+}
+
+}  // namespace
+}  // namespace incsr

@@ -550,6 +550,10 @@ int RunServeSharded(const ServeOptions& options,
         static_cast<unsigned long long>(stats.total.tier_promotions),
         static_cast<unsigned long long>(stats.total.sparse_eps_drops),
         stats.total.sparse_max_error_bound);
+    std::printf(
+        "write path: %llu sparse merges, %llu dense spills\n",
+        static_cast<unsigned long long>(stats.total.sparse_write_merges),
+        static_cast<unsigned long long>(stats.total.rows_spilled_dense));
   }
   if (stats.total.topk_cap_grows > 0 || stats.total.topk_cap_shrinks > 0) {
     std::printf("adaptive index capacity: %llu grows, %llu shrinks\n",
@@ -632,6 +636,9 @@ void PrintFinalServiceStats(const service::ServiceStats& stats) {
         static_cast<unsigned long long>(stats.rows_dense),
         static_cast<double>(stats.bytes_saved) / 1e6,
         stats.sparse_max_error_bound);
+    std::printf("write path: %llu sparse merges, %llu dense spills\n",
+                static_cast<unsigned long long>(stats.sparse_write_merges),
+                static_cast<unsigned long long>(stats.rows_spilled_dense));
   }
 }
 
@@ -1142,6 +1149,9 @@ int RunServe(const ServeOptions& options) {
         static_cast<unsigned long long>(stats.tier_promotions),
         static_cast<unsigned long long>(stats.sparse_eps_drops),
         stats.sparse_max_error_bound);
+    std::printf("write path: %llu sparse merges, %llu dense spills\n",
+                static_cast<unsigned long long>(stats.sparse_write_merges),
+                static_cast<unsigned long long>(stats.rows_spilled_dense));
   }
   if (stats.topk_cap_grows > 0 || stats.topk_cap_shrinks > 0) {
     std::printf("adaptive index capacity: %llu grows, %llu shrinks\n",
